@@ -1,0 +1,87 @@
+//! **Figure 1** — "The fraction of devices (collection points) at which our
+//! production data center currently measures various metrics above the
+//! Nyquist rate; each bar coalesces information from O(10³) devices."
+
+use crate::report::bar_chart;
+use crate::study::{FleetStudy, StudyConfig};
+use sweetspot_telemetry::MetricKind;
+
+/// Figure 1 data: per-metric fraction of devices sampling above Nyquist.
+#[derive(Debug, Clone)]
+pub struct Fig1 {
+    /// `(metric, fraction_above_nyquist)` rows in [`MetricKind::ALL`] order.
+    pub rows: Vec<(MetricKind, f64)>,
+    /// Number of pairs per metric analyzed.
+    pub devices_per_metric: usize,
+}
+
+/// Runs the Figure 1 experiment.
+pub fn run(cfg: StudyConfig) -> Fig1 {
+    let study = FleetStudy::run(cfg);
+    Fig1 {
+        rows: study.oversampled_fraction_per_metric(),
+        devices_per_metric: cfg.fleet.devices_per_metric,
+    }
+}
+
+/// Runs Figure 1 on an existing study (to share work with fig4/fig5).
+pub fn from_study(study: &FleetStudy, devices_per_metric: usize) -> Fig1 {
+    Fig1 {
+        rows: study.oversampled_fraction_per_metric(),
+        devices_per_metric,
+    }
+}
+
+impl Fig1 {
+    /// Text rendering of the bar chart.
+    pub fn render(&self) -> String {
+        let rows: Vec<(String, f64)> = self
+            .rows
+            .iter()
+            .map(|(k, f)| (k.name().to_string(), *f))
+            .collect();
+        bar_chart(
+            &format!(
+                "Figure 1: fraction of devices sampling above the Nyquist rate \
+                 ({} devices/metric)",
+                self.devices_per_metric
+            ),
+            &rows,
+            40,
+        )
+    }
+
+    /// Fleet-wide mean of the per-metric fractions.
+    pub fn mean_fraction(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 0.0;
+        }
+        self.rows.iter().map(|(_, f)| f).sum::<f64>() / self.rows.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sweetspot_telemetry::FleetConfig;
+    use sweetspot_timeseries::Seconds;
+
+    #[test]
+    fn fig1_shape_matches_paper() {
+        let fig = run(StudyConfig {
+            fleet: FleetConfig {
+                seed: 1,
+                devices_per_metric: 5,
+                trace_duration: Seconds::from_days(1.0),
+            },
+            ..StudyConfig::default()
+        });
+        assert_eq!(fig.rows.len(), 14);
+        // The paper's headline: the vast majority of collection points are
+        // above the Nyquist rate for most metrics.
+        assert!(fig.mean_fraction() > 0.6, "mean {}", fig.mean_fraction());
+        let rendered = fig.render();
+        assert!(rendered.contains("Figure 1"));
+        assert!(rendered.contains("Temperature"));
+    }
+}

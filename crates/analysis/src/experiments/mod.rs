@@ -1,0 +1,16 @@
+//! Per-figure experiment drivers.
+//!
+//! One module per paper artifact (see DESIGN.md §4 for the experiment
+//! index). Every driver exposes a `run(...)` returning structured results
+//! with a `render()` method producing the text figure.
+
+pub mod ablation;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod headline;
+pub mod sweetspot;

@@ -1,0 +1,181 @@
+//! **The title experiment** — the cost-vs-quality sweet spot.
+//!
+//! The paper argues (§1, §4) that Nyquist-guided sampling reaches today's
+//! monitoring quality at a fraction of the cost. This driver makes the
+//! trade-off concrete on the simulator: sweep fixed-rate policies across
+//! multipliers of the production rate to trace the cost-vs-quality
+//! frontier, then place the §4 policies (a-posteriori thinning, §4.2
+//! adaptive) on the same axes and find the knee.
+
+use sweetspot_core::adaptive::AdaptiveConfig;
+use sweetspot_monitor::device::SimDevice;
+use sweetspot_monitor::sweep::{knee_point, rate_sweep, SweepPoint};
+use sweetspot_monitor::system::{MonitoringSystem, Policy};
+use sweetspot_telemetry::events::{Event, EventKind};
+use sweetspot_telemetry::{DeviceTrace, MetricKind, MetricProfile};
+use sweetspot_timeseries::{Hertz, Seconds};
+
+/// A labelled point on the cost-vs-quality plane.
+#[derive(Debug, Clone)]
+pub struct PolicyPoint {
+    /// Display label.
+    pub label: String,
+    /// Total cost units.
+    pub cost: f64,
+    /// Mean reconstruction NRMSE.
+    pub nrmse: f64,
+    /// Mean event recall.
+    pub event_recall: f64,
+}
+
+/// Sweet-spot experiment results.
+#[derive(Debug, Clone)]
+pub struct SweetSpot {
+    /// The fixed-rate frontier.
+    pub frontier: Vec<SweepPoint>,
+    /// The knee of the frontier.
+    pub knee: Option<SweepPoint>,
+    /// The §4 policies placed on the same axes.
+    pub policies: Vec<PolicyPoint>,
+}
+
+/// Builds the experiment fleet: temperature + link-utilization devices with
+/// a few injected events so the recall axis is meaningful.
+pub fn build_devices(seed: u64, per_metric: usize) -> Vec<SimDevice> {
+    let mut devices = Vec::new();
+    for kind in [MetricKind::Temperature, MetricKind::LinkUtil] {
+        let profile = MetricProfile::for_kind(kind);
+        for idx in 0..per_metric {
+            let trace = DeviceTrace::synthesize(profile, idx, seed);
+            // Two mid-run events per device: a 20-minute spike and a
+            // 30-minute level shift.
+            let magnitude = profile.half_range() * 0.5;
+            let trace = trace.with_events(vec![
+                Event::new(EventKind::Spike, 40_000.0 + idx as f64 * 971.0, 1200.0, magnitude),
+                Event::new(
+                    EventKind::LevelShift,
+                    110_000.0 + idx as f64 * 1771.0,
+                    1800.0,
+                    magnitude,
+                ),
+            ]);
+            devices.push(SimDevice::new(trace));
+        }
+    }
+    devices
+}
+
+/// Runs the sweet-spot experiment.
+pub fn run(seed: u64, per_metric: usize, days: f64, multipliers: &[f64]) -> SweetSpot {
+    let system = MonitoringSystem::default();
+    let duration = Seconds::from_days(days);
+
+    let mut devices = build_devices(seed, per_metric);
+    let frontier = rate_sweep(&system, &mut devices, multipliers, duration);
+    let knee = knee_point(&frontier).copied();
+
+    let mut policies = Vec::new();
+    for (label, policy) in [
+        (
+            "posteriori-nyquist",
+            Policy::PosterioriNyquist { headroom: 1.25 },
+        ),
+        (
+            "adaptive-§4.2",
+            Policy::Adaptive(AdaptiveConfig {
+                initial_rate: Hertz(1.0 / 300.0),
+                min_rate: Hertz(1e-6),
+                max_rate: Hertz(1.0),
+                epoch: Seconds::from_hours(12.0),
+                ..AdaptiveConfig::default()
+            }),
+        ),
+    ] {
+        let outcome = system.run_fleet(&mut devices, &policy, duration);
+        policies.push(PolicyPoint {
+            label: label.to_string(),
+            cost: outcome.cost.total(),
+            nrmse: outcome.mean_nrmse,
+            event_recall: outcome.mean_event_recall,
+        });
+    }
+
+    SweetSpot {
+        frontier,
+        knee,
+        policies,
+    }
+}
+
+impl SweetSpot {
+    /// Text rendering: the frontier table plus the policy points.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "Sweet spot: cost vs quality (fixed-rate frontier + §4 policies)\n",
+        );
+        let mut rows: Vec<Vec<String>> = self
+            .frontier
+            .iter()
+            .map(|p| {
+                vec![
+                    format!("fixed {:.2}x", p.rate_multiplier),
+                    format!("{:.0}", p.cost),
+                    format!("{:.4}", p.nrmse),
+                    format!("{:.2}", p.event_recall),
+                ]
+            })
+            .collect();
+        for p in &self.policies {
+            rows.push(vec![
+                p.label.clone(),
+                format!("{:.0}", p.cost),
+                format!("{:.4}", p.nrmse),
+                format!("{:.2}", p.event_recall),
+            ]);
+        }
+        out.push_str(&crate::report::table(
+            &["policy", "cost", "NRMSE", "event recall"],
+            &rows,
+        ));
+        if let Some(k) = &self.knee {
+            out.push_str(&format!(
+                "knee of the frontier: {:.2}x production rate (cost {:.0}, NRMSE {:.4})\n",
+                k.rate_multiplier, k.cost, k.nrmse
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontier_is_monotone_and_policies_beat_production() {
+        let result = run(11, 2, 2.0, &[0.05, 0.25, 1.0]);
+        assert_eq!(result.frontier.len(), 3);
+        // Cost strictly increases along the frontier.
+        for w in result.frontier.windows(2) {
+            assert!(w[1].cost > w[0].cost);
+        }
+        // The production point (1.0×): full cost. The §4 a-posteriori
+        // policy must dominate it on total cost at comparable quality.
+        let production = result.frontier.last().unwrap();
+        let posteriori = &result.policies[0];
+        assert!(
+            posteriori.cost < production.cost,
+            "posteriori {} vs production {}",
+            posteriori.cost,
+            production.cost
+        );
+        assert!(
+            posteriori.nrmse < production.nrmse * 3.0 + 0.05,
+            "posteriori quality comparable: {} vs {}",
+            posteriori.nrmse,
+            production.nrmse
+        );
+        assert!(result.knee.is_some());
+        assert!(result.render().contains("knee"));
+    }
+}

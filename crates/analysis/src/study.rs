@@ -1,0 +1,305 @@
+//! The §3.2 fleet study engine.
+//!
+//! For every `(metric, device)` pair: take one day of the device's measured
+//! production trace, pre-clean it (nearest-neighbour re-gridding), run the
+//! Nyquist estimator, and record the possible-reduction outcome. Devices are
+//! processed in parallel with scoped threads (CPU-bound work ⇒ threads, not
+//! async).
+
+use crossbeam::thread;
+use sweetspot_core::estimator::{NyquistConfig, NyquistEstimate, NyquistEstimator};
+use sweetspot_core::reduction::{reduction_outcome, summarize, ReductionOutcome, ReductionSummary};
+use sweetspot_dsp::stats::{Cdf, FiveNumber};
+use sweetspot_telemetry::{DeviceTrace, Fleet, FleetConfig, MetricKind};
+use sweetspot_timeseries::clean::{clean, CleanConfig};
+use sweetspot_timeseries::ingest::TraceMeta;
+use sweetspot_timeseries::{Hertz, Seconds};
+
+/// Study parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct StudyConfig {
+    /// Fleet to build and analyze.
+    pub fleet: FleetConfig,
+    /// Estimator settings (§3.2 defaults).
+    pub estimator: NyquistConfig,
+    /// Worker threads (0 ⇒ available parallelism).
+    pub threads: usize,
+}
+
+impl Default for StudyConfig {
+    fn default() -> Self {
+        StudyConfig {
+            fleet: FleetConfig::default(),
+            estimator: NyquistConfig::default(),
+            threads: 0,
+        }
+    }
+}
+
+/// One pair's study result.
+#[derive(Debug, Clone)]
+pub struct PairResult {
+    /// Metric kind.
+    pub kind: MetricKind,
+    /// Pair identity.
+    pub meta: TraceMeta,
+    /// Today's (production) sampling rate.
+    pub production_rate: Hertz,
+    /// The §3.2 estimate from the measured trace.
+    pub estimate: NyquistEstimate,
+    /// Reduction classification and ratio.
+    pub outcome: ReductionOutcome,
+    /// Ground truth: was this pair truly under-sampled at production rate?
+    /// (Available because the fleet is synthetic; lets tests check the
+    /// estimator's classification accuracy.)
+    pub truly_undersampled: bool,
+}
+
+/// The completed study.
+#[derive(Debug, Clone)]
+pub struct FleetStudy {
+    /// Per-pair results in fleet order.
+    pub pairs: Vec<PairResult>,
+}
+
+impl FleetStudy {
+    /// Builds the fleet from `cfg` and runs the study.
+    pub fn run(cfg: StudyConfig) -> FleetStudy {
+        let fleet = Fleet::build(cfg.fleet);
+        Self::run_on(&fleet, cfg)
+    }
+
+    /// Runs the study over an existing fleet.
+    pub fn run_on(fleet: &Fleet, cfg: StudyConfig) -> FleetStudy {
+        let traces = fleet.traces();
+        let threads = if cfg.threads == 0 {
+            std::thread::available_parallelism().map_or(4, |n| n.get())
+        } else {
+            cfg.threads
+        }
+        .min(traces.len().max(1));
+        let duration = cfg.fleet.trace_duration;
+        let chunk = traces.len().div_ceil(threads);
+        let mut pairs: Vec<Option<PairResult>> = vec![None; traces.len()];
+
+        thread::scope(|s| {
+            for (slot_chunk, trace_chunk) in
+                pairs.chunks_mut(chunk).zip(traces.chunks(chunk))
+            {
+                s.spawn(move |_| {
+                    let mut estimator = NyquistEstimator::new(cfg.estimator);
+                    for (slot, trace) in slot_chunk.iter_mut().zip(trace_chunk) {
+                        *slot = Some(analyze_pair(trace, duration, &mut estimator));
+                    }
+                });
+            }
+        })
+        .expect("study worker panicked");
+
+        FleetStudy {
+            pairs: pairs.into_iter().map(|p| p.expect("all slots filled")).collect(),
+        }
+    }
+
+    /// Results for one metric.
+    pub fn pairs_for(&self, kind: MetricKind) -> impl Iterator<Item = &PairResult> {
+        self.pairs.iter().filter(move |p| p.kind == kind)
+    }
+
+    /// Fleet-level headline summary (§3.2 text numbers).
+    pub fn summary(&self) -> ReductionSummary {
+        let outcomes: Vec<ReductionOutcome> = self.pairs.iter().map(|p| p.outcome).collect();
+        summarize(&outcomes)
+    }
+
+    /// Figure 1: per metric, the fraction of devices currently sampling
+    /// above their (estimated) Nyquist rate.
+    pub fn oversampled_fraction_per_metric(&self) -> Vec<(MetricKind, f64)> {
+        MetricKind::ALL
+            .iter()
+            .map(|&kind| {
+                let (total, over) = self.pairs_for(kind).fold((0usize, 0usize), |(t, o), p| {
+                    let is_over = p.outcome.ratio.map_or(false, |r| r >= 1.0);
+                    (t + 1, o + is_over as usize)
+                });
+                (kind, if total == 0 { 0.0 } else { over as f64 / total as f64 })
+            })
+            .collect()
+    }
+
+    /// Figure 4: the reduction-ratio CDF for one metric (over-sampled pairs
+    /// only, matching "we do not show the cases where we cannot reliably
+    /// detect the Nyquist rate").
+    pub fn reduction_cdf(&self, kind: MetricKind) -> Cdf {
+        Cdf::new(
+            self.pairs_for(kind)
+                .filter_map(|p| p.outcome.ratio)
+                .filter(|&r| r >= 1.0),
+        )
+    }
+
+    /// Figure 5: the five-number summary of estimated Nyquist rates for one
+    /// metric (non-aliased pairs). `None` when no pair yielded a rate.
+    pub fn nyquist_five_number(&self, kind: MetricKind) -> Option<FiveNumber> {
+        let rates: Vec<f64> = self
+            .pairs_for(kind)
+            .filter_map(|p| p.estimate.rate().map(|r| r.value()))
+            .collect();
+        if rates.is_empty() {
+            None
+        } else {
+            Some(FiveNumber::of(&rates))
+        }
+    }
+}
+
+fn analyze_pair(
+    trace: &DeviceTrace,
+    duration: Seconds,
+    estimator: &mut NyquistEstimator,
+) -> PairResult {
+    let production_rate = trace.profile().production_rate();
+    let raw = trace.production_trace(duration);
+    // §3.2 pre-cleaning: nearest-neighbour re-grid onto the nominal interval.
+    let estimate = match clean(
+        &raw,
+        CleanConfig {
+            interval: Some(production_rate.period()),
+            outlier_mads: Some(8.0),
+        },
+    ) {
+        Some(series) if series.len() >= 4 => estimator.estimate_series(&series),
+        // Too little data ⇒ treat as "cannot assess", conservatively aliased.
+        _ => NyquistEstimate::Aliased,
+    };
+    PairResult {
+        kind: trace.profile().kind,
+        meta: trace.meta().clone(),
+        production_rate,
+        estimate,
+        outcome: reduction_outcome(production_rate, estimate),
+        truly_undersampled: trace.is_undersampled_at_production_rate(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_study() -> FleetStudy {
+        FleetStudy::run(StudyConfig {
+            fleet: FleetConfig {
+                seed: 0x5EED,
+                devices_per_metric: 6,
+                trace_duration: Seconds::from_days(1.0),
+            },
+            estimator: NyquistConfig::default(),
+            threads: 4,
+        })
+    }
+
+    #[test]
+    fn study_covers_every_pair() {
+        let study = small_study();
+        assert_eq!(study.pairs.len(), 14 * 6);
+        for kind in MetricKind::ALL {
+            assert_eq!(study.pairs_for(kind).count(), 6);
+        }
+    }
+
+    #[test]
+    fn majority_of_pairs_oversampled() {
+        let study = small_study();
+        let s = study.summary();
+        assert!(
+            s.oversampled_fraction > 0.6,
+            "oversampled fraction {} (paper: 0.89)",
+            s.oversampled_fraction
+        );
+        assert!(s.undersampled_fraction < 0.4);
+    }
+
+    #[test]
+    fn fig1_fractions_in_unit_range() {
+        let study = small_study();
+        let fracs = study.oversampled_fraction_per_metric();
+        assert_eq!(fracs.len(), 14);
+        for (kind, f) in fracs {
+            assert!((0.0..=1.0).contains(&f), "{kind}: {f}");
+        }
+    }
+
+    #[test]
+    fn fig4_cdf_spans_decades() {
+        let study = small_study();
+        // Union across metrics so the small fleet still shows the spread.
+        let all_ratios: Vec<f64> = study
+            .pairs
+            .iter()
+            .filter_map(|p| p.outcome.ratio)
+            .filter(|&r| r >= 1.0)
+            .collect();
+        let cdf = Cdf::new(all_ratios);
+        assert!(cdf.len() > 40);
+        assert!(cdf.quantile(0.9) / cdf.quantile(0.1) > 10.0,
+            "ratios should span ≥1 decade");
+    }
+
+    #[test]
+    fn fig5_five_numbers_are_ordered_and_in_band() {
+        let study = small_study();
+        for kind in MetricKind::ALL {
+            if let Some(f) = study.nyquist_five_number(kind) {
+                assert!(f.min <= f.median && f.median <= f.max);
+                // All estimated rates must sit below the production rate's
+                // representable band (2 × folding = production rate).
+                let prod = study
+                    .pairs_for(kind)
+                    .next()
+                    .unwrap()
+                    .production_rate
+                    .value();
+                assert!(f.max <= prod * 1.01, "{kind}: max {} vs prod {prod}", f.max);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let cfg = StudyConfig {
+            fleet: FleetConfig {
+                seed: 7,
+                devices_per_metric: 2,
+                trace_duration: Seconds::from_hours(12.0),
+            },
+            estimator: NyquistConfig::default(),
+            threads: 1,
+        };
+        let serial = FleetStudy::run(cfg);
+        let parallel = FleetStudy::run(StudyConfig { threads: 7, ..cfg });
+        assert_eq!(serial.pairs.len(), parallel.pairs.len());
+        for (a, b) in serial.pairs.iter().zip(&parallel.pairs) {
+            assert_eq!(a.meta, b.meta);
+            assert_eq!(a.estimate, b.estimate);
+        }
+    }
+
+    #[test]
+    fn estimator_classification_tracks_ground_truth() {
+        let study = small_study();
+        // Truly well-sampled pairs should overwhelmingly be classified
+        // oversampled (the estimator sees their full band).
+        let (well_total, well_over) = study
+            .pairs
+            .iter()
+            .filter(|p| !p.truly_undersampled)
+            .fold((0, 0), |(t, o), p| {
+                (t + 1, o + p.outcome.ratio.map_or(false, |r| r >= 1.0) as usize)
+            });
+        assert!(well_total > 0);
+        assert!(
+            well_over as f64 / well_total as f64 > 0.8,
+            "{well_over}/{well_total} well-sampled pairs classified oversampled"
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! **A3** — §4.2 adaptation memory: probe epochs needed to clear aliasing
+//! when a high-frequency episode recurs, with and without remembering past
+//! maxima.
+
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+use sweetspot_analysis::experiments::ablation;
+
+fn print_figure() {
+    let m = ablation::adaptive_memory();
+    println!("A3: re-ramp cost on a recurring flap episode");
+    println!(
+        "  probe (aliased) epochs during the second episode: \
+         with memory = {}, without = {}\n",
+        m.with_memory, m.without_memory
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("ablation/adaptive_two_flap_run", |b| {
+        b.iter(|| black_box(ablation::adaptive_memory()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = sweetspot_bench::experiment_criterion();
+    targets = bench
+}
+
+fn main() {
+    print_figure();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

@@ -1,0 +1,41 @@
+//! **A2** — dual-rate detector accuracy (§4.1): TPR/FPR over tones
+//! straddling the secondary stream's folding frequency, with measurement
+//! noise.
+
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+use sweetspot_analysis::experiments::ablation;
+
+fn print_figure() {
+    let acc = ablation::detector_accuracy(16);
+    println!("A2: dual-rate aliasing detector accuracy (16 cases per side)");
+    println!(
+        "  TP={} FN={} TN={} FP={}  →  TPR={:.2}  FPR={:.2}\n",
+        acc.true_positives,
+        acc.false_negatives,
+        acc.true_negatives,
+        acc.false_positives,
+        acc.tpr(),
+        acc.fpr()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("ablation/detector_8_cases_per_side", |b| {
+        b.iter(|| black_box(ablation::detector_accuracy(8)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = sweetspot_bench::experiment_criterion();
+    targets = bench
+}
+
+fn main() {
+    print_figure();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

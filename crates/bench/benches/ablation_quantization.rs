@@ -1,0 +1,38 @@
+//! **A4** — quantization ablation (§4.3): coarser sensor quanta vs the
+//! estimator's stability and reconstruction fidelity.
+
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+use sweetspot_analysis::experiments::ablation;
+
+fn print_figure() {
+    println!("A4: quantization-step sweep on a temperature device");
+    println!("step     est. Nyquist rate (Hz)  interior NRMSE (requantized)");
+    for row in ablation::quantization(0xAB4E, &[0.01, 0.1, 0.5, 1.0, 2.0]) {
+        println!(
+            "{:<7}  {:<22.4e}  {:.5}",
+            row.step, row.estimated_rate, row.interior_nrmse
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("ablation/quantization_3_steps", |b| {
+        b.iter(|| black_box(ablation::quantization(0xAB4E, &[0.01, 0.5, 2.0])))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = sweetspot_bench::experiment_criterion();
+    targets = bench
+}
+
+fn main() {
+    print_figure();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

@@ -1,0 +1,84 @@
+//! DSP kernel microbenchmarks: the primitives every experiment sits on.
+//!
+//! Covers both FFT paths (radix-2 and Bluestein), PSD estimation, Goertzel,
+//! Fourier resampling and the end-to-end Nyquist estimator.
+
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+use sweetspot_core::estimator::{NyquistConfig, NyquistEstimator};
+use sweetspot_dsp::fft::FftPlanner;
+use sweetspot_dsp::goertzel::goertzel_power;
+use sweetspot_dsp::psd::{periodogram, welch, PsdConfig, WelchConfig};
+use sweetspot_dsp::resample::resample_fft;
+use sweetspot_dsp::Complex64;
+use sweetspot_timeseries::{Hertz, RegularSeries, Seconds};
+
+fn signal(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64;
+            (0.002 * t).sin() + 0.5 * (0.04 * t).sin() + 0.1 * (0.3 * t).cos()
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    // FFT: power-of-two (radix-2) vs arbitrary length (Bluestein).
+    for n in [1024usize, 1000, 4096, 2880] {
+        let sig = signal(n);
+        let label = if n.is_power_of_two() { "radix2" } else { "bluestein" };
+        c.bench_function(&format!("fft/{label}_{n}"), |b| {
+            let mut planner = FftPlanner::new();
+            let buf: Vec<Complex64> = sig.iter().map(|&x| Complex64::from_real(x)).collect();
+            b.iter(|| {
+                let mut work = buf.clone();
+                planner.fft_in_place(&mut work);
+                black_box(work)
+            })
+        });
+    }
+
+    // PSD estimation.
+    let sig = signal(2880); // one day at 30 s
+    c.bench_function("psd/periodogram_2880", |b| {
+        let mut planner = FftPlanner::new();
+        b.iter(|| black_box(periodogram(&mut planner, &sig, 1.0, PsdConfig::default())))
+    });
+    c.bench_function("psd/welch_2880_seg256", |b| {
+        let mut planner = FftPlanner::new();
+        b.iter(|| black_box(welch(&mut planner, &sig, 1.0, WelchConfig::default())))
+    });
+
+    // Goertzel single-bin evaluation.
+    c.bench_function("goertzel/2880_one_bin", |b| {
+        b.iter(|| black_box(goertzel_power(&sig, 1.0, 0.01)))
+    });
+
+    // Fourier resampling (the §4.3 reconstruction workhorse).
+    c.bench_function("resample/up_288_to_2880", |b| {
+        let mut planner = FftPlanner::new();
+        let coarse = signal(288);
+        b.iter(|| black_box(resample_fft(&mut planner, &coarse, 2880)))
+    });
+
+    // End-to-end §3.2 estimation of a day-long trace.
+    c.bench_function("estimator/day_trace_2880", |b| {
+        let mut est = NyquistEstimator::new(NyquistConfig::default());
+        let series = RegularSeries::new(Seconds::ZERO, Seconds(30.0), sig.clone());
+        b.iter(|| black_box(est.estimate_series(&series)))
+    });
+    let _ = Hertz(1.0); // keep the import used in all cfgs
+}
+
+criterion_group! {
+    name = benches;
+    config = sweetspot_bench::kernel_criterion();
+    targets = bench
+}
+
+fn main() {
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

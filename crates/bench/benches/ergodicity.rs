@@ -1,0 +1,85 @@
+//! **A5 / §6 "Beyond Nyquist"** — the ergodicity probe: does one device's
+//! time-average represent the fleet (the canarying assumption), and how long
+//! must it be observed?
+
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+use sweetspot_core::ergodicity::{convergence_horizon, ergodicity_report, subsample_curve};
+use sweetspot_telemetry::{DeviceTrace, MetricKind, MetricProfile};
+use sweetspot_timeseries::{RegularSeries, Seconds};
+
+/// CPU-utilization fleet sampled at 1-minute cadence for `days`.
+fn fleet(seed: u64, devices: usize, days: f64, heterogeneous: bool) -> Vec<RegularSeries> {
+    let profile = MetricProfile::for_kind(MetricKind::CpuUtil5pct);
+    (0..devices)
+        .map(|i| {
+            // Homogeneous fleets share one device's process (different
+            // phases via different start offsets); heterogeneous fleets are
+            // genuinely different devices.
+            let dev = DeviceTrace::synthesize(profile, if heterogeneous { i } else { 0 }, seed);
+            let start = if heterogeneous {
+                Seconds::ZERO
+            } else {
+                Seconds(i as f64 * 10_000.0)
+            };
+            let n = (days * 86_400.0 / 60.0) as usize;
+            let vals = (0..n)
+                .map(|k| dev.model().value_at(start.value() + k as f64 * 60.0))
+                .collect();
+            RegularSeries::new(Seconds::ZERO, Seconds(60.0), vals)
+        })
+        .collect()
+}
+
+fn print_figure() {
+    println!("A5: ergodicity probe (CPU utilization, 12 devices, 4 days at 1-min)");
+    for (label, hetero) in [("homogeneous", false), ("heterogeneous", true)] {
+        let traces = fleet(0xE56, 12, 4.0, hetero);
+        let r = ergodicity_report(&traces);
+        let horizon = convergence_horizon(&traces[0], r.mean_ensemble_average, 2.0);
+        println!(
+            "  {label:<13}: score={:.3}  device-spread={:.2}  ensemble-spread={:.2}  \
+             2%-horizon={}",
+            r.score,
+            r.time_average_spread,
+            r.ensemble_average_spread,
+            horizon.map_or("never".into(), |h| h.to_string()),
+        );
+    }
+    println!("  → canarying is sound on the homogeneous fleet, unsound on the heterogeneous one");
+
+    // The §6 question "can ergodicity reduce the number of devices we need
+    // to sample?": error of a k-device canary against the fleet mean.
+    println!("  devices sampled vs canary error (relative to fleet σ):");
+    for (label, hetero) in [("homogeneous", false), ("heterogeneous", true)] {
+        let traces = fleet(0xE56, 12, 4.0, hetero);
+        let curve = subsample_curve(&traces, &[1, 2, 4, 8, 12]);
+        let cells: Vec<String> = curve
+            .iter()
+            .map(|p| format!("k={}: {:.3}", p.devices, p.relative_error))
+            .collect();
+        println!("    {label:<13}: {}", cells.join("  "));
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    let traces = fleet(0xE56, 8, 2.0, true);
+    c.bench_function("ergodicity/report_8dev_2day", |b| {
+        b.iter(|| black_box(ergodicity_report(&traces)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = sweetspot_bench::experiment_criterion();
+    targets = bench
+}
+
+fn main() {
+    print_figure();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

@@ -1,0 +1,44 @@
+//! **E1 / Figure 1** — fraction of devices sampling above the Nyquist rate,
+//! per metric. Prints the bar chart at fleet scale, then times the study.
+
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+use sweetspot_analysis::experiments::fig1;
+use sweetspot_analysis::study::StudyConfig;
+use sweetspot_telemetry::FleetConfig;
+use sweetspot_timeseries::Seconds;
+
+fn study_config(devices: usize) -> StudyConfig {
+    StudyConfig {
+        fleet: FleetConfig {
+            seed: 0xF1_6001,
+            devices_per_metric: devices,
+            trace_duration: Seconds::from_days(1.0),
+        },
+        ..StudyConfig::default()
+    }
+}
+
+fn print_figure() {
+    println!("{}", fig1::run(study_config(40)).render());
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig1/study_4_devices_per_metric", |b| {
+        b.iter(|| black_box(fig1::run(study_config(4))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = sweetspot_bench::experiment_criterion();
+    targets = bench
+}
+
+fn main() {
+    print_figure();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

@@ -1,0 +1,29 @@
+//! **E2 / Figure 2** — spectral copies under different sampling rates.
+
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+use sweetspot_analysis::experiments::fig2;
+
+fn print_figure() {
+    println!("{}", fig2::run(100.0, &[400.0, 250.0, 150.0, 90.0], 4.0).render());
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig2/four_rates_4s", |b| {
+        b.iter(|| black_box(fig2::run(100.0, &[400.0, 250.0, 150.0, 90.0], 4.0)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = sweetspot_bench::experiment_criterion();
+    targets = bench
+}
+
+fn main() {
+    print_figure();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

@@ -1,0 +1,28 @@
+//! **E3 / Figure 3** — the 400+440 Hz two-tone at 890/800/600 Hz: spectra
+//! and reconstruction quality per variant.
+
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+use sweetspot_analysis::experiments::fig3;
+
+fn print_figure() {
+    println!("{}", fig3::run(2.0).render());
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig3/two_tone_2s", |b| b.iter(|| black_box(fig3::run(2.0))));
+}
+
+criterion_group! {
+    name = benches;
+    config = sweetspot_bench::experiment_criterion();
+    targets = bench
+}
+
+fn main() {
+    print_figure();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

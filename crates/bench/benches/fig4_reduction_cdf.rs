@@ -1,0 +1,75 @@
+//! **E4 / Figure 4** — CDFs of the possible reduction ratio per metric.
+//! Prints three representative ASCII panels and all panel quantiles.
+
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+use sweetspot_analysis::experiments::fig4;
+use sweetspot_analysis::study::{FleetStudy, StudyConfig};
+use sweetspot_telemetry::{FleetConfig, MetricKind};
+use sweetspot_timeseries::Seconds;
+
+fn study_config(devices: usize) -> StudyConfig {
+    StudyConfig {
+        fleet: FleetConfig {
+            seed: 0xF1_6004,
+            devices_per_metric: devices,
+            trace_duration: Seconds::from_days(1.0),
+        },
+        ..StudyConfig::default()
+    }
+}
+
+fn print_figure() {
+    let fig = fig4::run(study_config(40));
+    println!("Figure 4 panel quantiles (40 devices/metric):");
+    for p in &fig.panels {
+        if p.cdf.is_empty() {
+            continue;
+        }
+        println!(
+            "  [{:<18}] n={:<3} median={:>7.1}x  p90={:>7.1}x  max={:>7.1}x",
+            p.kind.name(),
+            p.cdf.len(),
+            p.cdf.quantile(0.5),
+            p.cdf.quantile(0.9),
+            p.cdf.quantile(1.0)
+        );
+    }
+    println!();
+    for kind in [MetricKind::Temperature, MetricKind::FcsErrors] {
+        if let Some(panel) = fig.panels.iter().find(|p| p.kind == kind) {
+            println!(
+                "{}",
+                sweetspot_analysis::report::cdf_ascii(
+                    &format!("[{}]", kind),
+                    &panel.cdf,
+                    0..4
+                )
+            );
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let study = FleetStudy::run(study_config(8));
+    c.bench_function("fig4/cdfs_from_study", |b| {
+        b.iter(|| black_box(fig4::from_study(&study)))
+    });
+    c.bench_function("fig4/study_8_devices_per_metric", |b| {
+        b.iter(|| black_box(FleetStudy::run(study_config(8))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = sweetspot_bench::experiment_criterion();
+    targets = bench
+}
+
+fn main() {
+    print_figure();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

@@ -1,0 +1,44 @@
+//! **E5 / Figure 5** — box plot of estimated Nyquist rates per metric.
+
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+use sweetspot_analysis::experiments::fig5;
+use sweetspot_analysis::study::{FleetStudy, StudyConfig};
+use sweetspot_telemetry::FleetConfig;
+use sweetspot_timeseries::Seconds;
+
+fn study_config(devices: usize) -> StudyConfig {
+    StudyConfig {
+        fleet: FleetConfig {
+            seed: 0xF1_6005,
+            devices_per_metric: devices,
+            trace_duration: Seconds::from_days(1.0),
+        },
+        ..StudyConfig::default()
+    }
+}
+
+fn print_figure() {
+    println!("{}", fig5::run(study_config(40)).render());
+}
+
+fn bench(c: &mut Criterion) {
+    let study = FleetStudy::run(study_config(8));
+    c.bench_function("fig5/boxplot_from_study", |b| {
+        b.iter(|| black_box(fig5::from_study(&study)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = sweetspot_bench::experiment_criterion();
+    targets = bench
+}
+
+fn main() {
+    print_figure();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

@@ -1,0 +1,30 @@
+//! **E6 / Figure 6** — temperature downsample-to-Nyquist → reconstruct;
+//! the L2 ≈ 0 demonstration.
+
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+use sweetspot_analysis::experiments::fig6;
+
+fn print_figure() {
+    println!("{}", fig6::run(0xF16, 7.0).render());
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig6/week_of_5min_polls", |b| {
+        b.iter(|| black_box(fig6::run(0xF16, 7.0)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = sweetspot_bench::experiment_criterion();
+    targets = bench
+}
+
+fn main() {
+    print_figure();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

@@ -1,0 +1,30 @@
+//! **E7 / Figure 7** — the inferred Nyquist rate over time (6-hour moving
+//! window stepping every 5 minutes).
+
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+use sweetspot_analysis::experiments::fig7;
+
+fn print_figure() {
+    println!("{}", fig7::run(0xF16, 7.0).render());
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("fig7/track_week_6h_windows", |b| {
+        b.iter(|| black_box(fig7::run(0xF16, 7.0)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = sweetspot_bench::experiment_criterion();
+    targets = bench
+}
+
+fn main() {
+    print_figure();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

@@ -1,0 +1,57 @@
+//! **E8 / headline statistics** — the §3.2 text numbers at paper scale:
+//! 1613 metric-device pairs, one day of data each.
+
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+use sweetspot_analysis::experiments::headline;
+use sweetspot_analysis::study::{FleetStudy, StudyConfig};
+use sweetspot_telemetry::{Fleet, FleetConfig};
+use sweetspot_timeseries::Seconds;
+
+fn print_figure() {
+    let fleet = Fleet::paper_scale(0x5EED_CAFE);
+    let cfg = StudyConfig {
+        fleet: *fleet.config(),
+        ..StudyConfig::default()
+    };
+    let study = FleetStudy::run_on(&fleet, cfg);
+    println!("{}", headline::from_study(&study).render());
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("headline/study_1613_pairs", |b| {
+        b.iter(|| {
+            let fleet = Fleet::paper_scale(0x5EED_CAFE);
+            let cfg = StudyConfig {
+                fleet: *fleet.config(),
+                ..StudyConfig::default()
+            };
+            black_box(FleetStudy::run_on(&fleet, cfg).summary())
+        })
+    });
+    c.bench_function("headline/small_fleet_summary", |b| {
+        let cfg = StudyConfig {
+            fleet: FleetConfig {
+                seed: 0xE8,
+                devices_per_metric: 4,
+                trace_duration: Seconds::from_days(1.0),
+            },
+            ..StudyConfig::default()
+        };
+        b.iter(|| black_box(FleetStudy::run(cfg).summary()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = sweetspot_bench::experiment_criterion();
+    targets = bench
+}
+
+fn main() {
+    print_figure();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

@@ -1,0 +1,33 @@
+//! **E9 / the title experiment** — the cost-vs-quality frontier, its knee,
+//! and the §4 policies placed on the same axes.
+
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+use sweetspot_analysis::experiments::sweetspot;
+
+fn print_figure() {
+    println!(
+        "{}",
+        sweetspot::run(0x54EE7, 4, 3.0, &[0.01, 0.03, 0.1, 0.3, 1.0, 3.0]).render()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("sweet_spot/2dev_2day_3rates", |b| {
+        b.iter(|| black_box(sweetspot::run(0x54EE7, 1, 2.0, &[0.1, 1.0, 3.0])))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = sweetspot_bench::experiment_criterion();
+    targets = bench
+}
+
+fn main() {
+    print_figure();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

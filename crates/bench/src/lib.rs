@@ -1,0 +1,27 @@
+//! Shared helpers for the figure-regeneration benches.
+//!
+//! Every bench in `benches/` follows the same pattern: print the figure's
+//! rows/series once (so `cargo bench` doubles as the reproduction harness),
+//! then time the computation that generates them with criterion.
+
+use std::time::Duration;
+
+/// Criterion configuration tuned for experiment-scale benchmarks: few
+/// samples, short measurement windows — these benches exist to regenerate
+/// figures reproducibly, not to microbenchmark.
+pub fn experiment_criterion() -> criterion::Criterion {
+    criterion::Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+        .configure_from_args()
+}
+
+/// Criterion configuration for DSP kernel microbenchmarks.
+pub fn kernel_criterion() -> criterion::Criterion {
+    criterion::Criterion::default()
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3))
+        .configure_from_args()
+}

@@ -1,0 +1,531 @@
+//! The §4.2 dynamic sampling controller.
+//!
+//! State machine, following the paper's strawman:
+//!
+//! * **Probe mode** — "Initially, we do not know the Nyquist rate of the
+//!   underlying signal and so we must probe, i.e., multiplicatively increase
+//!   the measurement rate along with the method in Section 4.1 … While
+//!   aliasing persists, we remain in probe mode."
+//! * **Steady mode** — "Once we no longer detect aliasing, we use the method
+//!   in Section 3.2 which will successfully identify the Nyquist rate of the
+//!   signal." The controller then samples at `headroom × estimate` and keeps
+//!   verifying with the dual-rate check.
+//! * **Adaptive decrease** — "we can optimize the system by also adaptively
+//!   decreasing the sampling rate if we observe the Nyquist rate returning
+//!   to a lower value" — applied after `decrease_patience` consecutive
+//!   epochs of substantially lower estimates (hysteresis).
+//! * **Memory** — "We can even 'remember' previous maximum Nyquist rates to
+//!   ramp up more quickly in the future": on re-entering probe mode the
+//!   controller jumps straight to the remembered maximum.
+//!
+//! ### Headroom floor
+//!
+//! Steady-state verification samples a companion stream at `rate/φ`
+//! (φ ≈ 1.618, guaranteeing the non-integer ratio of §4.1). The companion's
+//! band check covers `rate/(2φ)`, so continuous verification is only stable
+//! when `rate ≥ 2φ·band_edge` — an effective headroom of ≈1.62× the Nyquist
+//! rate. [`AdaptiveSampler::new`] therefore clamps `headroom` up to
+//! [`MIN_VERIFY_HEADROOM`]; this is itself a finding about the *real* cost
+//! of the paper's always-on detector.
+
+use crate::aliasing::{companion_rate, detect_aliasing, DualRateConfig};
+use crate::estimator::{NyquistConfig, NyquistEstimate, NyquistEstimator};
+use crate::source::SignalSource;
+use sweetspot_timeseries::{Hertz, Seconds};
+
+/// Minimum steady-state headroom compatible with continuous dual-rate
+/// verification (see module docs).
+pub const MIN_VERIFY_HEADROOM: f64 = 1.65;
+
+/// Minimum samples per epoch window for the detector/estimator to be
+/// meaningful; shorter windows are auto-extended.
+const MIN_EPOCH_SAMPLES: usize = 64;
+
+/// Controller mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Multiplicatively increasing the rate until aliasing clears.
+    Probe,
+    /// Tracking `headroom × estimated Nyquist`.
+    Steady,
+}
+
+/// Controller configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AdaptiveConfig {
+    /// Rate used for the very first epoch.
+    pub initial_rate: Hertz,
+    /// Lowest rate the controller will settle to.
+    pub min_rate: Hertz,
+    /// Polling ceiling (physical/SNMP limits).
+    pub max_rate: Hertz,
+    /// Steady-state rate = `headroom × estimated Nyquist rate`. Clamped up
+    /// to [`MIN_VERIFY_HEADROOM`].
+    pub headroom: f64,
+    /// Rate multiplier while probing (paper: multiplicative increase).
+    pub probe_multiplier: f64,
+    /// Consecutive low-estimate epochs required before decreasing.
+    pub decrease_patience: usize,
+    /// A new target must be below `decrease_threshold × current` to count
+    /// toward the patience counter (hysteresis).
+    pub decrease_threshold: f64,
+    /// Remember past maxima and re-ramp to them directly.
+    pub memory: bool,
+    /// Nominal epoch window (auto-extended at very low rates so the window
+    /// holds at least 64 samples).
+    pub epoch: Seconds,
+    /// Estimator settings (§3.2).
+    pub estimator: NyquistConfig,
+    /// Detector settings (§4.1).
+    pub detector: DualRateConfig,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            initial_rate: Hertz(1.0),
+            min_rate: Hertz(1e-6),
+            max_rate: Hertz(100.0),
+            headroom: MIN_VERIFY_HEADROOM,
+            probe_multiplier: 2.0,
+            decrease_patience: 3,
+            decrease_threshold: 0.7,
+            memory: true,
+            epoch: Seconds(600.0),
+            estimator: NyquistConfig::default(),
+            detector: DualRateConfig::default(),
+        }
+    }
+}
+
+/// What happened in one adaptation epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochReport {
+    /// Epoch number (0-based).
+    pub index: usize,
+    /// Window start time.
+    pub start: Seconds,
+    /// Window duration actually used (≥ configured epoch).
+    pub duration: Seconds,
+    /// Mode during this epoch.
+    pub mode: Mode,
+    /// Primary sampling rate used.
+    pub primary_rate: Hertz,
+    /// Companion (verification) rate used.
+    pub secondary_rate: Hertz,
+    /// Dual-rate detector verdict for this window.
+    pub aliased: bool,
+    /// §3.2 estimate from the primary window (None when the estimator itself
+    /// says "aliased").
+    pub estimate: Option<Hertz>,
+    /// Total samples acquired this epoch (primary + companion streams).
+    pub samples_taken: usize,
+    /// Rate chosen for the next epoch.
+    pub next_rate: Hertz,
+}
+
+/// The dynamic sampler.
+pub struct AdaptiveSampler {
+    config: AdaptiveConfig,
+    estimator: NyquistEstimator,
+    mode: Mode,
+    rate: Hertz,
+    remembered_max: Option<Hertz>,
+    low_streak: usize,
+    epoch_index: usize,
+}
+
+impl AdaptiveSampler {
+    /// Creates a controller.
+    ///
+    /// # Panics
+    /// Panics on inconsistent configuration (non-positive rates,
+    /// `min > max`, `probe_multiplier <= 1`, non-positive epoch).
+    pub fn new(mut config: AdaptiveConfig) -> Self {
+        assert!(config.initial_rate.value() > 0.0, "initial_rate must be positive");
+        assert!(config.min_rate.value() > 0.0, "min_rate must be positive");
+        assert!(
+            config.min_rate.value() <= config.max_rate.value(),
+            "min_rate must not exceed max_rate"
+        );
+        assert!(config.probe_multiplier > 1.0, "probe_multiplier must exceed 1");
+        assert!(config.epoch.value() > 0.0, "epoch must be positive");
+        assert!(
+            (0.0..1.0).contains(&config.decrease_threshold),
+            "decrease_threshold must be in (0,1)"
+        );
+        config.headroom = config.headroom.max(MIN_VERIFY_HEADROOM);
+        let rate = Hertz(
+            config
+                .initial_rate
+                .value()
+                .clamp(config.min_rate.value(), config.max_rate.value()),
+        );
+        AdaptiveSampler {
+            estimator: NyquistEstimator::new(config.estimator),
+            config,
+            mode: Mode::Probe,
+            rate,
+            remembered_max: None,
+            low_streak: 0,
+            epoch_index: 0,
+        }
+    }
+
+    /// Current mode.
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// Rate the next epoch will use.
+    pub fn current_rate(&self) -> Hertz {
+        self.rate
+    }
+
+    /// Highest Nyquist estimate seen so far (the §4.2 "memory").
+    pub fn remembered_max(&self) -> Option<Hertz> {
+        self.remembered_max
+    }
+
+    /// Runs one adaptation epoch starting at `start` and returns the report.
+    pub fn step<S: SignalSource>(&mut self, source: &mut S, start: Seconds) -> EpochReport {
+        let primary = self.rate;
+        let secondary = companion_rate(primary);
+        // Extend the window until the *slower* stream holds enough samples.
+        let min_duration = MIN_EPOCH_SAMPLES as f64 / secondary.value();
+        let duration = Seconds(self.config.epoch.value().max(min_duration));
+
+        let fast = source.sample(start, primary, duration);
+        let slow = source.sample(start, secondary, duration);
+        let samples_taken = fast.len() + slow.len();
+
+        let verdict = detect_aliasing(&fast, &slow, self.config.detector);
+        let estimate = self.estimator.estimate_series(&fast);
+        let aliased = verdict.aliased || estimate.is_aliased();
+
+        let mode_now = self.mode;
+        if let NyquistEstimate::Rate(r) = estimate {
+            if !aliased {
+                let best = self.remembered_max.map_or(0.0, |m| m.value());
+                if r.value() > best {
+                    self.remembered_max = Some(r);
+                }
+            }
+        }
+
+        let next = if aliased {
+            self.mode = Mode::Probe;
+            self.low_streak = 0;
+            let escalated = primary.value() * self.config.probe_multiplier;
+            let target = if self.config.memory {
+                // Fast re-ramp: jump straight to the remembered requirement.
+                let remembered = self
+                    .remembered_max
+                    .map_or(0.0, |m| m.value() * self.config.headroom);
+                escalated.max(remembered)
+            } else {
+                escalated
+            };
+            Hertz(target.clamp(self.config.min_rate.value(), self.config.max_rate.value()))
+        } else {
+            let nyq = estimate.rate().expect("not aliased").value();
+            let target = (nyq * self.config.headroom)
+                .clamp(self.config.min_rate.value(), self.config.max_rate.value());
+            match self.mode {
+                Mode::Probe => {
+                    // Found the rate: settle directly.
+                    self.mode = Mode::Steady;
+                    self.low_streak = 0;
+                    Hertz(target)
+                }
+                Mode::Steady => {
+                    if target > primary.value() {
+                        // Content rose but has not aliased yet (headroom did
+                        // its job): follow it up immediately.
+                        self.low_streak = 0;
+                        Hertz(target)
+                    } else if target < primary.value() * self.config.decrease_threshold {
+                        self.low_streak += 1;
+                        if self.low_streak >= self.config.decrease_patience {
+                            self.low_streak = 0;
+                            Hertz(target)
+                        } else {
+                            primary
+                        }
+                    } else {
+                        self.low_streak = 0;
+                        primary
+                    }
+                }
+            }
+        };
+
+        let report = EpochReport {
+            index: self.epoch_index,
+            start,
+            duration,
+            mode: mode_now,
+            primary_rate: primary,
+            secondary_rate: secondary,
+            aliased,
+            estimate: estimate.rate(),
+            samples_taken,
+            next_rate: next,
+        };
+        self.rate = next;
+        self.epoch_index += 1;
+        report
+    }
+
+    /// Runs epochs back-to-back from `t = 0` until `total` time is covered.
+    pub fn run<S: SignalSource>(&mut self, source: &mut S, total: Seconds) -> Vec<EpochReport> {
+        let mut reports = Vec::new();
+        let mut t = Seconds::ZERO;
+        while t.value() < total.value() {
+            let r = self.step(source, t);
+            t = t + r.duration;
+            reports.push(r);
+        }
+        reports
+    }
+}
+
+/// Total acquisition cost (samples) of a run.
+pub fn total_samples(reports: &[EpochReport]) -> usize {
+    reports.iter().map(|r| r.samples_taken).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::FunctionSource;
+    use std::f64::consts::PI;
+
+    /// Band-limited test signal: tones at `edge/4` and `edge`.
+    fn band_signal(edge: f64) -> impl FnMut(f64) -> f64 {
+        move |t| {
+            (2.0 * PI * edge * 0.25 * t).sin() + 0.6 * (2.0 * PI * edge * t).sin()
+        }
+    }
+
+    fn config(initial: f64, epoch: f64) -> AdaptiveConfig {
+        AdaptiveConfig {
+            initial_rate: Hertz(initial),
+            min_rate: Hertz(1e-4),
+            max_rate: Hertz(64.0),
+            epoch: Seconds(epoch),
+            ..AdaptiveConfig::default()
+        }
+    }
+
+    #[test]
+    fn undersampled_start_probes_up_and_settles() {
+        let edge = 0.5; // true Nyquist sampling rate = 1.0 Hz
+        let mut source = FunctionSource::new(band_signal(edge));
+        // Start at 0.3 Hz — well under the signal's Nyquist rate.
+        let mut ctl = AdaptiveSampler::new(config(0.3, 2000.0));
+        let reports = ctl.run(&mut source, Seconds(30_000.0));
+
+        assert_eq!(reports[0].mode, Mode::Probe);
+        assert!(reports[0].aliased, "initial rate must alias");
+        // Rates increase multiplicatively during the probe phase.
+        let probe_rates: Vec<f64> = reports
+            .iter()
+            .take_while(|r| r.mode == Mode::Probe)
+            .map(|r| r.primary_rate.value())
+            .collect();
+        assert!(probe_rates.len() >= 2, "should take multiple probe epochs");
+        for w in probe_rates.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        // Eventually steady, at ≥ the true Nyquist rate but far below max.
+        let last = reports.last().unwrap();
+        assert_eq!(ctl.mode(), Mode::Steady);
+        assert!(!last.aliased);
+        assert!(
+            last.primary_rate.value() >= 1.0 && last.primary_rate.value() <= 6.0,
+            "settled at {}",
+            last.primary_rate
+        );
+    }
+
+    #[test]
+    fn oversampled_start_drops_quickly() {
+        let edge = 0.05; // Nyquist rate 0.1 Hz
+        let mut source = FunctionSource::new(band_signal(edge));
+        // Start 100× above the Nyquist rate.
+        let mut ctl = AdaptiveSampler::new(config(10.0, 5000.0));
+        let reports = ctl.run(&mut source, Seconds(40_000.0));
+        let first = &reports[0];
+        assert!(!first.aliased);
+        // One epoch is enough to find the right rate.
+        assert!(
+            first.next_rate.value() < 1.0,
+            "should drop from 10 Hz to ≈0.17 Hz, got {}",
+            first.next_rate
+        );
+        let last = reports.last().unwrap();
+        assert!(last.primary_rate.value() < 0.5);
+        assert!(!last.aliased);
+    }
+
+    #[test]
+    fn respects_max_rate_ceiling() {
+        // Band edge so high the ceiling cannot resolve it.
+        let mut source = FunctionSource::new(|t: f64| (2.0 * PI * 40.0 * t).sin());
+        let mut ctl = AdaptiveSampler::new(AdaptiveConfig {
+            initial_rate: Hertz(1.0),
+            max_rate: Hertz(16.0),
+            min_rate: Hertz(1e-4),
+            epoch: Seconds(100.0),
+            ..AdaptiveConfig::default()
+        });
+        let reports = ctl.run(&mut source, Seconds(2000.0));
+        for r in &reports {
+            assert!(r.primary_rate.value() <= 16.0 + 1e-12);
+            assert!(r.next_rate.value() <= 16.0 + 1e-12);
+        }
+        // Never able to clear aliasing → still probing at the ceiling.
+        assert_eq!(reports.last().unwrap().mode, Mode::Probe);
+    }
+
+    #[test]
+    fn decrease_needs_patience() {
+        // Signal whose high tone vanishes halfway through the run.
+        let mut source = FunctionSource::new(|t: f64| {
+            let base = (2.0 * PI * 0.01 * t).sin();
+            if t < 40_000.0 {
+                base + 0.8 * (2.0 * PI * 0.2 * t).sin()
+            } else {
+                base
+            }
+        });
+        let mut ctl = AdaptiveSampler::new(AdaptiveConfig {
+            initial_rate: Hertz(2.0),
+            min_rate: Hertz(1e-4),
+            max_rate: Hertz(64.0),
+            epoch: Seconds(4000.0),
+            decrease_patience: 3,
+            ..AdaptiveConfig::default()
+        });
+        let reports = ctl.run(&mut source, Seconds(120_000.0));
+        let early = reports.iter().find(|r| r.start.value() < 30_000.0).unwrap();
+        let late = reports.last().unwrap();
+        assert!(
+            late.primary_rate.value() < early.primary_rate.value() / 3.0,
+            "late rate {} should be well below early {}",
+            late.primary_rate,
+            early.primary_rate
+        );
+        // The drop must not happen on the first low estimate.
+        let steady_after_change: Vec<&EpochReport> = reports
+            .iter()
+            .filter(|r| r.start.value() >= 40_000.0 && r.mode == Mode::Steady)
+            .collect();
+        if steady_after_change.len() >= 2 {
+            assert_eq!(
+                steady_after_change[0].next_rate, steady_after_change[0].primary_rate,
+                "first low epoch must hold the rate (patience)"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_reramps_faster_than_no_memory() {
+        // Two identical flap episodes separated by a quiet stretch. The
+        // first episode is long enough (10 epochs) for the probe ladder to
+        // clear aliasing and *record* the required rate; the recurrence then
+        // separates the two strategies.
+        let flappy = |t: f64| {
+            let base = (2.0 * PI * 0.005 * t).sin();
+            let flap = |t0: f64, t1: f64, t: f64| {
+                if t >= t0 && t < t1 {
+                    0.9 * (2.0 * PI * 0.5 * t).sin()
+                } else {
+                    0.0
+                }
+            };
+            base + flap(50_000.0, 100_000.0, t) + flap(160_000.0, 210_000.0, t)
+        };
+        let run = |memory: bool| {
+            let mut source = FunctionSource::new(flappy);
+            let mut ctl = AdaptiveSampler::new(AdaptiveConfig {
+                initial_rate: Hertz(0.05),
+                min_rate: Hertz(1e-4),
+                max_rate: Hertz(64.0),
+                epoch: Seconds(5000.0),
+                memory,
+                ..AdaptiveConfig::default()
+            });
+            ctl.run(&mut source, Seconds(250_000.0))
+        };
+        let with_memory = run(true);
+        let without_memory = run(false);
+        // Count probe (aliased) epochs during the *second* flap.
+        let probes = |reports: &[EpochReport]| {
+            reports
+                .iter()
+                .filter(|r| r.start.value() >= 160_000.0 && r.start.value() < 210_000.0)
+                .filter(|r| r.aliased)
+                .count()
+        };
+        let with_count = probes(&with_memory);
+        let without_count = probes(&without_memory);
+        assert!(
+            with_count < without_count,
+            "memory ({with_count} probe epochs) must re-ramp faster than \
+             no-memory ({without_count})"
+        );
+        // And memory should reach a non-aliased epoch during the second flap.
+        assert!(with_memory
+            .iter()
+            .any(|r| r.start.value() >= 160_000.0 && r.start.value() < 210_000.0 && !r.aliased));
+    }
+
+    #[test]
+    fn headroom_floor_enforced() {
+        let ctl = AdaptiveSampler::new(AdaptiveConfig {
+            headroom: 1.0,
+            ..AdaptiveConfig::default()
+        });
+        assert!(ctl.config.headroom >= MIN_VERIFY_HEADROOM);
+    }
+
+    #[test]
+    fn epoch_window_extends_for_slow_rates() {
+        let mut source = FunctionSource::new(|t: f64| (2.0 * PI * 1e-4 * t).sin());
+        let mut ctl = AdaptiveSampler::new(AdaptiveConfig {
+            initial_rate: Hertz(0.001),
+            min_rate: Hertz(1e-6),
+            max_rate: Hertz(1.0),
+            epoch: Seconds(10.0), // nominal epoch is far too short
+            ..AdaptiveConfig::default()
+        });
+        let r = ctl.step(&mut source, Seconds::ZERO);
+        // Companion rate ≈ 0.000618 → 64 samples need ≥ ~103k s.
+        assert!(r.duration.value() >= 64.0 / r.secondary_rate.value() * 0.99);
+        assert!(r.samples_taken >= 64);
+    }
+
+    #[test]
+    fn cost_accounting_sums_epochs() {
+        let mut source = FunctionSource::new(|t: f64| (2.0 * PI * 0.01 * t).sin());
+        let mut ctl = AdaptiveSampler::new(config(1.0, 1000.0));
+        let reports = ctl.run(&mut source, Seconds(5000.0));
+        let total = total_samples(&reports);
+        assert_eq!(
+            total,
+            reports.iter().map(|r| r.samples_taken).sum::<usize>()
+        );
+        assert!(total > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probe_multiplier")]
+    fn bad_multiplier_panics() {
+        AdaptiveSampler::new(AdaptiveConfig {
+            probe_multiplier: 1.0,
+            ..AdaptiveConfig::default()
+        });
+    }
+}

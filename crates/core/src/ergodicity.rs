@@ -1,0 +1,301 @@
+//! Ergodicity probing (§6, "Beyond Nyquist").
+//!
+//! The paper: *"Samples from the system are ergodic if the statistical
+//! properties of a set of samples derived from a single CPU over a
+//! sufficiently long sequence of time are equivalent to those of a set of
+//! samples derived from measuring the entire fleet at once. … Extrapolating
+//! canary results to other devices relies on ergodicity. Does this assumption
+//! hold in practice? How long of an observation period is required?"*
+//!
+//! This module answers those questions for a set of co-sampled traces: it
+//! compares per-device time averages with instant fleet-ensemble averages and
+//! computes the observation horizon after which a single device's running
+//! average stays within a tolerance of the ensemble mean.
+
+use sweetspot_dsp::stats;
+use sweetspot_timeseries::{RegularSeries, Seconds};
+
+/// Fleet-level ergodicity diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ErgodicityReport {
+    /// Mean of each device's time-average.
+    pub mean_time_average: f64,
+    /// Mean of the per-instant ensemble averages (equals
+    /// `mean_time_average` when all traces are equally long — both average
+    /// the same sample set; the interesting signal is the spreads below).
+    pub mean_ensemble_average: f64,
+    /// Standard deviation of per-device time averages — how much devices
+    /// disagree with each other (large ⇒ heterogeneous fleet ⇒ canarying is
+    /// risky).
+    pub time_average_spread: f64,
+    /// Standard deviation of per-instant ensemble averages — how much the
+    /// fleet-wide mean moves over time.
+    pub ensemble_average_spread: f64,
+    /// The ergodicity score in `[0, 1]`: 1 − normalized device spread.
+    /// Near 1 ⇒ any device represents the fleet; near 0 ⇒ it does not.
+    pub score: f64,
+}
+
+/// Computes the ergodicity diagnostics over equally-shaped traces.
+///
+/// # Panics
+/// Panics if `traces` is empty or lengths differ.
+pub fn ergodicity_report(traces: &[RegularSeries]) -> ErgodicityReport {
+    assert!(!traces.is_empty(), "need at least one trace");
+    let n = traces[0].len();
+    assert!(n > 0, "traces must be non-empty");
+    assert!(
+        traces.iter().all(|t| t.len() == n),
+        "traces must be equally long"
+    );
+
+    let time_avgs: Vec<f64> = traces.iter().map(|t| stats::mean(t.values())).collect();
+    let ensemble_avgs: Vec<f64> = (0..n)
+        .map(|k| {
+            traces.iter().map(|t| t.values()[k]).sum::<f64>() / traces.len() as f64
+        })
+        .collect();
+
+    let mean_time = stats::mean(&time_avgs);
+    let mean_ens = stats::mean(&ensemble_avgs);
+    let spread_time = stats::stddev(&time_avgs);
+    let spread_ens = stats::stddev(&ensemble_avgs);
+
+    // Normalize the device spread by the overall variability of the data so
+    // the score is scale-free.
+    let all_values: Vec<f64> = traces
+        .iter()
+        .flat_map(|t| t.values().iter().copied())
+        .collect();
+    let total_std = stats::stddev(&all_values);
+    let score = if total_std > 0.0 {
+        (1.0 - spread_time / total_std).clamp(0.0, 1.0)
+    } else {
+        1.0
+    };
+
+    ErgodicityReport {
+        mean_time_average: mean_time,
+        mean_ensemble_average: mean_ens,
+        time_average_spread: spread_time,
+        ensemble_average_spread: spread_ens,
+        score,
+    }
+}
+
+/// The §6 "how long must we observe?" question: the earliest time after
+/// which `device`'s running average stays within `tolerance` of
+/// `ensemble_mean` for the remainder of the trace. `None` if it never
+/// converges.
+///
+/// # Panics
+/// Panics if the trace is empty or `tolerance` is not positive.
+pub fn convergence_horizon(
+    device: &RegularSeries,
+    ensemble_mean: f64,
+    tolerance: f64,
+) -> Option<Seconds> {
+    assert!(!device.is_empty(), "trace must be non-empty");
+    assert!(tolerance > 0.0, "tolerance must be positive");
+    let values = device.values();
+    // Running averages (prefix means).
+    let mut running = Vec::with_capacity(values.len());
+    let mut acc = 0.0;
+    for (i, &v) in values.iter().enumerate() {
+        acc += v;
+        running.push(acc / (i + 1) as f64);
+    }
+    // Earliest index from which all later running means are within tolerance.
+    let mut horizon = None;
+    for (i, &m) in running.iter().enumerate().rev() {
+        if (m - ensemble_mean).abs() <= tolerance {
+            horizon = Some(i);
+        } else {
+            break;
+        }
+    }
+    horizon.map(|i| device.time_of(i))
+}
+
+/// One point of the device-subsampling curve (§6: "Is there a way to
+/// leverage ergodicity to reduce the number of devices that we need to
+/// sample?").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubsamplePoint {
+    /// Number of devices in the subsample.
+    pub devices: usize,
+    /// Absolute error of the k-device grand mean (time × subset average —
+    /// what canarying reports) against the full fleet's grand mean,
+    /// normalized by the fleet's overall standard deviation. Averaged over
+    /// all circular rotations of the device list.
+    pub relative_error: f64,
+}
+
+/// How well `k` devices' *time-averaged* statistics stand in for the whole
+/// fleet, for each `k` in `ks` — the canarying question made quantitative.
+///
+/// On an ergodic (homogeneous) fleet the error is near zero already at
+/// `k = 1`: any device's time average matches the fleet. On a
+/// heterogeneous fleet it decays only as more devices are averaged in.
+/// Rotations are deterministic (no RNG), so results are reproducible.
+///
+/// # Panics
+/// Panics if `traces` is empty, lengths differ, or any `k` is zero or
+/// exceeds the fleet size.
+pub fn subsample_curve(traces: &[RegularSeries], ks: &[usize]) -> Vec<SubsamplePoint> {
+    assert!(!traces.is_empty(), "need at least one trace");
+    let n_dev = traces.len();
+    let n = traces[0].len();
+    assert!(
+        traces.iter().all(|t| t.len() == n),
+        "traces must be equally long"
+    );
+    assert!(
+        ks.iter().all(|&k| k >= 1 && k <= n_dev),
+        "k must be in 1..=fleet size"
+    );
+    let time_avgs: Vec<f64> = traces.iter().map(|t| stats::mean(t.values())).collect();
+    let grand_mean = stats::mean(&time_avgs);
+    let all_values: Vec<f64> = traces
+        .iter()
+        .flat_map(|t| t.values().iter().copied())
+        .collect();
+    let scale = stats::stddev(&all_values).max(1e-12);
+
+    ks.iter()
+        .map(|&k| {
+            let mut total_err = 0.0;
+            for rot in 0..n_dev {
+                let sub: f64 = (0..k).map(|d| time_avgs[(rot + d) % n_dev]).sum::<f64>()
+                    / k as f64;
+                total_err += (sub - grand_mean).abs();
+            }
+            SubsamplePoint {
+                devices: k,
+                relative_error: total_err / n_dev as f64 / scale,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+    use sweetspot_timeseries::Seconds;
+
+    /// Homogeneous fleet: same process, different phases.
+    fn homogeneous_fleet(devices: usize, n: usize) -> Vec<RegularSeries> {
+        (0..devices)
+            .map(|d| {
+                let phase = d as f64 * 2.0 * PI / devices as f64;
+                let values: Vec<f64> = (0..n)
+                    .map(|i| 50.0 + 10.0 * (2.0 * PI * 0.01 * i as f64 + phase).sin())
+                    .collect();
+                RegularSeries::new(Seconds::ZERO, Seconds(1.0), values)
+            })
+            .collect()
+    }
+
+    /// Heterogeneous fleet: every device has a different operating point.
+    fn heterogeneous_fleet(devices: usize, n: usize) -> Vec<RegularSeries> {
+        (0..devices)
+            .map(|d| {
+                let level = 20.0 + 10.0 * d as f64;
+                let values: Vec<f64> = (0..n)
+                    .map(|i| level + (2.0 * PI * 0.01 * i as f64).sin())
+                    .collect();
+                RegularSeries::new(Seconds::ZERO, Seconds(1.0), values)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn homogeneous_fleet_scores_high() {
+        let r = ergodicity_report(&homogeneous_fleet(8, 2000));
+        assert!(r.score > 0.95, "score {}", r.score);
+        assert!(r.time_average_spread < 0.5);
+    }
+
+    #[test]
+    fn heterogeneous_fleet_scores_low() {
+        let r = ergodicity_report(&heterogeneous_fleet(8, 2000));
+        assert!(r.score < 0.5, "score {}", r.score);
+        assert!(r.time_average_spread > 10.0);
+    }
+
+    #[test]
+    fn means_agree_between_views() {
+        // Same sample set, both averaging orders: grand means match.
+        let r = ergodicity_report(&homogeneous_fleet(5, 500));
+        assert!((r.mean_time_average - r.mean_ensemble_average).abs() < 1e-9);
+    }
+
+    #[test]
+    fn convergence_horizon_for_periodic_device() {
+        let fleet = homogeneous_fleet(8, 2000);
+        let r = ergodicity_report(&fleet);
+        let h = convergence_horizon(&fleet[0], r.mean_ensemble_average, 0.5)
+            .expect("periodic signal converges");
+        // Must converge well before the end.
+        assert!(h.value() < 1500.0, "horizon {h}");
+    }
+
+    #[test]
+    fn tighter_tolerance_needs_longer_observation() {
+        let fleet = homogeneous_fleet(4, 4000);
+        let mean = ergodicity_report(&fleet).mean_ensemble_average;
+        let loose = convergence_horizon(&fleet[0], mean, 2.0).unwrap();
+        let tight = convergence_horizon(&fleet[0], mean, 0.05).unwrap();
+        assert!(tight.value() >= loose.value(), "loose {loose}, tight {tight}");
+    }
+
+    #[test]
+    fn biased_device_never_converges() {
+        let values = vec![100.0; 500];
+        let device = RegularSeries::new(Seconds::ZERO, Seconds(1.0), values);
+        assert!(convergence_horizon(&device, 50.0, 1.0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "equally long")]
+    fn ragged_traces_panic() {
+        let a = RegularSeries::new(Seconds::ZERO, Seconds(1.0), vec![1.0; 10]);
+        let b = RegularSeries::new(Seconds::ZERO, Seconds(1.0), vec![1.0; 9]);
+        ergodicity_report(&[a, b]);
+    }
+
+    #[test]
+    fn subsample_error_decreases_with_more_devices() {
+        // Heterogeneous fleet: averaging more device levels approaches the
+        // grand mean monotonically.
+        let fleet = heterogeneous_fleet(10, 500);
+        let curve = subsample_curve(&fleet, &[1, 3, 10]);
+        assert_eq!(curve.len(), 3);
+        assert!(curve[0].relative_error > curve[1].relative_error);
+        assert!(curve[1].relative_error > curve[2].relative_error);
+        // The full fleet reproduces itself exactly.
+        assert!(curve[2].relative_error < 1e-9);
+    }
+
+    #[test]
+    fn subsampling_homogeneous_is_cheaper_than_heterogeneous() {
+        // The §6 punchline: on an ergodic (homogeneous) fleet a single
+        // device is a decent proxy; on a heterogeneous one it is not.
+        let homo = subsample_curve(&homogeneous_fleet(8, 400), &[1])[0];
+        let hetero = subsample_curve(&heterogeneous_fleet(8, 400), &[1])[0];
+        assert!(
+            hetero.relative_error > 2.0 * homo.relative_error,
+            "hetero {} vs homo {}",
+            hetero.relative_error,
+            homo.relative_error
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=fleet size")]
+    fn oversized_subsample_panics() {
+        let fleet = homogeneous_fleet(3, 100);
+        subsample_curve(&fleet, &[4]);
+    }
+}

@@ -1,0 +1,451 @@
+//! The §3.2 Nyquist-rate estimator.
+//!
+//! Paper, verbatim: *"(a) for a given trace … we compute the FFT and compute
+//! the total energy in the signal — the sum of the PSD across all FFT bins;
+//! (b) we add the PSD components in each FFT bin until we reach 99% of the
+//! total energy …. If we need all bins of the FFT to achieve 99% of the total
+//! energy we conclude the signal is probably already aliased and record −1 as
+//! the Nyquist rate; (c) otherwise, we report twice the frequency at which we
+//! capture 99% of the total energy of the signal as the Nyquist rate."*
+//!
+//! Two practical choices are configurable and documented:
+//!
+//! * **Detrending** (default on): the DC bin of a gauge-type metric (e.g. a
+//!   temperature around 50 °C) dwarfs the dynamics; with DC included, the
+//!   99% threshold is met at bin 0 and every signal looks static. Removing
+//!   the mean makes the threshold a statement about the signal's *dynamics*,
+//!   which is what sampling-rate selection cares about. (The DC level itself
+//!   is recovered by any single sample.)
+//! * **Resolution floor** (default on): a trace whose AC energy is captured
+//!   at bin 0 would otherwise yield a Nyquist rate of 0 Hz; the floor clamps
+//!   the capture frequency to one FFT bin width, bounding reduction ratios
+//!   at `N/2` — you cannot learn more from a length-`N` trace.
+
+use serde::{Deserialize, Serialize};
+use sweetspot_dsp::fft::FftPlanner;
+use sweetspot_dsp::psd::{periodogram, welch, PsdConfig, WelchConfig};
+use sweetspot_dsp::spectrum::EnergyCapture;
+use sweetspot_dsp::window::Window;
+use sweetspot_timeseries::{Hertz, RegularSeries};
+
+/// Which PSD estimator feeds the energy threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PsdMethod {
+    /// One FFT over the whole trace (the paper's method): full frequency
+    /// resolution, high per-bin variance.
+    Periodogram,
+    /// Welch's averaged overlapped segments: per-bin variance drops by the
+    /// segment count, at the price of resolution `fs / segment_len`. Useful
+    /// when the noise floor, not resolution, limits the estimate — but note
+    /// the coarser resolution also *raises* the floor-limited minimum
+    /// estimate, so prefer the periodogram for very slow signals.
+    Welch {
+        /// Samples per segment (clamped to the trace length).
+        segment_len: usize,
+    },
+}
+
+/// Estimator configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct NyquistConfig {
+    /// Fraction of total (detrended) energy that must be captured (paper:
+    /// 0.99; the ablation also runs 0.999 and 0.9999).
+    pub energy_cutoff: f64,
+    /// Window applied before the FFT. Default **Hann**: on short windows the
+    /// rectangular window's leakage skirts can carry more than `1 − cutoff`
+    /// of a tone's energy, pushing the energy crossing far above the true
+    /// band edge (a 10× overestimate on a 72-sample window is easy).
+    /// `Window::Rectangular` reproduces the paper's raw-FFT methodology
+    /// exactly.
+    pub window: Window,
+    /// Subtract the trace mean before analysis (see module docs).
+    pub detrend: bool,
+    /// Clamp the capture frequency to at least one FFT bin width (see
+    /// module docs).
+    pub floor_to_resolution: bool,
+    /// PSD estimator behind the threshold (see [`PsdMethod`]).
+    pub psd: PsdMethod,
+}
+
+impl Default for NyquistConfig {
+    fn default() -> Self {
+        NyquistConfig {
+            energy_cutoff: 0.99,
+            window: Window::Hann,
+            detrend: true,
+            floor_to_resolution: true,
+            psd: PsdMethod::Periodogram,
+        }
+    }
+}
+
+impl NyquistConfig {
+    /// The paper's literal §3.2 configuration: raw (rectangular-window) FFT
+    /// with the 99% cutoff.
+    pub fn paper_literal() -> Self {
+        NyquistConfig {
+            window: Window::Rectangular,
+            ..NyquistConfig::default()
+        }
+    }
+}
+
+/// Outcome of a Nyquist-rate estimation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum NyquistEstimate {
+    /// The signal's content is captured below half this sampling rate:
+    /// sampling at `rate` (or faster) loses at most `1 − cutoff` of the
+    /// energy.
+    Rate(Hertz),
+    /// All FFT bins were needed — the trace is probably already aliased
+    /// (the paper records −1).
+    Aliased,
+}
+
+impl NyquistEstimate {
+    /// The estimated rate, or `None` for [`NyquistEstimate::Aliased`].
+    pub fn rate(self) -> Option<Hertz> {
+        match self {
+            NyquistEstimate::Rate(r) => Some(r),
+            NyquistEstimate::Aliased => None,
+        }
+    }
+
+    /// `true` when the trace was judged aliased.
+    pub fn is_aliased(self) -> bool {
+        matches!(self, NyquistEstimate::Aliased)
+    }
+}
+
+/// The estimator. Owns an [`FftPlanner`] so repeated estimates over
+/// equal-length traces reuse twiddle tables; create one per worker thread.
+pub struct NyquistEstimator {
+    config: NyquistConfig,
+    planner: FftPlanner,
+}
+
+impl NyquistEstimator {
+    /// Creates an estimator with the given configuration.
+    ///
+    /// # Panics
+    /// Panics unless `0 < energy_cutoff <= 1`.
+    pub fn new(config: NyquistConfig) -> Self {
+        assert!(
+            config.energy_cutoff > 0.0 && config.energy_cutoff <= 1.0,
+            "energy_cutoff must be in (0, 1], got {}",
+            config.energy_cutoff
+        );
+        NyquistEstimator {
+            config,
+            planner: FftPlanner::new(),
+        }
+    }
+
+    /// Estimator with the paper's defaults (99% cutoff, raw FFT).
+    pub fn paper_defaults() -> Self {
+        Self::new(NyquistConfig::default())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &NyquistConfig {
+        &self.config
+    }
+
+    /// Estimates the Nyquist rate of raw samples taken at `sample_rate`.
+    ///
+    /// # Panics
+    /// Panics if `samples` has fewer than 4 points (no spectral content to
+    /// threshold) or `sample_rate` is not positive.
+    pub fn estimate_samples(&mut self, samples: &[f64], sample_rate: Hertz) -> NyquistEstimate {
+        assert!(
+            samples.len() >= 4,
+            "need at least 4 samples to estimate a spectrum, got {}",
+            samples.len()
+        );
+        assert!(sample_rate.value() > 0.0, "sample_rate must be positive");
+        let spectrum = match self.config.psd {
+            PsdMethod::Periodogram => periodogram(
+                &mut self.planner,
+                samples,
+                sample_rate.value(),
+                PsdConfig {
+                    window: self.config.window,
+                    detrend: self.config.detrend,
+                },
+            ),
+            PsdMethod::Welch { segment_len } => welch(
+                &mut self.planner,
+                samples,
+                sample_rate.value(),
+                WelchConfig {
+                    segment_len,
+                    overlap: 0.5,
+                    window: self.config.window,
+                    detrend: self.config.detrend,
+                },
+            ),
+        };
+        match spectrum.frequency_capturing_energy(self.config.energy_cutoff) {
+            EnergyCapture::AllBinsNeeded => NyquistEstimate::Aliased,
+            EnergyCapture::Captured { frequency } => {
+                // The paper's literal criterion ("all bins needed") only
+                // fires when the cutoff crossing lands in the very last bin.
+                // A spectrum that is flat out to the folding frequency — the
+                // signature of folded (aliased) content or white noise —
+                // crosses the c-cutoff at ≈ c·f_fold instead. Flag that as
+                // aliased too: it is the self-consistent generalization of
+                // the same test. The `2/√bins` slack absorbs the sampling
+                // fluctuation of the crossing point on noisy spectra.
+                let fold = spectrum.folding_frequency();
+                let slack = 2.0 / (spectrum.bin_count() as f64).sqrt();
+                let guard = (self.config.energy_cutoff - slack).max(0.5) * fold;
+                if frequency >= guard {
+                    return NyquistEstimate::Aliased;
+                }
+                let f = if self.config.floor_to_resolution {
+                    frequency.max(spectrum.resolution())
+                } else {
+                    frequency
+                };
+                NyquistEstimate::Rate(Hertz(2.0 * f))
+            }
+        }
+    }
+
+    /// Estimates the Nyquist rate of a regular series.
+    pub fn estimate_series(&mut self, series: &RegularSeries) -> NyquistEstimate {
+        self.estimate_samples(series.values(), series.sample_rate())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+    use sweetspot_timeseries::Seconds;
+
+    fn tone_series(n: usize, fs: f64, freqs: &[(f64, f64)], mean: f64) -> RegularSeries {
+        let values = (0..n)
+            .map(|i| {
+                let t = i as f64 / fs;
+                mean + freqs
+                    .iter()
+                    .map(|&(f, a)| a * (2.0 * PI * f * t).sin())
+                    .sum::<f64>()
+            })
+            .collect();
+        RegularSeries::new(Seconds::ZERO, Seconds(1.0 / fs), values)
+    }
+
+    #[test]
+    fn pure_tone_yields_twice_its_frequency() {
+        let mut est = NyquistEstimator::paper_defaults();
+        // 0.01 Hz tone sampled at 1 Hz for 1000 s: bin resolution 0.001 Hz.
+        let s = tone_series(1000, 1.0, &[(0.01, 1.0)], 0.0);
+        match est.estimate_series(&s) {
+            NyquistEstimate::Rate(r) => {
+                assert!((r.value() - 0.02).abs() < 0.003, "rate {r}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_tones_yield_twice_the_higher() {
+        let mut est = NyquistEstimator::paper_defaults();
+        let s = tone_series(2000, 1.0, &[(0.01, 1.0), (0.05, 0.8)], 0.0);
+        let rate = est.estimate_series(&s).rate().unwrap().value();
+        assert!((rate - 0.1).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn weak_high_tone_below_one_percent_is_ignored() {
+        let mut est = NyquistEstimator::paper_defaults();
+        // Second tone carries (0.05)²/2 / ((1² + 0.05²)/2) ≈ 0.25% of energy —
+        // under the 1% the cutoff discards (this is the noise-robustness the
+        // paper designed the 99% threshold for).
+        let s = tone_series(2000, 1.0, &[(0.01, 1.0), (0.2, 0.05)], 0.0);
+        let rate = est.estimate_series(&s).rate().unwrap().value();
+        assert!(rate < 0.05, "weak tone should be discarded, rate {rate}");
+    }
+
+    #[test]
+    fn higher_cutoff_keeps_the_weak_tone() {
+        let mut est = NyquistEstimator::new(NyquistConfig {
+            energy_cutoff: 0.9999,
+            ..NyquistConfig::default()
+        });
+        let s = tone_series(2000, 1.0, &[(0.01, 1.0), (0.2, 0.05)], 0.0);
+        let rate = est.estimate_series(&s).rate().unwrap().value();
+        assert!((rate - 0.4).abs() < 0.05, "strict cutoff should keep it: {rate}");
+    }
+
+    #[test]
+    fn estimate_is_monotone_in_cutoff() {
+        let s = tone_series(1500, 1.0, &[(0.01, 1.0), (0.07, 0.3), (0.21, 0.1)], 10.0);
+        let mut prev = 0.0;
+        for cutoff in [0.9, 0.99, 0.999, 0.9999] {
+            let mut est = NyquistEstimator::new(NyquistConfig {
+                energy_cutoff: cutoff,
+                ..NyquistConfig::default()
+            });
+            let rate = est.estimate_series(&s).rate().unwrap().value();
+            assert!(rate >= prev - 1e-12, "cutoff {cutoff}: {rate} < {prev}");
+            prev = rate;
+        }
+    }
+
+    #[test]
+    fn dc_heavy_gauge_is_not_mistaken_for_static() {
+        let mut est = NyquistEstimator::paper_defaults();
+        // 50-unit mean dwarfs a 1-unit tone; detrending must still find it.
+        let s = tone_series(1000, 1.0, &[(0.05, 1.0)], 50.0);
+        let rate = est.estimate_series(&s).rate().unwrap().value();
+        assert!((rate - 0.1).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn without_detrend_dc_swallows_the_threshold() {
+        let mut est = NyquistEstimator::new(NyquistConfig {
+            detrend: false,
+            ..NyquistConfig::default()
+        });
+        let s = tone_series(1000, 1.0, &[(0.05, 1.0)], 50.0);
+        // DC power 2500 ≫ AC power 0.5 ⇒ capture at bin 0 ⇒ floored to one
+        // bin width (resolution 0.001 Hz → rate 0.002 Hz).
+        let rate = est.estimate_series(&s).rate().unwrap().value();
+        assert!(rate < 0.005, "rate {rate}");
+    }
+
+    #[test]
+    fn constant_signal_floors_to_resolution() {
+        let mut est = NyquistEstimator::paper_defaults();
+        let s = RegularSeries::new(Seconds::ZERO, Seconds(1.0), vec![5.0; 1000]);
+        let rate = est.estimate_series(&s).rate().unwrap().value();
+        assert!((rate - 0.002).abs() < 1e-12, "rate {rate}"); // 2 × (1/1000)
+    }
+
+    #[test]
+    fn no_floor_reports_zero_for_constant() {
+        let mut est = NyquistEstimator::new(NyquistConfig {
+            floor_to_resolution: false,
+            ..NyquistConfig::default()
+        });
+        let s = RegularSeries::new(Seconds::ZERO, Seconds(1.0), vec![5.0; 1000]);
+        assert_eq!(est.estimate_series(&s).rate().unwrap().value(), 0.0);
+    }
+
+    #[test]
+    fn white_noise_is_reported_aliased() {
+        let mut est = NyquistEstimator::paper_defaults();
+        // White noise spreads energy across all bins ~uniformly: reaching
+        // 99% requires ~99% of bins — including the last one.
+        let mut state = 0x12345678u64;
+        let values: Vec<f64> = (0..2048)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+            })
+            .collect();
+        let s = RegularSeries::new(Seconds::ZERO, Seconds(1.0), values);
+        assert!(est.estimate_series(&s).is_aliased());
+    }
+
+    #[test]
+    fn aliased_tone_looks_like_low_frequency() {
+        // A 0.45 Hz tone sampled at 1 Hz is fine; sampled at 0.5 Hz it folds
+        // to 0.05 Hz. The estimator *cannot* see this from the slow trace
+        // alone — it reports a (wrong) low rate, which is exactly why §4.1
+        // needs the dual-rate detector.
+        let mut est = NyquistEstimator::paper_defaults();
+        let fs = 0.5;
+        let s = tone_series(500, fs, &[(0.45, 1.0)], 0.0);
+        let rate = est.estimate_series(&s).rate().unwrap().value();
+        assert!((rate - 0.1).abs() < 0.01, "folded rate {rate}");
+    }
+
+    #[test]
+    fn estimate_never_exceeds_sampling_rate() {
+        let mut est = NyquistEstimator::paper_defaults();
+        for n in [64usize, 500, 1001] {
+            let s = tone_series(n, 2.0, &[(0.9, 1.0), (0.3, 0.5)], 3.0);
+            if let NyquistEstimate::Rate(r) = est.estimate_series(&s) {
+                assert!(r.value() <= 2.0 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn welch_psd_method_stabilizes_noisy_estimates() {
+        // A 0.02 Hz tone plus noise at 10% amplitude: the single-shot
+        // periodogram's noisy bins scatter the 99% crossing across repeated
+        // noise draws; Welch's averaged floor keeps it near the tone.
+        let mut lcg = 0xFEED_F00Du64;
+        let mut noise = move || {
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (((lcg >> 33) as f64 / (1u64 << 31) as f64) - 1.0) * 0.1
+        };
+        let values: Vec<f64> = (0..8192)
+            .map(|i| (2.0 * PI * 0.02 * i as f64).sin() + noise())
+            .collect();
+        let s = RegularSeries::new(Seconds::ZERO, Seconds(1.0), values);
+
+        let mut welch_est = NyquistEstimator::new(NyquistConfig {
+            psd: PsdMethod::Welch { segment_len: 512 },
+            ..NyquistConfig::default()
+        });
+        match welch_est.estimate_series(&s) {
+            NyquistEstimate::Rate(r) => {
+                // Resolution is 1/512 ≈ 0.002; the tone at 0.02 must be
+                // captured within a few Welch bins.
+                assert!(
+                    (r.value() - 0.04).abs() < 0.02,
+                    "welch rate {r} should track the tone"
+                );
+            }
+            NyquistEstimate::Aliased => panic!("welch should suppress the noise floor"),
+        }
+    }
+
+    #[test]
+    fn welch_resolution_floor_is_coarser() {
+        // A constant trace floors at one *segment* bin under Welch — coarser
+        // than the periodogram's full-trace bin.
+        let s = RegularSeries::new(Seconds::ZERO, Seconds(1.0), vec![3.0; 4096]);
+        let fine = NyquistEstimator::new(NyquistConfig::default())
+            .estimate_series(&s)
+            .rate()
+            .unwrap();
+        let coarse = NyquistEstimator::new(NyquistConfig {
+            psd: PsdMethod::Welch { segment_len: 256 },
+            ..NyquistConfig::default()
+        })
+        .estimate_series(&s)
+        .rate()
+        .unwrap();
+        assert!(
+            coarse.value() > fine.value() * 10.0,
+            "welch floor {coarse} vs periodogram floor {fine}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4 samples")]
+    fn tiny_trace_panics() {
+        let mut est = NyquistEstimator::paper_defaults();
+        est.estimate_samples(&[1.0, 2.0], Hertz(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "energy_cutoff")]
+    fn invalid_cutoff_panics() {
+        NyquistEstimator::new(NyquistConfig {
+            energy_cutoff: 1.5,
+            ..NyquistConfig::default()
+        });
+    }
+}

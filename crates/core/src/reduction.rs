@@ -1,0 +1,182 @@
+//! Possible-reduction-ratio bookkeeping (Figures 1 and 4).
+//!
+//! For each `(metric, device)` pair the study computes the ratio between the
+//! rate operators sample at today and the Nyquist rate the estimator found:
+//! `ratio > 1` means over-sampling (the pair can be slowed down by that
+//! factor), `ratio < 1` or an aliased verdict means under-sampling.
+
+use crate::estimator::NyquistEstimate;
+use serde::{Deserialize, Serialize};
+use sweetspot_timeseries::Hertz;
+
+/// Classification of one metric-device pair (the paper's 89% / 11% split).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PairClass {
+    /// Sampled above the Nyquist rate today; can be reduced by the ratio.
+    Oversampled,
+    /// Sampled below the Nyquist rate (or judged aliased) — needs *more*
+    /// samples, not fewer.
+    Undersampled,
+}
+
+/// Outcome for one pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReductionOutcome {
+    /// Today's sampling rate.
+    pub actual_rate: Hertz,
+    /// The estimate (None encodes the paper's −1 / aliased case).
+    pub estimated_nyquist: Option<Hertz>,
+    /// `actual / nyquist` when a rate was estimated.
+    pub ratio: Option<f64>,
+    /// Over- vs under-sampled.
+    pub class: PairClass,
+}
+
+/// Computes the reduction outcome for one pair.
+///
+/// An estimate of `Aliased` — and any estimated rate *above* the actual
+/// rate — classifies as [`PairClass::Undersampled`].
+///
+/// # Panics
+/// Panics if `actual_rate` is not positive.
+pub fn reduction_outcome(actual_rate: Hertz, estimate: NyquistEstimate) -> ReductionOutcome {
+    assert!(actual_rate.value() > 0.0, "actual rate must be positive");
+    match estimate {
+        NyquistEstimate::Aliased => ReductionOutcome {
+            actual_rate,
+            estimated_nyquist: None,
+            ratio: None,
+            class: PairClass::Undersampled,
+        },
+        NyquistEstimate::Rate(nyq) => {
+            // A zero estimate (floor disabled, constant signal) would make
+            // the ratio infinite; report it as an unbounded reduction.
+            let ratio = if nyq.value() > 0.0 {
+                actual_rate.value() / nyq.value()
+            } else {
+                f64::INFINITY
+            };
+            let class = if ratio >= 1.0 {
+                PairClass::Oversampled
+            } else {
+                PairClass::Undersampled
+            };
+            ReductionOutcome {
+                actual_rate,
+                estimated_nyquist: Some(nyq),
+                ratio: Some(ratio),
+                class,
+            }
+        }
+    }
+}
+
+/// Fleet-level aggregate of reduction outcomes (§3.2's headline numbers).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReductionSummary {
+    /// Number of pairs analyzed.
+    pub pairs: usize,
+    /// Fraction sampled above their Nyquist rate (paper: 0.89).
+    pub oversampled_fraction: f64,
+    /// Fraction under-sampled or aliased (paper: 0.11).
+    pub undersampled_fraction: f64,
+    /// Fraction of pairs reducible by ≥ 10×.
+    pub reducible_10x: f64,
+    /// Fraction of pairs reducible by ≥ 100×.
+    pub reducible_100x: f64,
+    /// Fraction of pairs reducible by ≥ 1000× (paper: ~0.20).
+    pub reducible_1000x: f64,
+}
+
+/// Aggregates outcomes into the paper's headline statistics.
+pub fn summarize(outcomes: &[ReductionOutcome]) -> ReductionSummary {
+    let n = outcomes.len();
+    if n == 0 {
+        return ReductionSummary {
+            pairs: 0,
+            oversampled_fraction: 0.0,
+            undersampled_fraction: 0.0,
+            reducible_10x: 0.0,
+            reducible_100x: 0.0,
+            reducible_1000x: 0.0,
+        };
+    }
+    let over = outcomes
+        .iter()
+        .filter(|o| o.class == PairClass::Oversampled)
+        .count();
+    let frac_at_least = |x: f64| {
+        outcomes
+            .iter()
+            .filter(|o| o.ratio.map_or(false, |r| r >= x))
+            .count() as f64
+            / n as f64
+    };
+    ReductionSummary {
+        pairs: n,
+        oversampled_fraction: over as f64 / n as f64,
+        undersampled_fraction: (n - over) as f64 / n as f64,
+        reducible_10x: frac_at_least(10.0),
+        reducible_100x: frac_at_least(100.0),
+        reducible_1000x: frac_at_least(1000.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oversampled_pair() {
+        let o = reduction_outcome(Hertz(1.0), NyquistEstimate::Rate(Hertz(0.01)));
+        assert_eq!(o.class, PairClass::Oversampled);
+        assert!((o.ratio.unwrap() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn undersampled_pair_via_rate() {
+        let o = reduction_outcome(Hertz(0.01), NyquistEstimate::Rate(Hertz(0.05)));
+        assert_eq!(o.class, PairClass::Undersampled);
+        assert!((o.ratio.unwrap() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aliased_pair_is_undersampled_with_no_ratio() {
+        let o = reduction_outcome(Hertz(1.0), NyquistEstimate::Aliased);
+        assert_eq!(o.class, PairClass::Undersampled);
+        assert!(o.ratio.is_none());
+        assert!(o.estimated_nyquist.is_none());
+    }
+
+    #[test]
+    fn zero_estimate_is_unbounded_reduction() {
+        let o = reduction_outcome(Hertz(1.0), NyquistEstimate::Rate(Hertz(0.0)));
+        assert_eq!(o.ratio, Some(f64::INFINITY));
+        assert_eq!(o.class, PairClass::Oversampled);
+    }
+
+    #[test]
+    fn summary_counts() {
+        let outcomes = vec![
+            reduction_outcome(Hertz(1.0), NyquistEstimate::Rate(Hertz(0.0005))), // 2000×
+            reduction_outcome(Hertz(1.0), NyquistEstimate::Rate(Hertz(0.005))),  // 200×
+            reduction_outcome(Hertz(1.0), NyquistEstimate::Rate(Hertz(0.05))),   // 20×
+            reduction_outcome(Hertz(1.0), NyquistEstimate::Rate(Hertz(0.5))),    // 2×
+            reduction_outcome(Hertz(1.0), NyquistEstimate::Aliased),
+        ];
+        let s = summarize(&outcomes);
+        assert_eq!(s.pairs, 5);
+        assert!((s.oversampled_fraction - 0.8).abs() < 1e-12);
+        assert!((s.undersampled_fraction - 0.2).abs() < 1e-12);
+        assert!((s.reducible_10x - 0.6).abs() < 1e-12);
+        assert!((s.reducible_100x - 0.4).abs() < 1e-12);
+        assert!((s.reducible_1000x - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_summary() {
+        let s = summarize(&[]);
+        assert_eq!(s.pairs, 0);
+        assert_eq!(s.oversampled_fraction, 0.0);
+    }
+}

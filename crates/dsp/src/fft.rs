@@ -1,0 +1,457 @@
+//! Fast Fourier transforms.
+//!
+//! Two algorithms cover all input lengths:
+//!
+//! * **Iterative radix-2 Cooley–Tukey** (decimation in time, bit-reversed
+//!   input ordering) for power-of-two lengths.
+//! * **Bluestein's chirp-z algorithm** for everything else, which re-expresses
+//!   an arbitrary-length DFT as a linear convolution evaluated with
+//!   power-of-two FFTs of length `≥ 2N − 1`.
+//!
+//! [`FftPlanner`] caches twiddle tables and Bluestein chirps per length so
+//! repeated transforms of the same size (the common case when scanning a
+//! fleet of equally-long traces) pay the setup cost once.
+//!
+//! Conventions: the forward transform is **unnormalized**
+//! (`X_k = Σ x_n e^{−2πi nk/N}`); the inverse scales by `1/N`, so
+//! `ifft(fft(x)) == x`.
+
+use crate::complex::Complex64;
+use std::collections::HashMap;
+use std::f64::consts::PI;
+use std::rc::Rc;
+
+/// Returns `true` if `n` is a power of two (and nonzero).
+#[inline]
+pub fn is_pow2(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+/// Smallest power of two `≥ n`. `next_pow2(0) == 1`.
+#[inline]
+pub fn next_pow2(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+/// Precomputed tables for a power-of-two radix-2 transform.
+struct Pow2Plan {
+    len: usize,
+    /// Forward twiddles: `twiddles[k] = e^{−2πi k / len}` for `k < len/2`.
+    twiddles: Vec<Complex64>,
+    /// Bit-reversal permutation for `len` points.
+    rev: Vec<u32>,
+}
+
+impl Pow2Plan {
+    fn new(len: usize) -> Self {
+        debug_assert!(is_pow2(len));
+        let half = len / 2;
+        let twiddles = (0..half)
+            .map(|k| Complex64::cis(-2.0 * PI * k as f64 / len as f64))
+            .collect();
+        let bits = len.trailing_zeros();
+        let rev = (0..len as u32)
+            .map(|i| i.reverse_bits() >> (32 - bits.max(1)))
+            .collect::<Vec<_>>();
+        // `bits == 0` (len == 1) never indexes `rev`, so the `max(1)` guard is
+        // only there to avoid an invalid shift.
+        Pow2Plan { len, twiddles, rev }
+    }
+
+    /// In-place forward (inverse = conjugate trick handled by caller).
+    fn fft(&self, buf: &mut [Complex64]) {
+        let n = self.len;
+        debug_assert_eq!(buf.len(), n);
+        if n <= 1 {
+            return;
+        }
+        // Bit-reversal permutation.
+        for i in 0..n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                buf.swap(i, j);
+            }
+        }
+        // Butterflies.
+        let mut size = 2;
+        while size <= n {
+            let half = size / 2;
+            let step = n / size;
+            let mut base = 0;
+            while base < n {
+                for j in 0..half {
+                    let w = self.twiddles[j * step];
+                    let lo = buf[base + j];
+                    let hi = buf[base + j + half] * w;
+                    buf[base + j] = lo + hi;
+                    buf[base + j + half] = lo - hi;
+                }
+                base += size;
+            }
+            size <<= 1;
+        }
+    }
+}
+
+/// Precomputed state for a Bluestein transform of arbitrary length `n`.
+struct BluesteinPlan {
+    n: usize,
+    /// Convolution length (power of two `≥ 2n − 1`).
+    m: usize,
+    /// `chirp[k] = e^{−iπ k² / n}`, the pre/post-multiplier.
+    chirp: Vec<Complex64>,
+    /// FFT of the symmetric chirp kernel `b`, reused every call.
+    kernel_fft: Vec<Complex64>,
+    /// Power-of-two plan of length `m`.
+    inner: Rc<Pow2Plan>,
+}
+
+impl BluesteinPlan {
+    fn new(n: usize, inner: Rc<Pow2Plan>) -> Self {
+        let m = inner.len;
+        debug_assert!(m >= 2 * n - 1);
+        // k² mod 2n keeps the chirp angle small and exact: e^{−iπ k²/n} has
+        // period 2n in k².
+        let two_n = 2 * n as u128;
+        let chirp: Vec<Complex64> = (0..n)
+            .map(|k| {
+                let k2 = (k as u128 * k as u128) % two_n;
+                Complex64::cis(-PI * k2 as f64 / n as f64)
+            })
+            .collect();
+        let mut kernel = vec![Complex64::ZERO; m];
+        kernel[0] = chirp[0].conj();
+        for k in 1..n {
+            let b = chirp[k].conj();
+            kernel[k] = b;
+            kernel[m - k] = b;
+        }
+        inner.fft(&mut kernel);
+        BluesteinPlan {
+            n,
+            m,
+            chirp,
+            kernel_fft: kernel,
+            inner,
+        }
+    }
+
+    fn fft(&self, buf: &mut [Complex64]) {
+        debug_assert_eq!(buf.len(), self.n);
+        let mut a = vec![Complex64::ZERO; self.m];
+        for (k, slot) in a.iter_mut().take(self.n).enumerate() {
+            *slot = buf[k] * self.chirp[k];
+        }
+        self.inner.fft(&mut a);
+        for (x, k) in a.iter_mut().zip(&self.kernel_fft) {
+            *x = *x * *k;
+        }
+        // Inverse FFT of length m via conjugation.
+        for x in a.iter_mut() {
+            *x = x.conj();
+        }
+        self.inner.fft(&mut a);
+        let scale = 1.0 / self.m as f64;
+        for (k, out) in buf.iter_mut().enumerate() {
+            *out = a[k].conj().scale(scale) * self.chirp[k];
+        }
+    }
+}
+
+enum Plan {
+    Pow2(Rc<Pow2Plan>),
+    Bluestein(Rc<BluesteinPlan>),
+}
+
+/// Caching FFT planner.
+///
+/// Create once and reuse: tables are computed lazily per length and cached.
+/// Not thread-safe by design (keep one planner per worker thread; plans are
+/// cheap relative to trace analysis).
+///
+/// ```
+/// use sweetspot_dsp::fft::FftPlanner;
+/// use sweetspot_dsp::Complex64;
+///
+/// let mut p = FftPlanner::new();
+/// // Arbitrary (non-power-of-two) lengths are fine:
+/// let mut buf = vec![Complex64::ONE; 12];
+/// p.fft_in_place(&mut buf);
+/// assert!((buf[0].re - 12.0).abs() < 1e-9); // DC bin = Σ x_n
+/// ```
+pub struct FftPlanner {
+    pow2: HashMap<usize, Rc<Pow2Plan>>,
+    bluestein: HashMap<usize, Rc<BluesteinPlan>>,
+}
+
+impl Default for FftPlanner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FftPlanner {
+    /// Creates an empty planner.
+    pub fn new() -> Self {
+        FftPlanner {
+            pow2: HashMap::new(),
+            bluestein: HashMap::new(),
+        }
+    }
+
+    fn pow2_plan(&mut self, len: usize) -> Rc<Pow2Plan> {
+        self.pow2
+            .entry(len)
+            .or_insert_with(|| Rc::new(Pow2Plan::new(len)))
+            .clone()
+    }
+
+    fn plan(&mut self, len: usize) -> Plan {
+        if is_pow2(len) {
+            Plan::Pow2(self.pow2_plan(len))
+        } else {
+            if let Some(p) = self.bluestein.get(&len) {
+                return Plan::Bluestein(p.clone());
+            }
+            let m = next_pow2(2 * len - 1);
+            let inner = self.pow2_plan(m);
+            let p = Rc::new(BluesteinPlan::new(len, inner));
+            self.bluestein.insert(len, p.clone());
+            Plan::Bluestein(p)
+        }
+    }
+
+    /// Forward DFT, in place, unnormalized. Any length (including 0 and 1,
+    /// which are no-ops).
+    pub fn fft_in_place(&mut self, buf: &mut [Complex64]) {
+        let n = buf.len();
+        if n <= 1 {
+            return;
+        }
+        match self.plan(n) {
+            Plan::Pow2(p) => p.fft(buf),
+            Plan::Bluestein(p) => p.fft(buf),
+        }
+    }
+
+    /// Inverse DFT, in place, scaled by `1/N` so it exactly undoes
+    /// [`fft_in_place`](FftPlanner::fft_in_place).
+    pub fn ifft_in_place(&mut self, buf: &mut [Complex64]) {
+        let n = buf.len();
+        if n <= 1 {
+            return;
+        }
+        for x in buf.iter_mut() {
+            *x = x.conj();
+        }
+        self.fft_in_place(buf);
+        let scale = 1.0 / n as f64;
+        for x in buf.iter_mut() {
+            *x = x.conj().scale(scale);
+        }
+    }
+
+    /// Forward DFT of a real signal; returns all `N` complex bins.
+    pub fn fft_real(&mut self, input: &[f64]) -> Vec<Complex64> {
+        let mut buf: Vec<Complex64> = input.iter().map(|&x| Complex64::from_real(x)).collect();
+        self.fft_in_place(&mut buf);
+        buf
+    }
+
+    /// Inverse DFT returning only real parts — the counterpart of
+    /// [`fft_real`](FftPlanner::fft_real) for spectra with (approximate)
+    /// conjugate symmetry.
+    pub fn ifft_real(&mut self, spectrum: &[Complex64]) -> Vec<f64> {
+        let mut buf = spectrum.to_vec();
+        self.ifft_in_place(&mut buf);
+        buf.into_iter().map(|c| c.re).collect()
+    }
+}
+
+/// Reference `O(N²)` DFT used to validate the fast paths in tests and to
+/// cross-check odd lengths in benches. Forward, unnormalized.
+pub fn dft_naive(input: &[Complex64]) -> Vec<Complex64> {
+    let n = input.len();
+    (0..n)
+        .map(|k| {
+            (0..n)
+                .map(|t| input[t] * Complex64::cis(-2.0 * PI * (t * k % n.max(1)) as f64 / n as f64))
+                .sum()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: &[Complex64], b: &[Complex64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!(
+                (x.re - y.re).abs() <= tol && (x.im - y.im).abs() <= tol,
+                "bin {i}: {x:?} vs {y:?}"
+            );
+        }
+    }
+
+    fn impulse(n: usize) -> Vec<Complex64> {
+        let mut v = vec![Complex64::ZERO; n];
+        v[0] = Complex64::ONE;
+        v
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut p = FftPlanner::new();
+        for n in [2usize, 4, 8, 64, 3, 5, 12, 100] {
+            let mut buf = impulse(n);
+            p.fft_in_place(&mut buf);
+            for b in &buf {
+                assert!((b.re - 1.0).abs() < 1e-9 && b.im.abs() < 1e-9, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft_pow2() {
+        let mut p = FftPlanner::new();
+        let input: Vec<Complex64> = (0..16)
+            .map(|i| Complex64::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
+            .collect();
+        let expected = dft_naive(&input);
+        let mut buf = input;
+        p.fft_in_place(&mut buf);
+        assert_close(&buf, &expected, 1e-9);
+    }
+
+    #[test]
+    fn matches_naive_dft_arbitrary_lengths() {
+        let mut p = FftPlanner::new();
+        for n in [3usize, 5, 6, 7, 9, 11, 15, 17, 31, 50, 101] {
+            let input: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+                .collect();
+            let expected = dft_naive(&input);
+            let mut buf = input;
+            p.fft_in_place(&mut buf);
+            assert_close(&buf, &expected, 1e-8);
+        }
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let mut p = FftPlanner::new();
+        for n in [1usize, 2, 8, 13, 64, 100, 257] {
+            let orig: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((i as f64).sin(), (i as f64 * 0.5).cos()))
+                .collect();
+            let mut buf = orig.clone();
+            p.fft_in_place(&mut buf);
+            p.ifft_in_place(&mut buf);
+            assert_close(&buf, &orig, 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_one_bin() {
+        let mut p = FftPlanner::new();
+        let n = 128;
+        let k0 = 5;
+        let input: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * k0 as f64 * i as f64 / n as f64).cos())
+            .collect();
+        let spec = p.fft_real(&input);
+        // cos splits into bins k0 and n−k0, each with magnitude n/2.
+        assert!((spec[k0].norm() - n as f64 / 2.0).abs() < 1e-9);
+        assert!((spec[n - k0].norm() - n as f64 / 2.0).abs() < 1e-9);
+        for (k, b) in spec.iter().enumerate() {
+            if k != k0 && k != n - k0 {
+                assert!(b.norm() < 1e-9, "leakage at bin {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn real_input_spectrum_is_conjugate_symmetric() {
+        let mut p = FftPlanner::new();
+        let n = 90; // exercises the Bluestein path
+        let input: Vec<f64> = (0..n).map(|i| (i as f64 * 0.21).sin() + 0.3).collect();
+        let spec = p.fft_real(&input);
+        for k in 1..n {
+            let a = spec[k];
+            let b = spec[n - k].conj();
+            assert!((a.re - b.re).abs() < 1e-8 && (a.im - b.im).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let mut p = FftPlanner::new();
+        for n in [32usize, 77] {
+            let input: Vec<Complex64> = (0..n)
+                .map(|i| Complex64::new((i as f64 * 0.9).sin(), 0.1 * i as f64))
+                .collect();
+            let time_energy: f64 = input.iter().map(|c| c.norm_sqr()).sum();
+            let mut buf = input;
+            p.fft_in_place(&mut buf);
+            let freq_energy: f64 = buf.iter().map(|c| c.norm_sqr()).sum::<f64>() / n as f64;
+            assert!(
+                (time_energy - freq_energy).abs() < 1e-6 * time_energy.max(1.0),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn linearity() {
+        let mut p = FftPlanner::new();
+        let n = 24;
+        let a: Vec<Complex64> = (0..n).map(|i| Complex64::new(i as f64, 0.0)).collect();
+        let b: Vec<Complex64> = (0..n)
+            .map(|i| Complex64::new(0.0, (i as f64).cos()))
+            .collect();
+        let sum: Vec<Complex64> = a.iter().zip(&b).map(|(&x, &y)| x + y.scale(2.0)).collect();
+
+        let mut fa = a.clone();
+        p.fft_in_place(&mut fa);
+        let mut fb = b.clone();
+        p.fft_in_place(&mut fb);
+        let mut fsum = sum;
+        p.fft_in_place(&mut fsum);
+        let expected: Vec<Complex64> = fa.iter().zip(&fb).map(|(&x, &y)| x + y.scale(2.0)).collect();
+        assert_close(&fsum, &expected, 1e-8);
+    }
+
+    #[test]
+    fn zero_and_one_point_are_noops() {
+        let mut p = FftPlanner::new();
+        let mut empty: Vec<Complex64> = vec![];
+        p.fft_in_place(&mut empty);
+        let mut one = vec![Complex64::new(3.0, -1.0)];
+        p.fft_in_place(&mut one);
+        assert_eq!(one[0], Complex64::new(3.0, -1.0));
+        p.ifft_in_place(&mut one);
+        assert_eq!(one[0], Complex64::new(3.0, -1.0));
+    }
+
+    #[test]
+    fn planner_reuse_is_consistent() {
+        let mut p = FftPlanner::new();
+        let input: Vec<Complex64> = (0..48).map(|i| Complex64::new(i as f64, 0.0)).collect();
+        let mut first = input.clone();
+        p.fft_in_place(&mut first);
+        let mut second = input;
+        p.fft_in_place(&mut second);
+        assert_close(&first, &second, 0.0);
+    }
+
+    #[test]
+    fn pow2_helpers() {
+        assert!(is_pow2(1) && is_pow2(2) && is_pow2(1024));
+        assert!(!is_pow2(0) && !is_pow2(3) && !is_pow2(12));
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(5), 8);
+        assert_eq!(next_pow2(16), 16);
+    }
+}

@@ -1,0 +1,102 @@
+//! The Goertzel algorithm: single-frequency DFT evaluation in `O(N)`.
+//!
+//! The dual-rate aliasing detector (§4.1) compares spectra at a handful of
+//! frequencies; Goertzel evaluates one bin without a full FFT, and — unlike
+//! an FFT bin — at *any* real frequency, which matters when comparing
+//! spectra taken at two different sampling rates whose bin grids do not
+//! align.
+
+use std::f64::consts::PI;
+
+/// Squared magnitude `|X(f)|²` of the (unnormalized) DFT of `samples` at
+/// frequency `freq` Hz, for a signal sampled at `sample_rate` Hz.
+///
+/// Matches `fft_real(samples)[k].norm_sqr()` when `freq` falls exactly on
+/// bin `k`.
+///
+/// # Panics
+/// Panics if `samples` is empty or `sample_rate` is not positive.
+pub fn goertzel_power(samples: &[f64], sample_rate: f64, freq: f64) -> f64 {
+    assert!(!samples.is_empty(), "cannot evaluate an empty signal");
+    assert!(sample_rate > 0.0, "sample_rate must be positive");
+    let omega = 2.0 * PI * freq / sample_rate;
+    let coeff = 2.0 * omega.cos();
+    let mut s_prev = 0.0;
+    let mut s_prev2 = 0.0;
+    for &x in samples {
+        let s = x + coeff * s_prev - s_prev2;
+        s_prev2 = s_prev;
+        s_prev = s;
+    }
+    s_prev * s_prev + s_prev2 * s_prev2 - coeff * s_prev * s_prev2
+}
+
+/// Amplitude estimate of a sinusoid at `freq` Hz within `samples`:
+/// `2·|X(f)|/N`.
+pub fn goertzel_amplitude(samples: &[f64], sample_rate: f64, freq: f64) -> f64 {
+    2.0 * goertzel_power(samples, sample_rate, freq).sqrt() / samples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::FftPlanner;
+
+    fn tone(n: usize, fs: f64, f: f64, amp: f64) -> Vec<f64> {
+        (0..n)
+            .map(|i| amp * (2.0 * PI * f * i as f64 / fs).sin())
+            .collect()
+    }
+
+    #[test]
+    fn matches_fft_bin() {
+        let mut p = FftPlanner::new();
+        let fs = 128.0;
+        let n = 128;
+        let sig: Vec<f64> = (0..n)
+            .map(|i| (i as f64 * 0.17).sin() + 0.5 * (i as f64 * 0.71).cos())
+            .collect();
+        let spec = p.fft_real(&sig);
+        for k in [0usize, 1, 5, 31, 64] {
+            let f = k as f64 * fs / n as f64;
+            let g = goertzel_power(&sig, fs, f);
+            let want = spec[k].norm_sqr();
+            assert!(
+                (g - want).abs() < 1e-6 * want.max(1.0),
+                "bin {k}: {g} vs {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn amplitude_recovers_tone() {
+        let sig = tone(1000, 1000.0, 50.0, 3.0);
+        let a = goertzel_amplitude(&sig, 1000.0, 50.0);
+        assert!((a - 3.0).abs() < 1e-9, "amplitude {a}");
+    }
+
+    #[test]
+    fn off_tone_power_is_small() {
+        let sig = tone(1000, 1000.0, 50.0, 1.0);
+        let on = goertzel_power(&sig, 1000.0, 50.0);
+        let off = goertzel_power(&sig, 1000.0, 133.0);
+        assert!(off < on * 1e-3);
+    }
+
+    #[test]
+    fn non_bin_frequency_supported() {
+        // 50.3 Hz does not fall on any bin of a 1000-point FFT at 1 kHz;
+        // Goertzel still finds most of its power.
+        let sig = tone(1000, 1000.0, 50.3, 1.0);
+        let a = goertzel_amplitude(&sig, 1000.0, 50.3);
+        assert!((a - 1.0).abs() < 0.05, "amplitude {a}");
+    }
+
+    #[test]
+    fn dc_power() {
+        let sig = vec![2.0; 100];
+        let p = goertzel_power(&sig, 10.0, 0.0);
+        // Unnormalized DFT at DC = Σx = 200 → power 40 000.
+        assert!((p - 40_000.0).abs() < 1e-6);
+    }
+}

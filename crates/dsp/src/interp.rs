@@ -1,0 +1,233 @@
+//! Interpolation of regularly sampled signals at arbitrary time points.
+//!
+//! Used when reconstructing a signal from its (possibly downsampled) samples:
+//! nearest-neighbour and zero-order hold model what a dashboard does today,
+//! linear is the common pragmatic choice, and Whittaker–Shannon [`sinc`]
+//! interpolation is the theoretically exact reconstruction of a band-limited
+//! signal sampled above its Nyquist rate.
+
+use std::f64::consts::PI;
+
+/// Normalized sinc: `sin(πx)/(πx)`, with `sinc(0) = 1`.
+pub fn sinc(x: f64) -> f64 {
+    if x.abs() < 1e-12 {
+        1.0
+    } else {
+        (PI * x).sin() / (PI * x)
+    }
+}
+
+/// Interpolation method.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Interp {
+    /// Value of the closest sample in time.
+    Nearest,
+    /// Value of the most recent sample at or before `t` (zero-order hold).
+    PreviousHold,
+    /// Linear interpolation between bracketing samples.
+    Linear,
+    /// Whittaker–Shannon reconstruction. `half_width` truncates the kernel to
+    /// that many samples on each side (`None` = full sum, exact but `O(N)`
+    /// per point).
+    Sinc {
+        /// Kernel half-width in samples; `None` means the full-length sum.
+        half_width: Option<usize>,
+    },
+}
+
+impl Interp {
+    /// Evaluates the reconstruction of `samples` (first sample at `t = 0`,
+    /// spaced `1/sample_rate` apart) at time `t` seconds.
+    ///
+    /// Times outside the sampled span clamp to the edge values for the
+    /// sample-holding methods, and use the (decaying) kernel tails for sinc.
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty or `sample_rate` is not positive.
+    pub fn at(&self, samples: &[f64], sample_rate: f64, t: f64) -> f64 {
+        assert!(!samples.is_empty(), "cannot interpolate an empty signal");
+        assert!(sample_rate > 0.0, "sample_rate must be positive");
+        let n = samples.len();
+        // Fractional sample index, snapped to the grid when `t·fs` lands
+        // within float round-off of an integer — otherwise `floor()`-based
+        // methods would return the *previous* sample at exact grid points.
+        let pos = {
+            let raw = t * sample_rate;
+            let snapped = raw.round();
+            if (raw - snapped).abs() < 1e-9 * snapped.abs().max(1.0) {
+                snapped
+            } else {
+                raw
+            }
+        };
+        match *self {
+            Interp::Nearest => {
+                let idx = pos.round().clamp(0.0, (n - 1) as f64) as usize;
+                samples[idx]
+            }
+            Interp::PreviousHold => {
+                let idx = pos.floor().clamp(0.0, (n - 1) as f64) as usize;
+                samples[idx]
+            }
+            Interp::Linear => {
+                if pos <= 0.0 {
+                    return samples[0];
+                }
+                if pos >= (n - 1) as f64 {
+                    return samples[n - 1];
+                }
+                let lo = pos.floor() as usize;
+                let frac = pos - lo as f64;
+                samples[lo] * (1.0 - frac) + samples[lo + 1] * frac
+            }
+            Interp::Sinc { half_width } => {
+                let (lo, hi) = match half_width {
+                    Some(h) => {
+                        let center = pos.round() as isize;
+                        let lo = (center - h as isize).max(0) as usize;
+                        let hi = ((center + h as isize + 1).max(0) as usize).min(n);
+                        (lo, hi)
+                    }
+                    None => (0, n),
+                };
+                samples[lo..hi]
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &x)| x * sinc(pos - (lo + i) as f64))
+                    .sum()
+            }
+        }
+    }
+
+    /// Evaluates the reconstruction at each time in `times` (seconds).
+    pub fn resample(&self, samples: &[f64], sample_rate: f64, times: &[f64]) -> Vec<f64> {
+        times.iter().map(|&t| self.at(samples, sample_rate, t)).collect()
+    }
+
+    /// Resamples onto a regular grid at `dst_rate` spanning the same duration
+    /// (`samples.len() / sample_rate` seconds, half-open).
+    pub fn resample_to_rate(&self, samples: &[f64], sample_rate: f64, dst_rate: f64) -> Vec<f64> {
+        assert!(dst_rate > 0.0, "dst_rate must be positive");
+        let duration = samples.len() as f64 / sample_rate;
+        let m = (duration * dst_rate).round().max(1.0) as usize;
+        (0..m)
+            .map(|i| self.at(samples, sample_rate, i as f64 / dst_rate))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sinc_basics() {
+        assert_eq!(sinc(0.0), 1.0);
+        assert!(sinc(1.0).abs() < 1e-12);
+        assert!(sinc(2.0).abs() < 1e-12);
+        assert!((sinc(0.5) - 2.0 / PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_methods_are_exact_on_sample_points() {
+        let samples = [1.0, -2.0, 3.0, 0.5];
+        let fs = 2.0;
+        for m in [
+            Interp::Nearest,
+            Interp::PreviousHold,
+            Interp::Linear,
+            Interp::Sinc { half_width: None },
+        ] {
+            for (i, &want) in samples.iter().enumerate() {
+                let got = m.at(&samples, fs, i as f64 / fs);
+                assert!(
+                    (got - want).abs() < 1e-9,
+                    "{m:?} at sample {i}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn nearest_picks_closest() {
+        let samples = [0.0, 10.0];
+        assert_eq!(Interp::Nearest.at(&samples, 1.0, 0.4), 0.0);
+        assert_eq!(Interp::Nearest.at(&samples, 1.0, 0.6), 10.0);
+    }
+
+    #[test]
+    fn previous_hold_is_causal() {
+        let samples = [0.0, 10.0];
+        assert_eq!(Interp::PreviousHold.at(&samples, 1.0, 0.99), 0.0);
+        assert_eq!(Interp::PreviousHold.at(&samples, 1.0, 1.0), 10.0);
+    }
+
+    #[test]
+    fn linear_midpoint() {
+        let samples = [0.0, 10.0];
+        assert!((Interp::Linear.at(&samples, 1.0, 0.5) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_clamps_out_of_range() {
+        let samples = [2.0, 4.0, 8.0];
+        assert_eq!(Interp::Linear.at(&samples, 1.0, -5.0), 2.0);
+        assert_eq!(Interp::Linear.at(&samples, 1.0, 99.0), 8.0);
+    }
+
+    #[test]
+    fn sinc_reconstructs_bandlimited_tone() {
+        // 3 Hz tone sampled at 32 Hz — far above Nyquist. Sinc reconstruction
+        // at off-grid points must match the analytic signal away from edges.
+        let fs = 32.0;
+        let n = 256;
+        let f = 3.0;
+        let samples: Vec<f64> = (0..n)
+            .map(|i| (2.0 * PI * f * i as f64 / fs).sin())
+            .collect();
+        let m = Interp::Sinc { half_width: None };
+        for k in 0..40 {
+            let t = 2.0 + k as f64 * 0.083; // interior region
+            let got = m.at(&samples, fs, t);
+            let want = (2.0 * PI * f * t).sin();
+            assert!((got - want).abs() < 1e-3, "t={t}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn truncated_sinc_approximates_full() {
+        let fs = 16.0;
+        let samples: Vec<f64> = (0..128)
+            .map(|i| (2.0 * PI * 1.0 * i as f64 / fs).sin())
+            .collect();
+        let full = Interp::Sinc { half_width: None };
+        let truncated = Interp::Sinc { half_width: Some(20) };
+        let t = 4.03;
+        // The sinc kernel decays like 1/x, so a 20-sample truncation leaves a
+        // small but visible tail error.
+        assert!((full.at(&samples, fs, t) - truncated.at(&samples, fs, t)).abs() < 0.1);
+    }
+
+    #[test]
+    fn resample_to_rate_lengths() {
+        let samples = vec![1.0; 100];
+        let out = Interp::Linear.resample_to_rate(&samples, 10.0, 5.0);
+        assert_eq!(out.len(), 50);
+        let out = Interp::Linear.resample_to_rate(&samples, 10.0, 20.0);
+        assert_eq!(out.len(), 200);
+        assert!(out.iter().all(|&x| (x - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn resample_at_times() {
+        let samples = [0.0, 1.0, 2.0, 3.0];
+        let out = Interp::Linear.resample(&samples, 1.0, &[0.5, 1.5, 2.5]);
+        assert_eq!(out, vec![0.5, 1.5, 2.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_signal_panics() {
+        Interp::Linear.at(&[], 1.0, 0.0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Short-time Fourier transform (spectrogram).
+//!
+//! The moving-window Nyquist tracking of the paper's Figure 7 is, in DSP
+//! terms, a thresholded spectrogram: per-window PSDs over a sliding frame.
+//! [`stft`] computes that spectrogram directly — one [`Spectrum`] per frame
+//! — for callers that want the full time-frequency picture rather than the
+//! tracker's scalar per window (e.g. diagnosing *what* raised a signal's
+//! Nyquist rate, not just *that* it rose).
+
+use crate::fft::FftPlanner;
+use crate::psd::{periodogram, PsdConfig};
+use crate::spectrum::Spectrum;
+use crate::window::Window;
+
+/// STFT configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct StftConfig {
+    /// Samples per frame.
+    pub frame_len: usize,
+    /// Samples between frame starts (`<= frame_len` ⇒ overlap).
+    pub hop: usize,
+    /// Taper applied to each frame.
+    pub window: Window,
+    /// Remove each frame's mean before transforming.
+    pub detrend: bool,
+}
+
+impl Default for StftConfig {
+    fn default() -> Self {
+        StftConfig {
+            frame_len: 256,
+            hop: 128,
+            window: Window::Hann,
+            detrend: true,
+        }
+    }
+}
+
+/// One frame of the spectrogram.
+#[derive(Debug, Clone)]
+pub struct StftFrame {
+    /// Index of the frame's first sample in the input.
+    pub start: usize,
+    /// The frame's one-sided PSD.
+    pub spectrum: Spectrum,
+}
+
+/// Computes the spectrogram of `samples` taken at `sample_rate` Hz.
+///
+/// Only full frames are produced (a trailing partial frame is dropped,
+/// matching [`crate::psd::welch`] and the paper's moving-window method).
+/// Returns an empty vector when the signal is shorter than one frame.
+///
+/// # Panics
+/// Panics if `frame_len` or `hop` is zero, or `sample_rate` is not positive.
+pub fn stft(
+    planner: &mut FftPlanner,
+    samples: &[f64],
+    sample_rate: f64,
+    cfg: StftConfig,
+) -> Vec<StftFrame> {
+    assert!(cfg.frame_len > 0, "frame_len must be positive");
+    assert!(cfg.hop > 0, "hop must be positive");
+    assert!(sample_rate > 0.0, "sample_rate must be positive");
+    let psd_cfg = PsdConfig {
+        window: cfg.window,
+        detrend: cfg.detrend,
+    };
+    let mut frames = Vec::new();
+    let mut start = 0usize;
+    while start + cfg.frame_len <= samples.len() {
+        let spectrum = periodogram(
+            planner,
+            &samples[start..start + cfg.frame_len],
+            sample_rate,
+            psd_cfg,
+        );
+        frames.push(StftFrame { start, spectrum });
+        start += cfg.hop;
+    }
+    frames
+}
+
+/// The per-frame frequency of peak power — a ridge track through the
+/// spectrogram (useful for following a drifting tone).
+pub fn ridge(frames: &[StftFrame]) -> Vec<(usize, f64)> {
+    frames
+        .iter()
+        .map(|f| {
+            let peak = f.spectrum.peak_bins(1);
+            (f.start, peak.first().map_or(0.0, |p| p.0))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    fn chirp_like(n: usize, fs: f64, f1: f64, f2: f64) -> Vec<f64> {
+        // Two half-signals at different tones (an abrupt "regime change").
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / fs;
+                let f = if i < n / 2 { f1 } else { f2 };
+                (2.0 * PI * f * t).sin()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn frame_geometry() {
+        let mut p = FftPlanner::new();
+        let frames = stft(
+            &mut p,
+            &vec![0.0; 1000],
+            1.0,
+            StftConfig {
+                frame_len: 256,
+                hop: 128,
+                ..StftConfig::default()
+            },
+        );
+        // Starts: 0,128,…,744 → (1000−256)/128+1 = 6 full frames.
+        assert_eq!(frames.len(), 6);
+        assert_eq!(frames[0].start, 0);
+        assert_eq!(frames[5].start, 640);
+        assert_eq!(frames[0].spectrum.bin_count(), 129);
+    }
+
+    #[test]
+    fn short_signal_yields_no_frames() {
+        let mut p = FftPlanner::new();
+        assert!(stft(&mut p, &vec![0.0; 100], 1.0, StftConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn spectrogram_localizes_the_regime_change() {
+        let mut p = FftPlanner::new();
+        let fs = 100.0;
+        let sig = chirp_like(4000, fs, 5.0, 20.0);
+        let frames = stft(
+            &mut p,
+            &sig,
+            fs,
+            StftConfig {
+                frame_len: 512,
+                hop: 256,
+                ..StftConfig::default()
+            },
+        );
+        let r = ridge(&frames);
+        // Early frames peak near 5 Hz; late frames near 20 Hz.
+        let early: Vec<f64> = r.iter().filter(|(s, _)| *s < 1200).map(|(_, f)| *f).collect();
+        let late: Vec<f64> = r.iter().filter(|(s, _)| *s > 2400).map(|(_, f)| *f).collect();
+        assert!(!early.is_empty() && !late.is_empty());
+        for f in early {
+            assert!((f - 5.0).abs() < 1.0, "early peak at {f}");
+        }
+        for f in late {
+            assert!((f - 20.0).abs() < 1.0, "late peak at {f}");
+        }
+    }
+
+    #[test]
+    fn frames_are_physically_normalized() {
+        // A unit tone's per-frame power reads A²/2 regardless of overlap.
+        let mut p = FftPlanner::new();
+        let fs = 100.0;
+        let sig: Vec<f64> = (0..2000)
+            .map(|i| (2.0 * PI * 10.0 * i as f64 / fs).sin())
+            .collect();
+        let frames = stft(&mut p, &sig, fs, StftConfig::default());
+        for f in &frames {
+            let band = f.spectrum.power_in_band(8.0, 12.0);
+            assert!((band - 0.5).abs() < 0.05, "frame power {band}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "hop")]
+    fn zero_hop_panics() {
+        let mut p = FftPlanner::new();
+        stft(
+            &mut p,
+            &vec![0.0; 512],
+            1.0,
+            StftConfig {
+                hop: 0,
+                ..StftConfig::default()
+            },
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests for the DSP substrate.
+//!
+//! These pin down the algebraic invariants the rest of the workspace relies
+//! on: transforms that round-trip, energy that is conserved, estimators that
+//! stay within physical bounds.
+
+use proptest::prelude::*;
+use sweetspot_dsp::fft::{dft_naive, FftPlanner};
+use sweetspot_dsp::interp::Interp;
+use sweetspot_dsp::quantize::Quantizer;
+use sweetspot_dsp::resample::resample_fft;
+use sweetspot_dsp::stats::{percentile, Cdf, FiveNumber};
+use sweetspot_dsp::Complex64;
+
+fn signal_strategy(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e3f64..1e3, 1..max_len)
+}
+
+fn complex_signal_strategy(max_len: usize) -> impl Strategy<Value = Vec<Complex64>> {
+    prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 1..max_len)
+        .prop_map(|v| v.into_iter().map(|(re, im)| Complex64::new(re, im)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fft_roundtrip_is_identity(sig in complex_signal_strategy(200)) {
+        let mut planner = FftPlanner::new();
+        let mut buf = sig.clone();
+        planner.fft_in_place(&mut buf);
+        planner.ifft_in_place(&mut buf);
+        for (a, b) in sig.iter().zip(&buf) {
+            prop_assert!((a.re - b.re).abs() < 1e-6);
+            prop_assert!((a.im - b.im).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft(sig in complex_signal_strategy(48)) {
+        let mut planner = FftPlanner::new();
+        let expected = dft_naive(&sig);
+        let mut buf = sig;
+        planner.fft_in_place(&mut buf);
+        for (a, b) in buf.iter().zip(&expected) {
+            prop_assert!((a.re - b.re).abs() < 1e-5);
+            prop_assert!((a.im - b.im).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn parseval_holds(sig in complex_signal_strategy(150)) {
+        let mut planner = FftPlanner::new();
+        let n = sig.len() as f64;
+        let time_energy: f64 = sig.iter().map(|c| c.norm_sqr()).sum();
+        let mut buf = sig;
+        planner.fft_in_place(&mut buf);
+        let freq_energy: f64 = buf.iter().map(|c| c.norm_sqr()).sum::<f64>() / n;
+        let tol = 1e-9 * time_energy.max(1.0);
+        prop_assert!((time_energy - freq_energy).abs() < tol);
+    }
+
+    #[test]
+    fn real_fft_is_conjugate_symmetric(sig in signal_strategy(120)) {
+        let mut planner = FftPlanner::new();
+        let spec = planner.fft_real(&sig);
+        let n = sig.len();
+        let scale = sig.iter().map(|x| x.abs()).fold(1.0, f64::max);
+        for k in 1..n {
+            let a = spec[k];
+            let b = spec[n - k].conj();
+            prop_assert!((a.re - b.re).abs() < 1e-7 * scale * n as f64);
+            prop_assert!((a.im - b.im).abs() < 1e-7 * scale * n as f64);
+        }
+    }
+
+    #[test]
+    fn upsample_then_downsample_is_identity(
+        sig in signal_strategy(100),
+        factor in 2usize..5,
+    ) {
+        let mut planner = FftPlanner::new();
+        let up = resample_fft(&mut planner, &sig, sig.len() * factor);
+        let down = resample_fft(&mut planner, &up, sig.len());
+        let scale = sig.iter().map(|x| x.abs()).fold(1.0, f64::max);
+        for (a, b) in sig.iter().zip(&down) {
+            prop_assert!((a - b).abs() < 1e-6 * scale, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn quantizer_idempotent_and_bounded(
+        xs in signal_strategy(100),
+        step in 1e-3f64..10.0,
+    ) {
+        let q = Quantizer::new(step);
+        for &x in &xs {
+            let once = q.quantize(x);
+            prop_assert_eq!(q.quantize(once), once);
+            prop_assert!((once - x).abs() <= step / 2.0 + 1e-9 * x.abs().max(1.0));
+        }
+    }
+
+    #[test]
+    fn interp_exact_on_grid(sig in signal_strategy(60), fs in 0.1f64..100.0) {
+        for method in [Interp::Nearest, Interp::PreviousHold, Interp::Linear] {
+            for (i, &want) in sig.iter().enumerate() {
+                let got = method.at(&sig, fs, i as f64 / fs);
+                prop_assert!((got - want).abs() < 1e-9 * want.abs().max(1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn percentile_within_bounds(xs in signal_strategy(80), p in 0.0f64..=100.0) {
+        let v = percentile(&xs, p);
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= lo - 1e-12 && v <= hi + 1e-12);
+    }
+
+    #[test]
+    fn cdf_is_monotone(xs in signal_strategy(80)) {
+        let cdf = Cdf::new(xs);
+        let pts = cdf.points();
+        for w in pts.windows(2) {
+            prop_assert!(w[1].0 >= w[0].0);
+            prop_assert!(w[1].1 >= w[0].1);
+        }
+        if let Some(last) = pts.last() {
+            prop_assert!((last.1 - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn five_number_is_ordered(xs in signal_strategy(80)) {
+        let f = FiveNumber::of(&xs);
+        prop_assert!(f.min <= f.q1 && f.q1 <= f.median);
+        prop_assert!(f.median <= f.q3 && f.q3 <= f.max);
+    }
+
+    #[test]
+    fn goertzel_matches_fft_bin(sig in signal_strategy(64)) {
+        let mut planner = FftPlanner::new();
+        let n = sig.len();
+        let fs = 1.0;
+        let spec = planner.fft_real(&sig);
+        let k = n / 3;
+        let f = k as f64 * fs / n as f64;
+        let g = sweetspot_dsp::goertzel::goertzel_power(&sig, fs, f);
+        let want = spec[k].norm_sqr();
+        prop_assert!((g - want).abs() < 1e-5 * want.max(1.0), "{g} vs {want}");
+    }
+}

@@ -1,0 +1,38 @@
+//! # sweetspot-monitor
+//!
+//! A monitoring-system simulator: the substrate that lets the paper's
+//! cost-vs-quality argument be *measured* instead of asserted.
+//!
+//! The pieces mirror a production telemetry pipeline:
+//!
+//! * [`device`] — simulated devices exposing ground-truth signals through
+//!   the measurement chain (noise, quantization, jitter, loss);
+//! * [`poller`] — sampling policies: today's fixed-rate operator defaults,
+//!   the paper's §4.2 adaptive controller, and the a-posteriori
+//!   "measure fast, store at Nyquist" variant from §4;
+//! * [`collector`] + [`storage`] — sample collection and retention with
+//!   byte-level accounting;
+//! * [`cost`] — the resource model (collection CPU, network bytes, storage,
+//!   analysis) the paper's §1 motivates;
+//! * [`quality`] — the fidelity model: reconstruction error against ground
+//!   truth, event coverage/recall and detection latency;
+//! * [`system`] — one call to run a policy over a fleet and get
+//!   [`cost::CostReport`] + [`quality::QualityReport`] back;
+//! * [`sweep`] — rate sweeps producing the cost-vs-quality frontier and its
+//!   knee (the "sweet spot" of the title).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod collector;
+pub mod cost;
+pub mod device;
+pub mod poller;
+pub mod quality;
+pub mod storage;
+pub mod sweep;
+pub mod system;
+
+pub use cost::{CostModel, CostReport};
+pub use quality::QualityReport;
+pub use system::{MonitoringSystem, Policy, RunOutcome};

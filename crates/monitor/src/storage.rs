@@ -1,0 +1,153 @@
+//! The collector's sample store.
+//!
+//! A deliberately small time-series store: per-trace append-only sample
+//! logs with byte accounting and retention trimming. [`parking_lot::RwLock`]
+//! guards the map so fleet runs can ingest from worker threads.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use sweetspot_timeseries::ingest::TraceMeta;
+use sweetspot_timeseries::{IrregularSeries, Seconds};
+
+/// Append-only sample store keyed by trace identity.
+#[derive(Debug, Default)]
+pub struct SampleStore {
+    inner: RwLock<HashMap<TraceMeta, Vec<(Seconds, f64)>>>,
+    bytes_per_sample: f64,
+}
+
+impl SampleStore {
+    /// Creates a store accounting `bytes_per_sample` per retained sample.
+    pub fn new(bytes_per_sample: f64) -> Self {
+        SampleStore {
+            inner: RwLock::new(HashMap::new()),
+            bytes_per_sample,
+        }
+    }
+
+    /// Appends samples for a trace.
+    pub fn ingest(&self, meta: &TraceMeta, samples: impl IntoIterator<Item = (Seconds, f64)>) {
+        let mut map = self.inner.write();
+        map.entry(meta.clone()).or_default().extend(samples);
+    }
+
+    /// Number of samples retained for one trace.
+    pub fn sample_count(&self, meta: &TraceMeta) -> usize {
+        self.inner.read().get(meta).map_or(0, |v| v.len())
+    }
+
+    /// Total samples retained.
+    pub fn total_samples(&self) -> usize {
+        self.inner.read().values().map(|v| v.len()).sum()
+    }
+
+    /// Total bytes retained.
+    pub fn total_bytes(&self) -> f64 {
+        self.total_samples() as f64 * self.bytes_per_sample
+    }
+
+    /// Number of distinct traces.
+    pub fn trace_count(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Reads one trace back as an irregular series (sorted by time).
+    pub fn read(&self, meta: &TraceMeta) -> Option<IrregularSeries> {
+        let map = self.inner.read();
+        let samples = map.get(meta)?;
+        if samples.is_empty() {
+            return None;
+        }
+        Some(IrregularSeries::from_pairs(samples.clone()))
+    }
+
+    /// Drops samples older than `horizon` (retention trimming). Returns the
+    /// number of samples dropped.
+    pub fn trim_before(&self, horizon: Seconds) -> usize {
+        let mut map = self.inner.write();
+        let mut dropped = 0;
+        for samples in map.values_mut() {
+            let before = samples.len();
+            samples.retain(|(t, _)| t.value() >= horizon.value());
+            dropped += before - samples.len();
+        }
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(name: &str) -> TraceMeta {
+        TraceMeta {
+            metric: "m".into(),
+            device: name.into(),
+        }
+    }
+
+    #[test]
+    fn ingest_and_count() {
+        let store = SampleStore::new(32.0);
+        store.ingest(&meta("a"), vec![(Seconds(0.0), 1.0), (Seconds(1.0), 2.0)]);
+        store.ingest(&meta("b"), vec![(Seconds(0.0), 3.0)]);
+        assert_eq!(store.sample_count(&meta("a")), 2);
+        assert_eq!(store.total_samples(), 3);
+        assert_eq!(store.trace_count(), 2);
+        assert_eq!(store.total_bytes(), 96.0);
+    }
+
+    #[test]
+    fn ingest_appends() {
+        let store = SampleStore::new(32.0);
+        store.ingest(&meta("a"), vec![(Seconds(0.0), 1.0)]);
+        store.ingest(&meta("a"), vec![(Seconds(1.0), 2.0)]);
+        assert_eq!(store.sample_count(&meta("a")), 2);
+    }
+
+    #[test]
+    fn read_returns_sorted_series() {
+        let store = SampleStore::new(32.0);
+        store.ingest(
+            &meta("a"),
+            vec![(Seconds(5.0), 2.0), (Seconds(1.0), 1.0), (Seconds(9.0), 3.0)],
+        );
+        let s = store.read(&meta("a")).unwrap();
+        assert_eq!(s.values(), &[1.0, 2.0, 3.0]);
+        assert!(store.read(&meta("missing")).is_none());
+    }
+
+    #[test]
+    fn trim_drops_old_samples() {
+        let store = SampleStore::new(32.0);
+        store.ingest(
+            &meta("a"),
+            (0..10).map(|i| (Seconds(i as f64), i as f64)).collect::<Vec<_>>(),
+        );
+        let dropped = store.trim_before(Seconds(5.0));
+        assert_eq!(dropped, 5);
+        assert_eq!(store.sample_count(&meta("a")), 5);
+    }
+
+    #[test]
+    fn concurrent_ingest_is_safe() {
+        use std::sync::Arc;
+        let store = Arc::new(SampleStore::new(32.0));
+        let mut handles = Vec::new();
+        for d in 0..4 {
+            let store = store.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    store.ingest(
+                        &meta(&format!("dev{d}")),
+                        vec![(Seconds(i as f64), i as f64)],
+                    );
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.total_samples(), 400);
+    }
+}

@@ -1,0 +1,172 @@
+//! Rate sweeps: the cost-vs-quality frontier and its knee (the title's
+//! "sweet spot").
+//!
+//! Sweep a fleet across sampling-rate multipliers, record (cost, NRMSE,
+//! recall) per point, and locate the knee — the point closest to the utopia
+//! corner (minimum cost, minimum error) in normalized log-cost × error
+//! space.
+
+use crate::device::SimDevice;
+use crate::system::{MonitoringSystem, Policy};
+use serde::{Deserialize, Serialize};
+use sweetspot_timeseries::Seconds;
+
+/// One point on the cost-vs-quality curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Rate multiplier relative to production defaults.
+    pub rate_multiplier: f64,
+    /// Total cost units.
+    pub cost: f64,
+    /// Samples collected per device-day.
+    pub samples_per_day: f64,
+    /// Mean reconstruction NRMSE over the fleet.
+    pub nrmse: f64,
+    /// Mean event recall over the fleet.
+    pub event_recall: f64,
+}
+
+/// Sweeps fixed-rate policies at each multiplier of the production rate.
+///
+/// # Panics
+/// Panics if `multipliers` is empty or non-positive values are present.
+pub fn rate_sweep(
+    system: &MonitoringSystem,
+    devices: &mut [SimDevice],
+    multipliers: &[f64],
+    duration: Seconds,
+) -> Vec<SweepPoint> {
+    assert!(!multipliers.is_empty(), "need at least one multiplier");
+    assert!(
+        multipliers.iter().all(|&m| m > 0.0),
+        "multipliers must be positive"
+    );
+    multipliers
+        .iter()
+        .map(|&m| {
+            let outcome = system.run_fleet(devices, &Policy::ProductionScaled(m), duration);
+            let days = duration.value() / 86_400.0;
+            SweepPoint {
+                rate_multiplier: m,
+                cost: outcome.cost.total(),
+                samples_per_day: outcome.cost.samples_collected as f64
+                    / (devices.len() as f64 * days),
+                nrmse: outcome.mean_nrmse,
+                event_recall: outcome.mean_event_recall,
+            }
+        })
+        .collect()
+}
+
+/// Finds the knee of a sweep: the point minimizing the normalized distance
+/// to the utopia corner `(min log-cost, min error)`.
+///
+/// Returns `None` for empty input or when no point has finite error.
+pub fn knee_point(points: &[SweepPoint]) -> Option<&SweepPoint> {
+    let finite: Vec<&SweepPoint> = points.iter().filter(|p| p.nrmse.is_finite()).collect();
+    if finite.is_empty() {
+        return None;
+    }
+    let (min_c, max_c) = finite.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), p| {
+        (lo.min(p.cost.ln()), hi.max(p.cost.ln()))
+    });
+    let (min_e, max_e) = finite.iter().fold((f64::INFINITY, 0.0f64), |(lo, hi), p| {
+        (lo.min(p.nrmse), hi.max(p.nrmse))
+    });
+    let c_span = (max_c - min_c).max(1e-12);
+    let e_span = (max_e - min_e).max(1e-12);
+    finite
+        .into_iter()
+        .min_by(|a, b| {
+            let da = dist(a, min_c, c_span, min_e, e_span);
+            let db = dist(b, min_c, c_span, min_e, e_span);
+            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+        })
+}
+
+fn dist(p: &SweepPoint, min_c: f64, c_span: f64, min_e: f64, e_span: f64) -> f64 {
+    let c = (p.cost.ln() - min_c) / c_span;
+    let e = (p.nrmse - min_e) / e_span;
+    (c * c + e * e).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sweetspot_telemetry::{DeviceTrace, MetricKind, MetricProfile};
+
+    fn devices(n: usize) -> Vec<SimDevice> {
+        (0..n)
+            .map(|i| {
+                SimDevice::new(DeviceTrace::synthesize(
+                    MetricProfile::for_kind(MetricKind::Temperature),
+                    i,
+                    21,
+                ))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sweep_cost_increases_with_rate() {
+        let system = MonitoringSystem::default();
+        let mut devs = devices(2);
+        let points = rate_sweep(
+            &system,
+            &mut devs,
+            &[0.1, 1.0, 4.0],
+            Seconds::from_days(2.0),
+        );
+        assert_eq!(points.len(), 3);
+        assert!(points[0].cost < points[1].cost && points[1].cost < points[2].cost);
+        assert!(points[0].samples_per_day < points[2].samples_per_day);
+    }
+
+    #[test]
+    fn sweep_quality_improves_with_rate() {
+        let system = MonitoringSystem::default();
+        let mut devs = devices(2);
+        let points = rate_sweep(
+            &system,
+            &mut devs,
+            &[0.02, 1.0],
+            Seconds::from_days(4.0),
+        );
+        assert!(
+            points[1].nrmse < points[0].nrmse,
+            "faster polling must reconstruct better: {points:?}"
+        );
+    }
+
+    #[test]
+    fn knee_prefers_low_cost_low_error() {
+        let mk = |m: f64, cost: f64, nrmse: f64| SweepPoint {
+            rate_multiplier: m,
+            cost,
+            samples_per_day: cost,
+            nrmse,
+            event_recall: 1.0,
+        };
+        let points = vec![
+            mk(0.01, 10.0, 0.9),   // cheap but terrible
+            mk(0.1, 100.0, 0.05),  // the knee
+            mk(1.0, 1000.0, 0.04), // 10× cost for 1% better
+            mk(10.0, 10_000.0, 0.039),
+        ];
+        let knee = knee_point(&points).unwrap();
+        assert_eq!(knee.rate_multiplier, 0.1, "knee at {knee:?}");
+    }
+
+    #[test]
+    fn knee_of_empty_is_none() {
+        assert!(knee_point(&[]).is_none());
+        let bad = [SweepPoint {
+            rate_multiplier: 1.0,
+            cost: 1.0,
+            samples_per_day: 1.0,
+            nrmse: f64::INFINITY,
+            event_recall: 0.0,
+        }];
+        assert!(knee_point(&bad).is_none());
+    }
+}

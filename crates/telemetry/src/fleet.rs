@@ -1,0 +1,194 @@
+//! Fleet assembly: the paper's 1613 metric-device pairs.
+//!
+//! §3.2: *"In total, we studied 1613 metric and device pairs (14 distinct
+//! metrics)."* [`Fleet::paper_scale`] reproduces that population exactly;
+//! [`FleetConfig`] lets tests build smaller fleets.
+
+use crate::generator::DeviceTrace;
+use crate::metric::MetricKind;
+use crate::profile::MetricProfile;
+use sweetspot_timeseries::Seconds;
+
+/// The paper's total number of metric-device pairs.
+pub const PAPER_PAIR_COUNT: usize = 1613;
+
+/// Fleet construction parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetConfig {
+    /// Master seed; everything downstream is deterministic in it.
+    pub seed: u64,
+    /// Devices per metric (all 14 metrics get this many).
+    pub devices_per_metric: usize,
+    /// Duration each production trace covers when analyzed ("each datapoint
+    /// is one day's worth of data", §3.2).
+    pub trace_duration: Seconds,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            seed: 0xC0FFEE,
+            devices_per_metric: 8,
+            trace_duration: Seconds::from_days(1.0),
+        }
+    }
+}
+
+/// A population of synthetic `(metric, device)` traces.
+#[derive(Debug, Clone)]
+pub struct Fleet {
+    traces: Vec<DeviceTrace>,
+    config: FleetConfig,
+}
+
+impl Fleet {
+    /// Builds a fleet with `config.devices_per_metric` devices for each of
+    /// the 14 metrics.
+    pub fn build(config: FleetConfig) -> Fleet {
+        let mut traces = Vec::with_capacity(14 * config.devices_per_metric);
+        for profile in MetricProfile::all() {
+            for device_idx in 0..config.devices_per_metric {
+                traces.push(DeviceTrace::synthesize(profile, device_idx, config.seed));
+            }
+        }
+        Fleet { traces, config }
+    }
+
+    /// Builds the paper-scale fleet: exactly [`PAPER_PAIR_COUNT`] pairs
+    /// (115 devices per metric, plus one extra device for the first three
+    /// metrics: `14 × 115 + 3 = 1613`).
+    pub fn paper_scale(seed: u64) -> Fleet {
+        let config = FleetConfig {
+            seed,
+            devices_per_metric: 115,
+            trace_duration: Seconds::from_days(1.0),
+        };
+        let mut fleet = Fleet::build(config);
+        for (i, profile) in MetricProfile::all().iter().enumerate().take(3) {
+            fleet
+                .traces
+                .push(DeviceTrace::synthesize(*profile, 115 + i, seed));
+        }
+        debug_assert_eq!(fleet.traces.len(), PAPER_PAIR_COUNT);
+        fleet
+    }
+
+    /// All traces.
+    pub fn traces(&self) -> &[DeviceTrace] {
+        &self.traces
+    }
+
+    /// Traces of one metric kind.
+    pub fn traces_for(&self, kind: MetricKind) -> impl Iterator<Item = &DeviceTrace> {
+        self.traces
+            .iter()
+            .filter(move |t| t.profile().kind == kind)
+    }
+
+    /// Number of metric-device pairs.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// `true` if the fleet holds no traces.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// The construction parameters.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Fraction of pairs that are under-sampled at production rates (ground
+    /// truth, not estimated). The paper measures ~11%.
+    pub fn true_undersampled_fraction(&self) -> f64 {
+        if self.traces.is_empty() {
+            return 0.0;
+        }
+        self.traces
+            .iter()
+            .filter(|t| t.is_undersampled_at_production_rate())
+            .count() as f64
+            / self.traces.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_respects_config() {
+        let fleet = Fleet::build(FleetConfig {
+            seed: 1,
+            devices_per_metric: 3,
+            trace_duration: Seconds::from_hours(6.0),
+        });
+        assert_eq!(fleet.len(), 14 * 3);
+        for kind in MetricKind::ALL {
+            assert_eq!(fleet.traces_for(kind).count(), 3);
+        }
+    }
+
+    #[test]
+    fn paper_scale_is_1613_pairs() {
+        let fleet = Fleet::paper_scale(0xFEED);
+        assert_eq!(fleet.len(), PAPER_PAIR_COUNT);
+    }
+
+    #[test]
+    fn fleet_is_deterministic() {
+        let a = Fleet::build(FleetConfig::default());
+        let b = Fleet::build(FleetConfig::default());
+        for (x, y) in a.traces().iter().zip(b.traces()) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_fleets() {
+        let a = Fleet::build(FleetConfig {
+            seed: 1,
+            ..FleetConfig::default()
+        });
+        let b = Fleet::build(FleetConfig {
+            seed: 2,
+            ..FleetConfig::default()
+        });
+        assert!(a
+            .traces()
+            .iter()
+            .zip(b.traces())
+            .any(|(x, y)| x.model() != y.model()));
+    }
+
+    #[test]
+    fn device_names_unique_across_fleet() {
+        let fleet = Fleet::build(FleetConfig {
+            seed: 3,
+            devices_per_metric: 5,
+            trace_duration: Seconds::from_days(1.0),
+        });
+        let mut names: Vec<String> = fleet
+            .traces()
+            .iter()
+            .map(|t| t.meta().to_string())
+            .collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), fleet.len());
+    }
+
+    #[test]
+    fn undersampled_fraction_near_profile_average() {
+        // Large enough fleet for the binomial to concentrate.
+        let fleet = Fleet::build(FleetConfig {
+            seed: 11,
+            devices_per_metric: 60,
+            trace_duration: Seconds::from_days(1.0),
+        });
+        let frac = fleet.true_undersampled_fraction();
+        assert!((0.06..0.18).contains(&frac), "undersampled fraction {frac}");
+    }
+}

@@ -1,0 +1,317 @@
+//! Per-device trace synthesis.
+//!
+//! A [`DeviceTrace`] bundles everything about one `(metric, device)` pair:
+//! the ground-truth [`SignalModel`] (with a band edge drawn from the metric's
+//! profile), the measurement [`Impairments`], and the production polling
+//! schedule. It can produce both the *measured* trace the §3.2 study
+//! analyzes and the pristine ground truth tests validate against.
+
+use crate::metric::MetricKind;
+use crate::model::SignalModel;
+use crate::noise::Impairments;
+use crate::profile::MetricProfile;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use sweetspot_timeseries::ingest::TraceMeta;
+use sweetspot_timeseries::{Hertz, IrregularSeries, RegularSeries, Seconds};
+
+/// Number of broadband tones in every synthesized signal.
+const TONES_PER_SIGNAL: usize = 24;
+
+/// SplitMix64 finalizer — decorrelates nearby seeds so device 7 of metric 3
+/// shares nothing with device 7 of metric 4.
+fn mix_seed(a: u64, b: u64, c: u64) -> u64 {
+    let mut z = a
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(b.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(c.wrapping_mul(0x94D0_49BB_1331_11EB));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One synthetic `(metric, device)` pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceTrace {
+    meta: TraceMeta,
+    profile: MetricProfile,
+    model: SignalModel,
+    impairments: Impairments,
+    undersampled: bool,
+    quiet: bool,
+    seed: u64,
+}
+
+impl DeviceTrace {
+    /// Synthesizes device `device_idx` of `profile.kind` under fleet `seed`.
+    ///
+    /// Deterministic: the same `(profile, device_idx, seed)` triple always
+    /// yields the same trace.
+    pub fn synthesize(profile: MetricProfile, device_idx: usize, seed: u64) -> DeviceTrace {
+        let device_seed = mix_seed(seed, profile.kind.index() as u64 + 1, device_idx as u64 + 1);
+        let mut rng = StdRng::seed_from_u64(device_seed);
+
+        // Quiescent devices first (error counters sitting at zero all day):
+        // their signal never moves a full quantum, so they quantize flat.
+        // A quiet device is by construction never under-sampled.
+        let quiet = rng.gen_bool(profile.quiet_fraction);
+        let undersampled = !quiet && rng.gen_bool(profile.undersampled_fraction);
+        let folding = profile.folding_frequency().value();
+        let edge = if undersampled {
+            // Band edge above the production folding frequency (up to 3×).
+            let lo = folding * 1.05;
+            let hi = folding * 3.0;
+            Hertz(log_uniform(&mut rng, lo, hi))
+        } else {
+            Hertz(log_uniform(&mut rng, profile.edge_lo.value(), profile.edge_hi.value()))
+        };
+
+        // Mean and AC amplitude, kept inside the metric's physical range so
+        // no clipping (and thus no spectral spreading) is needed.
+        let (lo, hi) = profile.base_range;
+        let (mean, amp) = if quiet {
+            // Idle counter: sits at the range floor with sub-quantum wiggle.
+            (lo + profile.quant_step * 0.25, profile.quant_step * 0.2)
+        } else {
+            let mid = profile.mid_value();
+            let mean = mid + rng.gen_range(-0.2..0.2) * profile.half_range();
+            let headroom = (mean - lo).min(hi - mean);
+            (mean, rng.gen_range(0.3..0.8) * headroom)
+        };
+
+        let model = if undersampled {
+            // Alias-heavy band: most tones sit at/above the production
+            // folding frequency, so the folded spectrum fills the measurable
+            // band — the signature today's polling cannot capture.
+            SignalModel::broadband_between(
+                &mut rng,
+                Hertz(folding * 0.7),
+                edge,
+                mean,
+                amp,
+                TONES_PER_SIGNAL,
+            )
+        } else {
+            SignalModel::band_limited(
+                &mut rng,
+                edge,
+                mean,
+                amp,
+                if quiet { 0.0 } else { profile.diurnal_weight },
+                TONES_PER_SIGNAL,
+            )
+        };
+
+        let impairments = Impairments {
+            noise_std: profile.relative_noise * amp,
+            quant_step: Some(profile.quant_step),
+            drop_prob: 0.002,
+            jitter_frac: 0.02,
+            corrupt_prob: 0.0,
+            corrupt_magnitude: 0.0,
+        };
+
+        DeviceTrace {
+            meta: TraceMeta {
+                metric: profile.kind.name().to_string(),
+                device: format!("{}-dev{:04}", metric_slug(profile.kind), device_idx),
+            },
+            profile,
+            model,
+            impairments,
+            undersampled,
+            quiet,
+            seed: device_seed,
+        }
+    }
+
+    /// Returns a copy of this device with transient events injected into its
+    /// ground-truth model (for adaptation and event-recall experiments).
+    pub fn with_events(mut self, events: Vec<crate::events::Event>) -> DeviceTrace {
+        self.model = self.model.with_events(events);
+        self
+    }
+
+    /// Trace identity (`metric@device`).
+    pub fn meta(&self) -> &TraceMeta {
+        &self.meta
+    }
+
+    /// The metric profile used.
+    pub fn profile(&self) -> &MetricProfile {
+        &self.profile
+    }
+
+    /// The ground-truth signal model.
+    pub fn model(&self) -> &SignalModel {
+        &self.model
+    }
+
+    /// The measurement impairment chain.
+    pub fn impairments(&self) -> &Impairments {
+        &self.impairments
+    }
+
+    /// True band edge of the ground-truth signal (known by construction).
+    pub fn true_band_edge(&self) -> Hertz {
+        self.model.band_edge()
+    }
+
+    /// True Nyquist sampling rate (`2 × band edge`).
+    pub fn true_nyquist_rate(&self) -> Hertz {
+        self.model.nyquist_rate()
+    }
+
+    /// Whether today's production polling under-samples this device.
+    pub fn is_undersampled_at_production_rate(&self) -> bool {
+        self.undersampled
+    }
+
+    /// Whether this device is quiescent (idle counter; flat after
+    /// quantization).
+    pub fn is_quiet(&self) -> bool {
+        self.quiet
+    }
+
+    /// Pristine ground truth sampled at `rate` for `duration` from t=0.
+    pub fn ground_truth(&self, rate: Hertz, duration: Seconds) -> RegularSeries {
+        self.model.sample(Seconds::ZERO, rate, duration)
+    }
+
+    /// The measured trace at the *production* rate: ground truth through the
+    /// impairment chain. Deterministic per device.
+    pub fn production_trace(&self, duration: Seconds) -> IrregularSeries {
+        self.measured(self.profile.production_rate(), duration, 0)
+    }
+
+    /// Measured trace at an arbitrary rate. `stream` decorrelates repeated
+    /// measurements of the same device (e.g. the two pollers of the
+    /// dual-rate aliasing detector must not share noise).
+    pub fn measured(&self, rate: Hertz, duration: Seconds, stream: u64) -> IrregularSeries {
+        let truth = self.ground_truth(rate, duration);
+        let mut rng = StdRng::seed_from_u64(mix_seed(self.seed, 0xDA7A, stream));
+        self.impairments.apply(&mut rng, &truth)
+    }
+}
+
+fn log_uniform<R: Rng>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    debug_assert!(lo > 0.0 && hi > lo);
+    let u = rng.gen_range(lo.ln()..hi.ln());
+    u.exp()
+}
+
+fn metric_slug(kind: MetricKind) -> String {
+    kind.name()
+        .to_ascii_lowercase()
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_trace(idx: usize) -> DeviceTrace {
+        DeviceTrace::synthesize(MetricProfile::for_kind(MetricKind::Temperature), idx, 1)
+    }
+
+    #[test]
+    fn synthesis_is_deterministic() {
+        let a = temp_trace(3);
+        let b = temp_trace(3);
+        assert_eq!(a, b);
+        let t1 = a.production_trace(Seconds::from_hours(2.0));
+        let t2 = b.production_trace(Seconds::from_hours(2.0));
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn distinct_devices_differ() {
+        let a = temp_trace(1);
+        let b = temp_trace(2);
+        assert_ne!(a.model(), b.model());
+        assert_ne!(a.meta(), b.meta());
+    }
+
+    #[test]
+    fn well_sampled_edge_within_profile_band() {
+        let p = MetricProfile::for_kind(MetricKind::Temperature);
+        for idx in 0..50 {
+            let t = temp_trace(idx);
+            if !t.is_undersampled_at_production_rate() {
+                let e = t.true_band_edge().value();
+                assert!(
+                    e >= p.edge_lo.value() * 0.99 && e <= p.edge_hi.value() * 1.01,
+                    "edge {e} outside [{}, {}]",
+                    p.edge_lo,
+                    p.edge_hi
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn undersampled_edge_beyond_folding() {
+        let p = MetricProfile::for_kind(MetricKind::FcsErrors);
+        let mut found = 0;
+        for idx in 0..200 {
+            let t = DeviceTrace::synthesize(p, idx, 5);
+            if t.is_undersampled_at_production_rate() {
+                found += 1;
+                assert!(t.true_band_edge().value() > p.folding_frequency().value());
+            }
+        }
+        // 16% nominal → expect plenty in 200 draws.
+        assert!(found > 10, "only {found} undersampled devices");
+    }
+
+    #[test]
+    fn ground_truth_stays_in_metric_range() {
+        for idx in 0..10 {
+            let t = temp_trace(idx);
+            let (lo, hi) = t.profile().base_range;
+            let series = t.ground_truth(Hertz(1.0 / 300.0), Seconds::from_hours(12.0));
+            for &v in series.values() {
+                assert!(v >= lo - 1e-9 && v <= hi + 1e-9, "value {v} outside range");
+            }
+        }
+    }
+
+    #[test]
+    fn production_trace_has_roughly_expected_length() {
+        let t = temp_trace(0);
+        let day = Seconds::from_days(1.0);
+        let trace = t.production_trace(day);
+        // 1 day at 5-minute polls = 288, minus ~0.2% drops.
+        assert!(trace.len() >= 280 && trace.len() <= 288, "{}", trace.len());
+    }
+
+    #[test]
+    fn production_values_are_quantized() {
+        let t = temp_trace(0);
+        let step = t.profile().quant_step;
+        let trace = t.production_trace(Seconds::from_hours(6.0));
+        for &v in trace.values() {
+            let snapped = (v / step).round() * step;
+            assert!((v - snapped).abs() < 1e-9, "unquantized value {v}");
+        }
+    }
+
+    #[test]
+    fn measurement_streams_are_decorrelated() {
+        let t = temp_trace(0);
+        let a = t.measured(Hertz(1.0 / 300.0), Seconds::from_hours(6.0), 1);
+        let b = t.measured(Hertz(1.0 / 300.0), Seconds::from_hours(6.0), 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn meta_names_are_stable_and_unique() {
+        let a = temp_trace(7);
+        assert_eq!(a.meta().metric, "Temperature");
+        assert_eq!(a.meta().device, "temperature-dev0007");
+        let b = temp_trace(8);
+        assert_ne!(a.meta().device, b.meta().device);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the synthetic telemetry generator.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sweetspot_telemetry::model::SignalModel;
+use sweetspot_telemetry::noise::Impairments;
+use sweetspot_telemetry::{DeviceTrace, MetricKind, MetricProfile};
+use sweetspot_timeseries::{Hertz, Seconds};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn band_limited_model_pins_the_edge(
+        seed in 0u64..1000,
+        edge in 1e-6f64..1e-2,
+        amp in 0.1f64..100.0,
+        diurnal in 0f64..1.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = SignalModel::band_limited(&mut rng, Hertz(edge), 0.0, amp, diurnal, 16);
+        prop_assert!((m.band_edge().value() - edge).abs() < 1e-15);
+        // No tone exceeds the requested edge.
+        for t in m.tones() {
+            prop_assert!(t.freq <= edge * (1.0 + 1e-12));
+        }
+    }
+
+    #[test]
+    fn model_stays_within_mean_plus_amplitude(
+        seed in 0u64..500,
+        mean in -100f64..100.0,
+        amp in 0.1f64..50.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = SignalModel::band_limited(&mut rng, Hertz(1e-3), mean, amp, 0.3, 12);
+        let bound = m.total_amplitude();
+        for k in 0..200 {
+            let v = m.value_at(k as f64 * 137.0);
+            prop_assert!(
+                (v - mean).abs() <= bound + 1e-9,
+                "value {v} exceeds mean {mean} ± {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn device_synthesis_is_pure(
+        metric_idx in 0usize..14,
+        device_idx in 0usize..50,
+        seed in 0u64..100,
+    ) {
+        let profile = MetricProfile::for_kind(MetricKind::ALL[metric_idx]);
+        let a = DeviceTrace::synthesize(profile, device_idx, seed);
+        let b = DeviceTrace::synthesize(profile, device_idx, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn well_sampled_devices_are_recoverable(
+        metric_idx in 0usize..14,
+        device_idx in 0usize..30,
+    ) {
+        let profile = MetricProfile::for_kind(MetricKind::ALL[metric_idx]);
+        let dev = DeviceTrace::synthesize(profile, device_idx, 0xBEEF);
+        if !dev.is_undersampled_at_production_rate() {
+            // The whole point of "well-sampled": the true band edge sits
+            // below the production folding frequency.
+            prop_assert!(
+                dev.true_band_edge().value() < profile.folding_frequency().value()
+            );
+        } else {
+            prop_assert!(
+                dev.true_band_edge().value() > profile.folding_frequency().value()
+            );
+        }
+    }
+
+    #[test]
+    fn impairments_never_invent_samples(
+        drop in 0f64..0.5,
+        jitter in 0f64..0.4,
+        seed in 0u64..100,
+    ) {
+        let dev = DeviceTrace::synthesize(
+            MetricProfile::for_kind(MetricKind::LinkUtil),
+            0,
+            seed,
+        );
+        let truth = dev.ground_truth(Hertz(1.0 / 30.0), Seconds::from_hours(2.0));
+        let imp = Impairments {
+            drop_prob: drop,
+            jitter_frac: jitter,
+            ..Impairments::none()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = imp.apply(&mut rng, &truth);
+        prop_assert!(out.len() <= truth.len());
+        // Timestamps stay within half an interval of their origin slot.
+        for (t, _) in out.iter() {
+            let slot = ((t.value() - truth.start().value()) / 30.0).round();
+            prop_assert!(
+                (t.value() - truth.start().value() - slot * 30.0).abs() <= 0.4 * 30.0 + 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn quiet_devices_quantize_flat(seed in 0u64..200) {
+        let profile = MetricProfile::for_kind(MetricKind::FcsErrors);
+        for idx in 0..20 {
+            let dev = DeviceTrace::synthesize(profile, idx, seed);
+            if !dev.is_quiet() {
+                continue;
+            }
+            let trace = dev.production_trace(Seconds::from_hours(6.0));
+            let first = trace.values()[0];
+            prop_assert!(
+                trace.values().iter().all(|&v| v == first),
+                "quiet device must be constant after quantization"
+            );
+        }
+    }
+}

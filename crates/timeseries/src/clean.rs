@@ -1,0 +1,321 @@
+//! Trace pre-cleaning.
+//!
+//! §3.2 of the paper: *"In practice, monitoring systems do not produce
+//! perfectly sampled signals — samples are not always spaced at equi-distant
+//! points in time. In such situations, we pre-clean the signal using nearest
+//! neighbor re-sampling; that is, we add values for missing samples based on
+//! nearby samples."*
+//!
+//! This module implements that re-gridding plus the mundane hygiene around
+//! it: dropping NaN readings (lost measurements), clipping corrupt outliers
+//! with a robust MAD rule, and a one-call [`clean`] pipeline.
+
+use crate::series::{IrregularSeries, RegularSeries};
+use crate::time::Seconds;
+
+/// Configuration for the [`clean`] pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct CleanConfig {
+    /// Target re-grid interval. `None` uses the trace's median interval.
+    pub interval: Option<Seconds>,
+    /// Discard values further than this many (scaled) MADs from the median —
+    /// they are treated as lost samples and re-filled by the re-gridding
+    /// step. `None` disables outlier handling. (Discarding beats clamping:
+    /// a clamped corrupt reading still leaves a large impulse that pollutes
+    /// the spectrum; see [`clip_outliers`] if clamping is what you want.)
+    pub outlier_mads: Option<f64>,
+}
+
+impl Default for CleanConfig {
+    fn default() -> Self {
+        CleanConfig {
+            interval: None,
+            outlier_mads: None,
+        }
+    }
+}
+
+/// Drops samples whose value is NaN or infinite (lost/corrupt measurements).
+pub fn drop_invalid(series: &IrregularSeries) -> IrregularSeries {
+    let pairs: Vec<(Seconds, f64)> = series
+        .iter()
+        .filter(|(_, v)| v.is_finite())
+        .collect();
+    IrregularSeries::from_pairs(pairs)
+}
+
+/// Clips values further than `mads` scaled median-absolute-deviations from
+/// the median to that bound. Robust to the isolated corrupt readings the
+/// paper worries about in §3.2 ("data corruption that may have lead to an
+/// incorrect assessment").
+///
+/// Uses the 1.4826 normal-consistency scaling. If the MAD is zero (more than
+/// half the samples identical), the series is returned unchanged.
+///
+/// # Panics
+/// Panics if `mads` is not positive.
+pub fn clip_outliers(series: &IrregularSeries, mads: f64) -> IrregularSeries {
+    assert!(mads > 0.0, "mads must be positive");
+    let finite: Vec<f64> = series.values().iter().copied().filter(|v| v.is_finite()).collect();
+    if finite.is_empty() {
+        return series.clone();
+    }
+    let median = median_of(&finite);
+    let mut deviations: Vec<f64> = finite.iter().map(|v| (v - median).abs()).collect();
+    let mad = median_of_mut(&mut deviations) * 1.4826;
+    if mad <= 0.0 {
+        return series.clone();
+    }
+    let lo = median - mads * mad;
+    let hi = median + mads * mad;
+    let pairs = series
+        .iter()
+        .map(|(t, v)| (t, if v.is_finite() { v.clamp(lo, hi) } else { v }))
+        .collect();
+    IrregularSeries::from_pairs(pairs)
+}
+
+/// Removes values further than `mads` scaled median-absolute-deviations from
+/// the median — corrupt readings are treated as *lost* (dropped), to be
+/// re-filled by [`regularize`]. If the MAD is zero, the series is returned
+/// unchanged.
+///
+/// # Panics
+/// Panics if `mads` is not positive.
+pub fn drop_outliers(series: &IrregularSeries, mads: f64) -> IrregularSeries {
+    assert!(mads > 0.0, "mads must be positive");
+    let finite: Vec<f64> = series
+        .values()
+        .iter()
+        .copied()
+        .filter(|v| v.is_finite())
+        .collect();
+    if finite.is_empty() {
+        return series.clone();
+    }
+    let median = median_of(&finite);
+    let mut deviations: Vec<f64> = finite.iter().map(|v| (v - median).abs()).collect();
+    let mad = median_of_mut(&mut deviations) * 1.4826;
+    if mad <= 0.0 {
+        return series.clone();
+    }
+    let lo = median - mads * mad;
+    let hi = median + mads * mad;
+    let pairs = series
+        .iter()
+        .filter(|(_, v)| !v.is_finite() || (*v >= lo && *v <= hi))
+        .collect();
+    IrregularSeries::from_pairs(pairs)
+}
+
+/// Nearest-neighbour re-gridding of an irregular trace onto a regular grid —
+/// the paper's pre-cleaning step.
+///
+/// The grid starts at the trace's first timestamp and steps by `interval`
+/// until the last timestamp is covered. Each grid point takes the value of
+/// the nearest (in time) original sample.
+///
+/// # Panics
+/// Panics if the series is empty, contains non-finite values (call
+/// [`drop_invalid`] first), or `interval` is not positive.
+pub fn regularize(series: &IrregularSeries, interval: Seconds) -> RegularSeries {
+    assert!(!series.is_empty(), "cannot regularize an empty trace");
+    assert!(
+        series.values().iter().all(|v| v.is_finite()),
+        "drop invalid samples before re-gridding"
+    );
+    assert!(
+        interval.value() > 0.0 && interval.value().is_finite(),
+        "interval must be positive"
+    );
+    let start = series.start().expect("non-empty");
+    let end = series.end().expect("non-empty");
+    let span = (end - start).value();
+    let steps = (span / interval.value()).round() as usize + 1;
+    let values = (0..steps)
+        .map(|k| series.nearest_value(start + interval * k as f64))
+        .collect();
+    RegularSeries::new(start, interval, values)
+}
+
+/// Full cleaning pipeline: drop invalid readings, optionally discard
+/// outliers, then re-grid at the configured (or inferred) interval.
+///
+/// Returns `None` when fewer than 2 valid samples remain — there is no signal
+/// to analyze.
+pub fn clean(series: &IrregularSeries, cfg: CleanConfig) -> Option<RegularSeries> {
+    let mut trace = drop_invalid(series);
+    if let Some(mads) = cfg.outlier_mads {
+        trace = drop_outliers(&trace, mads);
+    }
+    if trace.len() < 2 {
+        return None;
+    }
+    let interval = match cfg.interval {
+        Some(i) => i,
+        None => trace.median_interval()?,
+    };
+    Some(regularize(&trace, interval))
+}
+
+fn median_of(values: &[f64]) -> f64 {
+    let mut v = values.to_vec();
+    median_of_mut(&mut v)
+}
+
+fn median_of_mut(values: &mut [f64]) -> f64 {
+    assert!(!values.is_empty());
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = values.len();
+    if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        (values[n / 2 - 1] + values[n / 2]) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn jittered_trace() -> IrregularSeries {
+        // Roughly 10s cadence with jitter and one gap.
+        IrregularSeries::new(
+            vec![
+                Seconds(0.0),
+                Seconds(10.4),
+                Seconds(19.7),
+                Seconds(30.1),
+                Seconds(50.0), // missing sample at ~40
+                Seconds(60.2),
+            ],
+            vec![1.0, 2.0, 3.0, 4.0, 6.0, 7.0],
+        )
+    }
+
+    #[test]
+    fn drop_invalid_removes_nan_and_inf() {
+        let ir = IrregularSeries::new(
+            vec![Seconds(0.0), Seconds(1.0), Seconds(2.0), Seconds(3.0)],
+            vec![1.0, f64::NAN, f64::INFINITY, 4.0],
+        );
+        let out = drop_invalid(&ir);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.values(), &[1.0, 4.0]);
+    }
+
+    #[test]
+    fn regularize_fills_gaps_with_nearest() {
+        let out = regularize(&jittered_trace(), Seconds(10.0));
+        // Grid: 0,10,20,30,40,50,60 → 7 samples.
+        assert_eq!(out.len(), 7);
+        assert_eq!(out.interval(), Seconds(10.0));
+        // t=40 is nearest to the t=30.1 sample (value 4) vs t=50 (value 6):
+        // |40−30.1| = 9.9 < |50−40| = 10 → 4.0.
+        assert_eq!(out.values()[4], 4.0);
+        // Grid endpoints take the boundary samples.
+        assert_eq!(out.values()[0], 1.0);
+        assert_eq!(out.values()[6], 7.0);
+    }
+
+    #[test]
+    fn regularize_is_identity_on_already_regular_trace() {
+        let reg = RegularSeries::new(Seconds(5.0), Seconds(2.0), vec![1.0, 2.0, 3.0]);
+        let out = regularize(&reg.to_irregular(), Seconds(2.0));
+        assert_eq!(out, reg);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop invalid")]
+    fn regularize_rejects_nan() {
+        let ir = IrregularSeries::new(vec![Seconds(0.0), Seconds(1.0)], vec![f64::NAN, 1.0]);
+        regularize(&ir, Seconds(1.0));
+    }
+
+    #[test]
+    fn clip_outliers_caps_spikes() {
+        let ir = IrregularSeries::new(
+            (0..11).map(|i| Seconds(i as f64)).collect(),
+            vec![10.0, 10.1, 9.9, 10.0, 10.2, 1e9, 9.8, 10.0, 10.1, 9.9, 10.0],
+        );
+        let out = clip_outliers(&ir, 5.0);
+        let max = out.values().iter().cloned().fold(f64::MIN, f64::max);
+        assert!(max < 20.0, "spike survived: {max}");
+        // Normal values untouched.
+        assert_eq!(out.values()[0], 10.0);
+    }
+
+    #[test]
+    fn clip_outliers_zero_mad_is_noop() {
+        let ir = IrregularSeries::new(
+            (0..5).map(|i| Seconds(i as f64)).collect(),
+            vec![5.0, 5.0, 5.0, 5.0, 100.0],
+        );
+        // MAD = 0 (majority identical) → unchanged.
+        let out = clip_outliers(&ir, 3.0);
+        assert_eq!(out.values()[4], 100.0);
+    }
+
+    #[test]
+    fn drop_outliers_removes_corrupt_readings() {
+        let ir = IrregularSeries::new(
+            (0..11).map(|i| Seconds(i as f64)).collect(),
+            vec![10.0, 10.1, 9.9, 10.0, 10.2, 1e9, 9.8, 10.0, 10.1, 9.9, 10.0],
+        );
+        let out = drop_outliers(&ir, 8.0);
+        assert_eq!(out.len(), 10, "the corrupt sample is gone");
+        assert!(out.values().iter().all(|&v| v < 100.0));
+    }
+
+    #[test]
+    fn drop_outliers_keeps_nan_for_later_stages() {
+        let ir = IrregularSeries::new(
+            (0..5).map(|i| Seconds(i as f64)).collect(),
+            vec![1.0, f64::NAN, 1.1, 500.0, 0.9],
+        );
+        let out = drop_outliers(&ir, 5.0);
+        // NaN is not an outlier decision — drop_invalid owns it.
+        assert!(out.values().iter().any(|v| v.is_nan()));
+        assert!(!out.values().contains(&500.0));
+    }
+
+    #[test]
+    fn clean_pipeline_end_to_end() {
+        let ir = jittered_trace();
+        let out = clean(&ir, CleanConfig::default()).expect("cleanable");
+        assert!(out.len() >= 6);
+        // Median interval ≈ 10.15 → grid close to 10s cadence.
+        assert!((out.interval().value() - 10.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn clean_with_explicit_interval() {
+        let out = clean(
+            &jittered_trace(),
+            CleanConfig {
+                interval: Some(Seconds(5.0)),
+                outlier_mads: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(out.interval(), Seconds(5.0));
+        assert_eq!(out.len(), 13);
+    }
+
+    #[test]
+    fn clean_returns_none_when_too_sparse() {
+        let ir = IrregularSeries::new(vec![Seconds(0.0)], vec![1.0]);
+        assert!(clean(&ir, CleanConfig::default()).is_none());
+        let all_nan = IrregularSeries::new(
+            vec![Seconds(0.0), Seconds(1.0), Seconds(2.0)],
+            vec![f64::NAN; 3],
+        );
+        assert!(clean(&all_nan, CleanConfig::default()).is_none());
+    }
+
+    #[test]
+    fn median_helpers() {
+        assert_eq!(median_of(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median_of(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+}

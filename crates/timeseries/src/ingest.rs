@@ -1,0 +1,180 @@
+//! Trace import/export.
+//!
+//! A deliberately tiny CSV dialect (`time_seconds,value` with an optional
+//! header) so traces can round-trip through files without adding a CSV
+//! dependency, plus a serde-able [`TraceMeta`] describing where a trace came
+//! from — the `(metric, device)` pair identity used throughout the paper's
+//! §3.2 study.
+
+use crate::series::IrregularSeries;
+use crate::time::Seconds;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identity and provenance of a trace: one `(metric, device)` pair.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TraceMeta {
+    /// Metric name (e.g. `"temperature"`).
+    pub metric: String,
+    /// Device identifier (e.g. `"t0-rack12-sw3"`).
+    pub device: String,
+}
+
+impl fmt::Display for TraceMeta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.metric, self.device)
+    }
+}
+
+/// Error from [`parse_csv`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending row.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a `time,value` CSV. Blank lines and `#` comments are skipped; a
+/// single non-numeric header row is tolerated. The literal value `nan`
+/// (case-insensitive) marks a lost measurement.
+pub fn parse_csv(text: &str) -> Result<IrregularSeries, ParseError> {
+    let mut pairs: Vec<(Seconds, f64)> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut fields = line.split(',');
+        let t_str = fields.next().unwrap_or("").trim();
+        let v_str = fields.next().unwrap_or("").trim();
+        if fields.next().is_some() {
+            return Err(ParseError {
+                line: i + 1,
+                message: "expected exactly two fields".into(),
+            });
+        }
+        let t = match t_str.parse::<f64>() {
+            Ok(t) => t,
+            Err(_) if i == 0 => continue, // header row
+            Err(_) => {
+                return Err(ParseError {
+                    line: i + 1,
+                    message: format!("bad timestamp {t_str:?}"),
+                })
+            }
+        };
+        let v = if v_str.eq_ignore_ascii_case("nan") {
+            f64::NAN
+        } else {
+            v_str.parse::<f64>().map_err(|_| ParseError {
+                line: i + 1,
+                message: format!("bad value {v_str:?}"),
+            })?
+        };
+        if !t.is_finite() {
+            return Err(ParseError {
+                line: i + 1,
+                message: "timestamp must be finite".into(),
+            });
+        }
+        pairs.push((Seconds(t), v));
+    }
+    Ok(IrregularSeries::from_pairs(pairs))
+}
+
+/// Serializes a series as `time,value` CSV with a header. NaN values are
+/// written as `nan`.
+pub fn to_csv(series: &IrregularSeries) -> String {
+    let mut out = String::from("time_seconds,value\n");
+    for (t, v) in series.iter() {
+        if v.is_nan() {
+            out.push_str(&format!("{},nan\n", t.value()));
+        } else {
+            out.push_str(&format!("{},{}\n", t.value(), v));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let s = IrregularSeries::new(
+            vec![Seconds(0.0), Seconds(1.5), Seconds(3.0)],
+            vec![10.0, f64::NAN, 12.5],
+        );
+        let csv = to_csv(&s);
+        let back = parse_csv(&csv).unwrap();
+        assert_eq!(back.times(), s.times());
+        assert_eq!(back.values()[0], 10.0);
+        assert!(back.values()[1].is_nan());
+        assert_eq!(back.values()[2], 12.5);
+    }
+
+    #[test]
+    fn parses_without_header() {
+        let s = parse_csv("0,1.0\n5,2.0\n").unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.values(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn skips_comments_and_blanks() {
+        let s = parse_csv("# a comment\n\n0,1\n# another\n1,2\n").unwrap();
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn sorts_out_of_order_rows() {
+        let s = parse_csv("5,2\n0,1\n").unwrap();
+        assert_eq!(s.times()[0], Seconds(0.0));
+        assert_eq!(s.values(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn bad_value_is_an_error() {
+        let err = parse_csv("0,1\n1,zzz\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("bad value"));
+    }
+
+    #[test]
+    fn bad_timestamp_mid_file_is_an_error() {
+        let err = parse_csv("0,1\nxx,2\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("bad timestamp"));
+    }
+
+    #[test]
+    fn three_fields_is_an_error() {
+        let err = parse_csv("0,1,2\n").unwrap_err();
+        assert!(err.message.contains("two fields"));
+    }
+
+    #[test]
+    fn header_row_tolerated() {
+        let s = parse_csv("time_seconds,value\n0,1\n").unwrap();
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn trace_meta_display() {
+        let m = TraceMeta {
+            metric: "temperature".into(),
+            device: "sw-17".into(),
+        };
+        assert_eq!(m.to_string(), "temperature@sw-17");
+    }
+}

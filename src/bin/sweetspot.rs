@@ -1,0 +1,241 @@
+//! `sweetspot` — the command-line interface.
+//!
+//! ```text
+//! sweetspot analyze <trace.csv> [--cutoff F] [--headroom F] [--interval SECONDS]
+//!     Estimate a trace's Nyquist rate and print a sampling recommendation.
+//!     The CSV is `time_seconds,value` (header optional, `nan` = lost sample).
+//!
+//! sweetspot track <trace.csv> [--window SECONDS] [--step SECONDS]
+//!     Moving-window Nyquist tracking (the paper's Figure 7) over a trace.
+//!
+//! sweetspot study [--devices N] [--seed S]
+//!     Run the §3.2 fleet study on the synthetic fleet and print Figure 1
+//!     plus the headline statistics.
+//!
+//! sweetspot demo [--metric NAME] [--days D] [--seed S]
+//!     Emit a synthetic production trace as CSV on stdout (pipe it back
+//!     into `analyze` to try the tool without real data).
+//! ```
+//!
+//! Argument parsing is deliberately dependency-free: flags are
+//! `--name value` pairs after the positional arguments.
+
+use std::process::ExitCode;
+use sweetspot::analysis::experiments::{fig1, headline};
+use sweetspot::analysis::study::{FleetStudy, StudyConfig};
+use sweetspot::core::recommend::{recommend, Action, RecommendConfig};
+use sweetspot::core::tracker::{summarize, track, TrackerConfig};
+use sweetspot::prelude::*;
+use sweetspot::timeseries::clean::{clean, CleanConfig};
+use sweetspot::timeseries::ingest;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "analyze" => cmd_analyze(&args[1..]),
+        "track" => cmd_track(&args[1..]),
+        "study" => cmd_study(&args[1..]),
+        "demo" => cmd_demo(&args[1..]),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+sweetspot — Nyquist-guided monitoring-rate analysis (HotNets'21 reproduction)
+
+USAGE:
+  sweetspot analyze <trace.csv> [--cutoff F] [--headroom F] [--interval SECONDS]
+  sweetspot track   <trace.csv> [--window SECONDS] [--step SECONDS]
+  sweetspot study   [--devices N] [--seed S]
+  sweetspot demo    [--metric NAME] [--days D] [--seed S]
+  sweetspot help";
+
+/// Parses `--name value` flag pairs after `positional` leading arguments.
+fn flags(args: &[String], positional: usize) -> Result<Vec<(String, String)>, String> {
+    let rest = &args[positional..];
+    if rest.len() % 2 != 0 {
+        return Err("flags must come in `--name value` pairs".into());
+    }
+    rest.chunks(2)
+        .map(|pair| {
+            let name = pair[0]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected a --flag, got {:?}", pair[0]))?;
+            Ok((name.to_string(), pair[1].clone()))
+        })
+        .collect()
+}
+
+fn flag_f64(flags: &[(String, String)], name: &str, default: f64) -> Result<f64, String> {
+    match flags.iter().find(|(n, _)| n == name) {
+        Some((_, v)) => v.parse().map_err(|_| format!("--{name} wants a number, got {v:?}")),
+        None => Ok(default),
+    }
+}
+
+fn flag_u64(flags: &[(String, String)], name: &str, default: u64) -> Result<u64, String> {
+    match flags.iter().find(|(n, _)| n == name) {
+        Some((_, v)) => v.parse().map_err(|_| format!("--{name} wants an integer, got {v:?}")),
+        None => Ok(default),
+    }
+}
+
+fn load_trace(path: &str, interval: Option<f64>) -> Result<RegularSeries, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let raw = ingest::parse_csv(&text).map_err(|e| format!("{path}: {e}"))?;
+    if raw.len() < 8 {
+        return Err(format!("{path}: only {} usable samples", raw.len()));
+    }
+    clean(
+        &raw,
+        CleanConfig {
+            interval: interval.map(Seconds),
+            outlier_mads: Some(8.0),
+        },
+    )
+    .ok_or_else(|| format!("{path}: too few valid samples after cleaning"))
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("analyze needs a trace path")?;
+    let flags = flags(args, 1)?;
+    let cutoff = flag_f64(&flags, "cutoff", 0.99)?;
+    let headroom = flag_f64(&flags, "headroom", 1.25)?;
+    let interval = flags
+        .iter()
+        .find(|(n, _)| n == "interval")
+        .map(|(_, v)| v.parse::<f64>().map_err(|_| "--interval wants seconds".to_string()))
+        .transpose()?;
+
+    let series = load_trace(path, interval)?;
+    println!(
+        "trace: {} samples at {} ({} total)",
+        series.len(),
+        series.sample_rate(),
+        series.duration()
+    );
+    let rec = recommend(
+        &series,
+        RecommendConfig {
+            estimator: NyquistConfig {
+                energy_cutoff: cutoff,
+                ..NyquistConfig::default()
+            },
+            headroom,
+            min_change_factor: 2.0,
+        },
+    );
+    match rec.estimated_nyquist {
+        Some(rate) => println!("estimated Nyquist rate: {rate}"),
+        None => println!("estimated Nyquist rate: none (trace looks aliased)"),
+    }
+    match rec.action {
+        Action::Keep => println!("recommendation: KEEP the current rate"),
+        Action::Reduce { to, saving_factor } => println!(
+            "recommendation: REDUCE to {to} ({saving_factor:.0}x fewer samples, \
+             ≈{:.0} samples/day saved)",
+            rec.samples_saved_per_day()
+        ),
+        Action::Increase { to } => println!(
+            "recommendation: INCREASE to at least {to} — the trace is under-sampled \
+             (re-run after the change; the folded estimate is a lower bound)"
+        ),
+        Action::Inspect => println!(
+            "recommendation: INSPECT — run a dual-rate probe (§4.1); a single \
+             trace cannot assess this signal"
+        ),
+    }
+    Ok(())
+}
+
+fn cmd_track(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("track needs a trace path")?;
+    let flags = flags(args, 1)?;
+    let window = flag_f64(&flags, "window", 6.0 * 3600.0)?;
+    let step = flag_f64(&flags, "step", 300.0)?;
+    let series = load_trace(path, None)?;
+    let points = track(
+        &series,
+        TrackerConfig {
+            window: Seconds(window),
+            step: Seconds(step),
+            estimator: NyquistConfig::default(),
+        },
+    );
+    if points.is_empty() {
+        return Err("trace is shorter than one window".into());
+    }
+    println!("window_start_seconds,nyquist_rate_hz");
+    for p in &points {
+        match p.estimate.rate() {
+            Some(r) => println!("{},{}", p.window_start.value(), r.value()),
+            None => println!("{},aliased", p.window_start.value()),
+        }
+    }
+    let s = summarize(&points);
+    eprintln!(
+        "windows={} aliased={} min={:?} max={:?}",
+        s.total_windows,
+        s.aliased_windows,
+        s.min_rate.map(|r| r.value()),
+        s.max_rate.map(|r| r.value())
+    );
+    Ok(())
+}
+
+fn cmd_study(args: &[String]) -> Result<(), String> {
+    let flags = flags(args, 0)?;
+    let devices = flag_u64(&flags, "devices", 40)? as usize;
+    let seed = flag_u64(&flags, "seed", 0x5EED_CAFE)?;
+    let cfg = StudyConfig {
+        fleet: FleetConfig {
+            seed,
+            devices_per_metric: devices,
+            trace_duration: Seconds::from_days(1.0),
+        },
+        ..StudyConfig::default()
+    };
+    let study = FleetStudy::run(cfg);
+    println!("{}", fig1::from_study(&study, devices).render());
+    println!("{}", headline::from_study(&study).render());
+    Ok(())
+}
+
+fn cmd_demo(args: &[String]) -> Result<(), String> {
+    let flags = flags(args, 0)?;
+    let days = flag_f64(&flags, "days", 2.0)?;
+    let seed = flag_u64(&flags, "seed", 7)?;
+    let metric_name = flags
+        .iter()
+        .find(|(n, _)| n == "metric")
+        .map(|(_, v)| v.clone())
+        .unwrap_or_else(|| "Temperature".into());
+    let kind = MetricKind::ALL
+        .iter()
+        .find(|k| k.name().eq_ignore_ascii_case(&metric_name))
+        .ok_or_else(|| {
+            format!(
+                "unknown metric {metric_name:?}; valid: {}",
+                MetricKind::ALL.map(|k| k.name()).join(", ")
+            )
+        })?;
+    let device = DeviceTrace::synthesize(MetricProfile::for_kind(*kind), 0, seed);
+    let trace = device.production_trace(Seconds::from_days(days));
+    print!("{}", ingest::to_csv(&trace));
+    Ok(())
+}

@@ -1,0 +1,149 @@
+//! End-to-end tests of the `sweetspot` CLI binary.
+
+use std::io::Write;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_sweetspot"))
+}
+
+fn write_temp(name: &str, content: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("sweetspot-cli-{name}-{}.csv", std::process::id()));
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(content.as_bytes()).unwrap();
+    path
+}
+
+/// A slow tone polled every 30 s for a day — heavily over-sampled.
+fn oversampled_csv() -> String {
+    let mut csv = String::from("time_seconds,value\n");
+    for i in 0..2880 {
+        let t = i as f64 * 30.0;
+        let v = 50.0 + 5.0 * (2.0 * std::f64::consts::PI * 2e-5 * t).sin();
+        csv.push_str(&format!("{t},{v}\n"));
+    }
+    csv
+}
+
+#[test]
+fn no_arguments_prints_usage_and_fails() {
+    let out = bin().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+}
+
+#[test]
+fn help_succeeds() {
+    let out = bin().arg("help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("analyze"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn analyze_recommends_reduction_for_oversampled_trace() {
+    let path = write_temp("oversampled", &oversampled_csv());
+    let out = bin().arg("analyze").arg(&path).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(stdout.contains("estimated Nyquist rate"), "{stdout}");
+    assert!(stdout.contains("REDUCE"), "{stdout}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn analyze_missing_file_fails_cleanly() {
+    let out = bin().arg("analyze").arg("/nonexistent/trace.csv").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn analyze_rejects_malformed_flags() {
+    let path = write_temp("flags", &oversampled_csv());
+    let out = bin()
+        .arg("analyze")
+        .arg(&path)
+        .arg("--cutoff") // missing value
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn demo_pipes_into_analyze() {
+    let out = bin()
+        .args(["demo", "--metric", "Temperature", "--days", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let csv = String::from_utf8_lossy(&out.stdout);
+    assert!(csv.starts_with("time_seconds,value"));
+    assert!(csv.lines().count() > 500);
+
+    let path = write_temp("demo", &csv);
+    let out = bin().arg("analyze").arg(&path).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("REDUCE") || stdout.contains("KEEP") || stdout.contains("INSPECT"),
+        "{stdout}"
+    );
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn demo_rejects_unknown_metric() {
+    let out = bin().args(["demo", "--metric", "nonsense"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown metric"));
+}
+
+#[test]
+fn track_emits_csv_series() {
+    // 2 days at 30 s; 6h windows step 1h.
+    let path = write_temp("track", &{
+        let mut csv = String::new();
+        for i in 0..5760 {
+            let t = i as f64 * 30.0;
+            let v = (2.0 * std::f64::consts::PI * 3e-4 * t).sin();
+            csv.push_str(&format!("{t},{v}\n"));
+        }
+        csv
+    });
+    let out = bin()
+        .args(["track"])
+        .arg(&path)
+        .args(["--window", "21600", "--step", "3600"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines[0], "window_start_seconds,nyquist_rate_hz");
+    assert!(lines.len() > 20, "{} lines", lines.len());
+    // Rates near 2×3e-4.
+    let rate: f64 = lines[1].split(',').nth(1).unwrap().parse().unwrap();
+    assert!((rate - 6e-4).abs() < 2e-4, "rate {rate}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn study_prints_figure_and_headline() {
+    let out = bin()
+        .args(["study", "--devices", "3", "--seed", "9"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Figure 1"));
+    assert!(stdout.contains("Headline statistics"));
+    assert!(stdout.contains("42")); // 14 metrics × 3 devices
+}
