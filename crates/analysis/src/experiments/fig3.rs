@@ -76,9 +76,9 @@ pub fn run(duration: f64) -> Fig3 {
             let margin = n_base / 10;
             let mut orig_int = Vec::with_capacity(n_base - 2 * margin);
             let mut recon_int = Vec::with_capacity(n_base - 2 * margin);
-            for k in margin..n_base - margin {
+            for (k, &orig) in original.iter().enumerate().take(n_base - margin).skip(margin) {
                 let t = k as f64 / BASE_RATE;
-                orig_int.push(original[k]);
+                orig_int.push(orig);
                 recon_int.push(interp.at(&sampled, fs, t));
             }
             Fig3Variant {

@@ -2,21 +2,38 @@
 //!
 //! For every `(metric, device)` pair: take one day of the device's measured
 //! production trace, pre-clean it (nearest-neighbour re-gridding), run the
-//! Nyquist estimator, and record the possible-reduction outcome. Devices are
-//! processed in parallel with scoped threads (CPU-bound work ⇒ threads, not
-//! async).
+//! Nyquist estimator, and record the possible-reduction outcome.
+//!
+//! # Sharded execution
+//!
+//! The study is embarrassingly parallel, and the engine exploits that with a
+//! shard-per-worker design (CPU-bound work ⇒ scoped threads, not async):
+//!
+//! 1. The `(metric, device)` index space is split into `threads` contiguous
+//!    shards.
+//! 2. Each worker **synthesizes its own devices** — trace generation is the
+//!    expensive half of the study, so it parallelizes too. Every device's RNG
+//!    is seeded from `(fleet seed, metric, device)` alone (see
+//!    [`DeviceTrace::synthesize`]), so no worker consumes a shared random
+//!    stream and each shard's results are a pure function of the config.
+//! 3. Shards are merged back in index order.
+//!
+//! Consequence: results are **bit-identical regardless of thread count** —
+//! `--threads 1` and `--threads 64` produce byte-identical reports. The
+//! `parallel_and_serial_agree` test pins this.
 
-use crossbeam::thread;
+use std::thread;
 use sweetspot_core::estimator::{NyquistConfig, NyquistEstimate, NyquistEstimator};
 use sweetspot_core::reduction::{reduction_outcome, summarize, ReductionOutcome, ReductionSummary};
 use sweetspot_dsp::stats::{Cdf, FiveNumber};
-use sweetspot_telemetry::{DeviceTrace, Fleet, FleetConfig, MetricKind};
+use sweetspot_telemetry::{DeviceTrace, Fleet, FleetConfig, MetricKind, MetricProfile};
 use sweetspot_timeseries::clean::{clean, CleanConfig};
 use sweetspot_timeseries::ingest::TraceMeta;
 use sweetspot_timeseries::{Hertz, Seconds};
 
 /// Study parameters.
 #[derive(Debug, Clone, Copy)]
+#[derive(Default)]
 pub struct StudyConfig {
     /// Fleet to build and analyze.
     pub fleet: FleetConfig,
@@ -26,13 +43,17 @@ pub struct StudyConfig {
     pub threads: usize,
 }
 
-impl Default for StudyConfig {
-    fn default() -> Self {
-        StudyConfig {
-            fleet: FleetConfig::default(),
-            estimator: NyquistConfig::default(),
-            threads: 0,
-        }
+
+impl StudyConfig {
+    /// Resolves `threads: 0` to the machine's available parallelism and caps
+    /// the worker count at `work_items` (no point spawning idle workers).
+    fn resolve_threads(&self, work_items: usize) -> usize {
+        let requested = if self.threads == 0 {
+            thread::available_parallelism().map_or(4, |n| n.get())
+        } else {
+            self.threads
+        };
+        requested.clamp(1, work_items.max(1))
     }
 }
 
@@ -55,6 +76,31 @@ pub struct PairResult {
     pub truly_undersampled: bool,
 }
 
+/// The results of one worker's contiguous slice of the index space, tagged
+/// with where the slice starts so merging can restore global order.
+#[derive(Debug)]
+struct Shard {
+    start_index: usize,
+    pairs: Vec<PairResult>,
+}
+
+/// Merges per-worker shards back into a single in-order result list.
+fn merge_shards(mut shards: Vec<Shard>, expected: usize) -> Vec<PairResult> {
+    shards.sort_by_key(|s| s.start_index);
+    let pairs: Vec<PairResult> = shards.into_iter().flat_map(|s| s.pairs).collect();
+    debug_assert_eq!(pairs.len(), expected, "every work item produces one result");
+    pairs
+}
+
+/// Splits `total` work items into at most `workers` contiguous spans.
+fn shard_spans(total: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
+    let chunk = total.div_ceil(workers.max(1)).max(1);
+    (0..total)
+        .step_by(chunk)
+        .map(|start| start..(start + chunk).min(total))
+        .collect()
+}
+
 /// The completed study.
 #[derive(Debug, Clone)]
 pub struct FleetStudy {
@@ -63,41 +109,91 @@ pub struct FleetStudy {
 }
 
 impl FleetStudy {
-    /// Builds the fleet from `cfg` and runs the study.
+    /// Runs the study, synthesizing devices inside the workers.
+    ///
+    /// Device synthesis is the expensive half of a fleet study; this
+    /// entry point never materializes the whole [`Fleet`], so generation and
+    /// analysis both scale across cores while peak memory stays one trace
+    /// per worker.
     pub fn run(cfg: StudyConfig) -> FleetStudy {
-        let fleet = Fleet::build(cfg.fleet);
-        Self::run_on(&fleet, cfg)
+        // The work list mirrors Fleet::build's ordering: all devices of
+        // metric 0, then metric 1, ...
+        let work: Vec<(MetricProfile, usize)> = MetricProfile::all()
+            .into_iter()
+            .flat_map(|profile| (0..cfg.fleet.devices_per_metric).map(move |d| (profile, d)))
+            .collect();
+        let duration = cfg.fleet.trace_duration;
+        let seed = cfg.fleet.seed;
+
+        Self::run_sharded(work.len(), &cfg, |span, estimator| {
+            work[span]
+                .iter()
+                .map(|&(profile, device_idx)| {
+                    let trace = DeviceTrace::synthesize(profile, device_idx, seed);
+                    analyze_pair(&trace, duration, estimator)
+                })
+                .collect()
+        })
     }
 
-    /// Runs the study over an existing fleet.
+    /// Runs the study over an existing fleet (same sharding, but traces are
+    /// taken from `fleet` instead of synthesized in the workers).
     pub fn run_on(fleet: &Fleet, cfg: StudyConfig) -> FleetStudy {
         let traces = fleet.traces();
-        let threads = if cfg.threads == 0 {
-            std::thread::available_parallelism().map_or(4, |n| n.get())
-        } else {
-            cfg.threads
-        }
-        .min(traces.len().max(1));
         let duration = cfg.fleet.trace_duration;
-        let chunk = traces.len().div_ceil(threads);
-        let mut pairs: Vec<Option<PairResult>> = vec![None; traces.len()];
-
-        thread::scope(|s| {
-            for (slot_chunk, trace_chunk) in
-                pairs.chunks_mut(chunk).zip(traces.chunks(chunk))
-            {
-                s.spawn(move |_| {
-                    let mut estimator = NyquistEstimator::new(cfg.estimator);
-                    for (slot, trace) in slot_chunk.iter_mut().zip(trace_chunk) {
-                        *slot = Some(analyze_pair(trace, duration, &mut estimator));
-                    }
-                });
-            }
+        Self::run_sharded(traces.len(), &cfg, |span, estimator| {
+            traces[span]
+                .iter()
+                .map(|trace| analyze_pair(trace, duration, estimator))
+                .collect()
         })
-        .expect("study worker panicked");
+    }
+
+    /// Shared fan-out/merge skeleton: splits `total` items into per-worker
+    /// spans, runs `process` for each span on a scoped thread with a
+    /// worker-local estimator, and merges the shards in index order.
+    fn run_sharded<F>(total: usize, cfg: &StudyConfig, process: F) -> FleetStudy
+    where
+        F: Fn(std::ops::Range<usize>, &mut NyquistEstimator) -> Vec<PairResult> + Sync,
+    {
+        let threads = cfg.resolve_threads(total);
+        let spans = shard_spans(total, threads);
+
+        let shards: Vec<Shard> = if threads == 1 {
+            // Serial fast path: no thread overhead, same code path semantics.
+            let mut estimator = NyquistEstimator::new(cfg.estimator);
+            spans
+                .into_iter()
+                .map(|span| Shard {
+                    start_index: span.start,
+                    pairs: process(span, &mut estimator),
+                })
+                .collect()
+        } else {
+            thread::scope(|s| {
+                let handles: Vec<_> = spans
+                    .into_iter()
+                    .map(|span| {
+                        let process = &process;
+                        let estimator_cfg = cfg.estimator;
+                        s.spawn(move || {
+                            let mut estimator = NyquistEstimator::new(estimator_cfg);
+                            Shard {
+                                start_index: span.start,
+                                pairs: process(span, &mut estimator),
+                            }
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("study worker panicked"))
+                    .collect()
+            })
+        };
 
         FleetStudy {
-            pairs: pairs.into_iter().map(|p| p.expect("all slots filled")).collect(),
+            pairs: merge_shards(shards, total),
         }
     }
 
@@ -119,7 +215,7 @@ impl FleetStudy {
             .iter()
             .map(|&kind| {
                 let (total, over) = self.pairs_for(kind).fold((0usize, 0usize), |(t, o), p| {
-                    let is_over = p.outcome.ratio.map_or(false, |r| r >= 1.0);
+                    let is_over = p.outcome.ratio.is_some_and(|r| r >= 1.0);
                     (t + 1, o + is_over as usize)
                 });
                 (kind, if total == 0 { 0.0 } else { over as f64 / total as f64 })
@@ -168,7 +264,7 @@ fn analyze_pair(
             outlier_mads: Some(8.0),
         },
     ) {
-        Some(series) if series.len() >= 4 => estimator.estimate_series(&series),
+        Ok(series) if series.len() >= 4 => estimator.estimate_series(&series),
         // Too little data ⇒ treat as "cannot assess", conservatively aliased.
         _ => NyquistEstimate::Aliased,
     };
@@ -276,11 +372,53 @@ mod tests {
             threads: 1,
         };
         let serial = FleetStudy::run(cfg);
-        let parallel = FleetStudy::run(StudyConfig { threads: 7, ..cfg });
-        assert_eq!(serial.pairs.len(), parallel.pairs.len());
-        for (a, b) in serial.pairs.iter().zip(&parallel.pairs) {
+        for threads in [2, 3, 7] {
+            let parallel = FleetStudy::run(StudyConfig { threads, ..cfg });
+            assert_eq!(serial.pairs.len(), parallel.pairs.len());
+            for (a, b) in serial.pairs.iter().zip(&parallel.pairs) {
+                assert_eq!(a.meta, b.meta);
+                assert_eq!(a.estimate, b.estimate);
+                assert_eq!(a.outcome.ratio, b.outcome.ratio);
+            }
+        }
+    }
+
+    #[test]
+    fn run_matches_run_on_prebuilt_fleet() {
+        let cfg = StudyConfig {
+            fleet: FleetConfig {
+                seed: 21,
+                devices_per_metric: 2,
+                trace_duration: Seconds::from_hours(6.0),
+            },
+            estimator: NyquistConfig::default(),
+            threads: 3,
+        };
+        let synthesized = FleetStudy::run(cfg);
+        let fleet = Fleet::build(cfg.fleet);
+        let prebuilt = FleetStudy::run_on(&fleet, cfg);
+        assert_eq!(synthesized.pairs.len(), prebuilt.pairs.len());
+        for (a, b) in synthesized.pairs.iter().zip(&prebuilt.pairs) {
             assert_eq!(a.meta, b.meta);
             assert_eq!(a.estimate, b.estimate);
+        }
+    }
+
+    #[test]
+    fn shard_spans_cover_everything_exactly_once() {
+        for total in [0usize, 1, 5, 12, 100] {
+            for workers in [1usize, 2, 3, 7, 16] {
+                let spans = shard_spans(total, workers);
+                let mut covered = 0;
+                let mut expected_start = 0;
+                for span in &spans {
+                    assert_eq!(span.start, expected_start, "spans must be contiguous");
+                    covered += span.len();
+                    expected_start = span.end;
+                }
+                assert_eq!(covered, total, "total={total} workers={workers}");
+                assert!(spans.len() <= workers.max(1));
+            }
         }
     }
 
@@ -294,7 +432,7 @@ mod tests {
             .iter()
             .filter(|p| !p.truly_undersampled)
             .fold((0, 0), |(t, o), p| {
-                (t + 1, o + p.outcome.ratio.map_or(false, |r| r >= 1.0) as usize)
+                (t + 1, o + p.outcome.ratio.is_some_and(|r| r >= 1.0) as usize)
             });
         assert!(well_total > 0);
         assert!(

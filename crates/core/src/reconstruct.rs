@@ -16,18 +16,12 @@ use sweetspot_dsp::stats;
 use sweetspot_timeseries::{Hertz, RegularSeries};
 
 /// Reconstruction settings.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct ReconstructionConfig {
     /// Re-apply this quantization step to the reconstructed signal (§4.3:
     /// "we can add the same quantization in order to recover the signal more
     /// accurately"). `None` leaves the low-pass output as-is.
     pub requantize: Option<f64>,
-}
-
-impl Default for ReconstructionConfig {
-    fn default() -> Self {
-        ReconstructionConfig { requantize: None }
-    }
 }
 
 /// Error metrics between an original trace and its reconstruction.

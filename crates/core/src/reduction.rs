@@ -108,7 +108,7 @@ pub fn summarize(outcomes: &[ReductionOutcome]) -> ReductionSummary {
     let frac_at_least = |x: f64| {
         outcomes
             .iter()
-            .filter(|o| o.ratio.map_or(false, |r| r >= x))
+            .filter(|o| o.ratio.is_some_and(|r| r >= x))
             .count() as f64
             / n as f64
     };

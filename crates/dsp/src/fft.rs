@@ -144,7 +144,7 @@ impl BluesteinPlan {
         }
         self.inner.fft(&mut a);
         for (x, k) in a.iter_mut().zip(&self.kernel_fft) {
-            *x = *x * *k;
+            *x *= *k;
         }
         // Inverse FFT of length m via conjugation.
         for x in a.iter_mut() {

@@ -84,17 +84,36 @@ impl Interp {
                 let (lo, hi) = match half_width {
                     Some(h) => {
                         let center = pos.round() as isize;
-                        let lo = (center - h as isize).max(0) as usize;
-                        let hi = ((center + h as isize + 1).max(0) as usize).min(n);
+                        let lo = ((center - h as isize).max(0) as usize).min(n);
+                        let hi = ((center + h as isize + 1).max(0) as usize).clamp(lo, n);
                         (lo, hi)
                     }
                     None => (0, n),
                 };
-                samples[lo..hi]
-                    .iter()
-                    .enumerate()
-                    .map(|(i, &x)| x * sinc(pos - (lo + i) as f64))
-                    .sum()
+                let window = &samples[lo..hi];
+                if window.is_empty() {
+                    // The truncated kernel does not reach the record at all
+                    // (query far outside the sampled span): the full sum
+                    // would be 0, so return that rather than dividing by a
+                    // zero-length window below.
+                    return 0.0;
+                }
+                let (weighted, weight, sum) = window.iter().enumerate().fold(
+                    (0.0, 0.0, 0.0),
+                    |(ws, w, s), (i, &x)| {
+                        let k = sinc(pos - (lo + i) as f64);
+                        (ws + x * k, w + k, s + x)
+                    },
+                );
+                // Deficit compensation: over all integers the sinc weights
+                // sum to exactly 1, but a finite (or truncated) record loses
+                // the kernel tails, which shows up as a large DC error on
+                // short records (the reconstruction of a constant droops).
+                // Re-injecting the lost weight at the window's mean level
+                // fixes that without disturbing long zero-mean records,
+                // where the deficit correction vanishes.
+                let mean = sum / window.len() as f64;
+                weighted + mean * (1.0 - weight)
             }
         }
     }
@@ -229,5 +248,35 @@ mod tests {
     #[should_panic(expected = "empty")]
     fn empty_signal_panics() {
         Interp::Linear.at(&[], 1.0, 0.0);
+    }
+
+    #[test]
+    fn truncated_sinc_far_outside_span_is_zero_not_nan() {
+        let samples = [5.0, 6.0, 7.0, 8.0];
+        let m = Interp::Sinc { half_width: Some(2) };
+        // Query far before and far after the record: the truncated kernel
+        // window is empty on both sides.
+        for t in [-100.0, 100.0] {
+            let v = m.at(&samples, 1.0, t);
+            assert_eq!(v, 0.0, "t={t}: {v}");
+        }
+    }
+
+    #[test]
+    fn sinc_deficit_compensation_holds_dc_on_short_records() {
+        // A constant signal must reconstruct exactly even from a 6-sample
+        // record — the finite-record kernel deficit is re-injected at the
+        // window mean (the regression behind the posteriori quality bug).
+        let samples = [42.0; 6];
+        for m in [
+            Interp::Sinc { half_width: None },
+            Interp::Sinc { half_width: Some(64) },
+        ] {
+            for k in 0..50 {
+                let t = k as f64 * 0.11;
+                let v = m.at(&samples, 1.0, t);
+                assert!((v - 42.0).abs() < 1e-9, "{m:?} t={t}: {v}");
+            }
+        }
     }
 }

@@ -66,12 +66,12 @@ impl Default for WelchConfig {
 /// Interior bins are doubled (they carry the energy of both the positive and
 /// negative frequency); DC and — for even `n` — the Nyquist bin are not.
 fn fold_one_sided(full: &[Complex64], n: usize) -> Vec<f64> {
-    let bins = if n % 2 == 0 { n / 2 + 1 } else { n.div_ceil(2) };
+    let bins = if n.is_multiple_of(2) { n / 2 + 1 } else { n.div_ceil(2) };
     let mut out = Vec::with_capacity(bins);
     for (k, c) in full.iter().take(bins).enumerate() {
         let mut p = c.norm_sqr();
         let is_dc = k == 0;
-        let is_nyquist = n % 2 == 0 && k == n / 2;
+        let is_nyquist = n.is_multiple_of(2) && k == n / 2;
         if !is_dc && !is_nyquist {
             p *= 2.0;
         }
@@ -140,7 +140,7 @@ pub fn welch(
     );
     let seg_len = cfg.segment_len.min(samples.len());
     let hop = ((seg_len as f64) * (1.0 - cfg.overlap)).round().max(1.0) as usize;
-    let bins = if seg_len % 2 == 0 {
+    let bins = if seg_len.is_multiple_of(2) {
         seg_len / 2 + 1
     } else {
         seg_len.div_ceil(2)

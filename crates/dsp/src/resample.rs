@@ -77,7 +77,7 @@ pub fn resample_fft(planner: &mut FftPlanner, samples: &[f64], new_len: usize) -
     if m > n {
         // Upsampling: if n is even, its Nyquist bin must be split between the
         // two mirrored positions of the longer spectrum.
-        if n % 2 == 0 {
+        if n.is_multiple_of(2) {
             let half = spec[n / 2].scale(0.5);
             out[n / 2] = half;
             out[m - n / 2] = half.conj();
@@ -87,7 +87,7 @@ pub fn resample_fft(planner: &mut FftPlanner, samples: &[f64], new_len: usize) -
         // the new Nyquist position (they are conjugates, so the sum is real).
         // Summing — not averaging — makes up-then-down an exact inverse and
         // matches true decimation of a Nyquist-frequency cosine.
-        if m % 2 == 0 {
+        if m.is_multiple_of(2) {
             out[m / 2] = spec[m / 2] + spec[n - m / 2];
         }
     }

@@ -32,7 +32,7 @@ impl Spectrum {
             sample_rate.is_finite() && sample_rate > 0.0,
             "sample_rate must be positive, got {sample_rate}"
         );
-        let expected = if n % 2 == 0 { n / 2 + 1 } else { n.div_ceil(2) };
+        let expected = if n.is_multiple_of(2) { n / 2 + 1 } else { n.div_ceil(2) };
         assert_eq!(
             power.len(),
             expected,

@@ -74,6 +74,7 @@ impl SimDevice {
                 outlier_mads: None,
             },
         )
+        .ok()
     }
 
     /// Pristine ground truth over a window (for quality evaluation only —

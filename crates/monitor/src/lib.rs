@@ -36,3 +36,28 @@ pub mod system;
 pub use cost::{CostModel, CostReport};
 pub use quality::QualityReport;
 pub use system::{MonitoringSystem, Policy, RunOutcome};
+
+/// Shared helpers for this crate's unit tests.
+#[cfg(test)]
+pub(crate) mod testutil {
+    use crate::device::SimDevice;
+    use sweetspot_telemetry::{DeviceTrace, MetricKind, MetricProfile};
+
+    /// A device the posteriori policy can thin ≥2×: well-sampled, band edge
+    /// well below the folding frequency, signal-dominated spectrum. (A
+    /// near-static device legitimately reads as noise/aliased under §3.2 and
+    /// is stored in full — valid behavior, but not what thinning tests
+    /// probe.)
+    pub(crate) fn thinnable_device(seed: u64) -> SimDevice {
+        let profile = MetricProfile::for_kind(MetricKind::Temperature);
+        let dev = (0..50)
+            .map(|i| DeviceTrace::synthesize(profile, i, seed))
+            .find(|d| {
+                !d.is_undersampled_at_production_rate()
+                    && (2e-5..3e-4).contains(&d.true_band_edge().value())
+                    && d.model().total_amplitude() > 10.0
+            })
+            .expect("a thinnable temperature device in 50 draws");
+        SimDevice::new(dev)
+    }
+}

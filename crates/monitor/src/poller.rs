@@ -134,6 +134,7 @@ mod tests {
         ))
     }
 
+
     #[test]
     fn fixed_rate_stores_everything_it_collects() {
         let mut d = device();
@@ -148,7 +149,7 @@ mod tests {
 
     #[test]
     fn posteriori_stores_fewer_than_it_collects() {
-        let mut d = device();
+        let mut d = crate::testutil::thinnable_device(7);
         let run = PosterioriPlan {
             acquisition_rate: Hertz(1.0 / 300.0),
             estimator: NyquistConfig::default(),

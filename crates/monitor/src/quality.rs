@@ -92,7 +92,8 @@ pub fn evaluate(
             interval: None,
             outlier_mads: None,
         },
-    )?;
+    )
+    .ok()?;
     let stored_rate = cleaned.sample_rate();
     let stored_start = cleaned.start().value();
 

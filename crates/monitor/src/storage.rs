@@ -1,10 +1,10 @@
 //! The collector's sample store.
 //!
 //! A deliberately small time-series store: per-trace append-only sample
-//! logs with byte accounting and retention trimming. [`parking_lot::RwLock`]
+//! logs with byte accounting and retention trimming. [`std::sync::RwLock`]
 //! guards the map so fleet runs can ingest from worker threads.
 
-use parking_lot::RwLock;
+use std::sync::RwLock;
 use std::collections::HashMap;
 use sweetspot_timeseries::ingest::TraceMeta;
 use sweetspot_timeseries::{IrregularSeries, Seconds};
@@ -27,18 +27,18 @@ impl SampleStore {
 
     /// Appends samples for a trace.
     pub fn ingest(&self, meta: &TraceMeta, samples: impl IntoIterator<Item = (Seconds, f64)>) {
-        let mut map = self.inner.write();
+        let mut map = self.inner.write().expect("store lock poisoned");
         map.entry(meta.clone()).or_default().extend(samples);
     }
 
     /// Number of samples retained for one trace.
     pub fn sample_count(&self, meta: &TraceMeta) -> usize {
-        self.inner.read().get(meta).map_or(0, |v| v.len())
+        self.inner.read().expect("store lock poisoned").get(meta).map_or(0, |v| v.len())
     }
 
     /// Total samples retained.
     pub fn total_samples(&self) -> usize {
-        self.inner.read().values().map(|v| v.len()).sum()
+        self.inner.read().expect("store lock poisoned").values().map(|v| v.len()).sum()
     }
 
     /// Total bytes retained.
@@ -48,12 +48,12 @@ impl SampleStore {
 
     /// Number of distinct traces.
     pub fn trace_count(&self) -> usize {
-        self.inner.read().len()
+        self.inner.read().expect("store lock poisoned").len()
     }
 
     /// Reads one trace back as an irregular series (sorted by time).
     pub fn read(&self, meta: &TraceMeta) -> Option<IrregularSeries> {
-        let map = self.inner.read();
+        let map = self.inner.read().expect("store lock poisoned");
         let samples = map.get(meta)?;
         if samples.is_empty() {
             return None;
@@ -64,7 +64,7 @@ impl SampleStore {
     /// Drops samples older than `horizon` (retention trimming). Returns the
     /// number of samples dropped.
     pub fn trim_before(&self, horizon: Seconds) -> usize {
-        let mut map = self.inner.write();
+        let mut map = self.inner.write().expect("store lock poisoned");
         let mut dropped = 0;
         for samples in map.values_mut() {
             let before = samples.len();

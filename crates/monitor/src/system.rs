@@ -55,21 +55,12 @@ pub struct FleetOutcome {
 }
 
 /// The system under study: a cost model plus quality settings.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct MonitoringSystem {
     /// Resource prices.
     pub cost_model: CostModel,
     /// Quality evaluation settings.
     pub quality: QualityConfig,
-}
-
-impl Default for MonitoringSystem {
-    fn default() -> Self {
-        MonitoringSystem {
-            cost_model: CostModel::default(),
-            quality: QualityConfig::default(),
-        }
-    }
 }
 
 impl MonitoringSystem {
@@ -174,10 +165,11 @@ mod tests {
     fn posteriori_cuts_storage_not_collection() {
         let system = MonitoringSystem::default();
         let duration = Seconds::from_days(2.0);
-        let mut devs = devices(2);
-        let base = system.run_device(&mut devs[0], &Policy::ProductionDefault, duration);
+        let mut base_dev = crate::testutil::thinnable_device(5);
+        let mut post_dev = crate::testutil::thinnable_device(5);
+        let base = system.run_device(&mut base_dev, &Policy::ProductionDefault, duration);
         let post = system.run_device(
-            &mut devs[1],
+            &mut post_dev,
             &Policy::PosterioriNyquist { headroom: 1.25 },
             duration,
         );

@@ -9,14 +9,6 @@ use sweetspot_telemetry::{DeviceTrace, MetricKind, MetricProfile};
 use sweetspot_timeseries::ingest::TraceMeta;
 use sweetspot_timeseries::{Hertz, Seconds};
 
-fn temperature_device(idx: usize, seed: u64) -> SimDevice {
-    SimDevice::new(DeviceTrace::synthesize(
-        MetricProfile::for_kind(MetricKind::Temperature),
-        idx,
-        seed,
-    ))
-}
-
 #[test]
 fn all_policies_run_on_a_mixed_fleet() {
     let system = MonitoringSystem::default();

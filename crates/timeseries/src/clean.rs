@@ -7,11 +7,16 @@
 //! nearby samples."*
 //!
 //! This module implements that re-gridding plus the mundane hygiene around
-//! it: dropping NaN readings (lost measurements), clipping corrupt outliers
-//! with a robust MAD rule, and a one-call [`clean`] pipeline.
+//! it: dropping NaN readings (lost measurements), discarding corrupt outliers
+//! with a robust MAD rule (on by default, see [`CleanConfig`]), and a
+//! one-call [`clean`] pipeline. Malformed inputs — empty traces, traces that
+//! are all-NaN, non-positive grid intervals — come back as [`CleanError`]s,
+//! never panics, so a corrupt CSV fed to the CLI dies with a diagnostic
+//! instead of a backtrace.
 
 use crate::series::{IrregularSeries, RegularSeries};
 use crate::time::Seconds;
+use std::fmt;
 
 /// Configuration for the [`clean`] pipeline.
 #[derive(Debug, Clone, Copy)]
@@ -23,6 +28,10 @@ pub struct CleanConfig {
     /// step. `None` disables outlier handling. (Discarding beats clamping:
     /// a clamped corrupt reading still leaves a large impulse that pollutes
     /// the spectrum; see [`clip_outliers`] if clamping is what you want.)
+    ///
+    /// The default is `Some(8.0)` — wide enough that legitimate spikes and
+    /// diurnal swings survive untouched, tight enough to discard the
+    /// order-of-magnitude corruption §3.2 worries about.
     pub outlier_mads: Option<f64>,
 }
 
@@ -30,10 +39,46 @@ impl Default for CleanConfig {
     fn default() -> Self {
         CleanConfig {
             interval: None,
-            outlier_mads: None,
+            outlier_mads: Some(8.0),
         }
     }
 }
+
+/// Why a trace could not be cleaned/re-gridded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CleanError {
+    /// Fewer than 2 valid samples remained — there is no signal to analyze.
+    /// Carries the number of valid samples found.
+    TooSparse(usize),
+    /// The series still contains NaN/infinite values (call [`drop_invalid`]
+    /// before [`regularize`]).
+    NonFinite,
+    /// The re-grid interval is not a positive finite number of seconds.
+    BadInterval(f64),
+    /// The configured MAD multiple is not positive.
+    BadOutlierMads(f64),
+}
+
+impl fmt::Display for CleanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CleanError::TooSparse(n) => {
+                write!(f, "too few valid samples to analyze ({n} after cleaning)")
+            }
+            CleanError::NonFinite => {
+                write!(f, "trace contains NaN/infinite values; drop invalid samples first")
+            }
+            CleanError::BadInterval(s) => {
+                write!(f, "re-grid interval must be a positive number of seconds, got {s}")
+            }
+            CleanError::BadOutlierMads(m) => {
+                write!(f, "outlier MAD multiple must be positive, got {m}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CleanError {}
 
 /// Drops samples whose value is NaN or infinite (lost/corrupt measurements).
 pub fn drop_invalid(series: &IrregularSeries) -> IrregularSeries {
@@ -115,19 +160,24 @@ pub fn drop_outliers(series: &IrregularSeries, mads: f64) -> IrregularSeries {
 /// until the last timestamp is covered. Each grid point takes the value of
 /// the nearest (in time) original sample.
 ///
-/// # Panics
-/// Panics if the series is empty, contains non-finite values (call
-/// [`drop_invalid`] first), or `interval` is not positive.
-pub fn regularize(series: &IrregularSeries, interval: Seconds) -> RegularSeries {
-    assert!(!series.is_empty(), "cannot regularize an empty trace");
-    assert!(
-        series.values().iter().all(|v| v.is_finite()),
-        "drop invalid samples before re-gridding"
-    );
-    assert!(
-        interval.value() > 0.0 && interval.value().is_finite(),
-        "interval must be positive"
-    );
+/// # Errors
+/// * [`CleanError::TooSparse`] — the series is empty.
+/// * [`CleanError::NonFinite`] — the series contains NaN/infinite values
+///   (call [`drop_invalid`] first).
+/// * [`CleanError::BadInterval`] — `interval` is not positive and finite.
+pub fn regularize(
+    series: &IrregularSeries,
+    interval: Seconds,
+) -> Result<RegularSeries, CleanError> {
+    if series.is_empty() {
+        return Err(CleanError::TooSparse(0));
+    }
+    if !series.values().iter().all(|v| v.is_finite()) {
+        return Err(CleanError::NonFinite);
+    }
+    if !(interval.value() > 0.0 && interval.value().is_finite()) {
+        return Err(CleanError::BadInterval(interval.value()));
+    }
     let start = series.start().expect("non-empty");
     let end = series.end().expect("non-empty");
     let span = (end - start).value();
@@ -135,27 +185,44 @@ pub fn regularize(series: &IrregularSeries, interval: Seconds) -> RegularSeries 
     let values = (0..steps)
         .map(|k| series.nearest_value(start + interval * k as f64))
         .collect();
-    RegularSeries::new(start, interval, values)
+    Ok(RegularSeries::new(start, interval, values))
 }
 
 /// Full cleaning pipeline: drop invalid readings, optionally discard
 /// outliers, then re-grid at the configured (or inferred) interval.
 ///
-/// Returns `None` when fewer than 2 valid samples remain — there is no signal
-/// to analyze.
-pub fn clean(series: &IrregularSeries, cfg: CleanConfig) -> Option<RegularSeries> {
+/// # Errors
+/// * [`CleanError::TooSparse`] — fewer than 2 valid samples remain.
+/// * [`CleanError::BadInterval`] — the configured interval is not positive
+///   and finite.
+/// * [`CleanError::BadOutlierMads`] — the configured MAD multiple is not
+///   positive.
+pub fn clean(series: &IrregularSeries, cfg: CleanConfig) -> Result<RegularSeries, CleanError> {
+    if let Some(interval) = cfg.interval {
+        if !(interval.value() > 0.0 && interval.value().is_finite()) {
+            return Err(CleanError::BadInterval(interval.value()));
+        }
+    }
+    if let Some(mads) = cfg.outlier_mads {
+        // NaN must fail this check too, so compare via the negation.
+        if mads <= 0.0 || mads.is_nan() {
+            return Err(CleanError::BadOutlierMads(mads));
+        }
+    }
     let mut trace = drop_invalid(series);
     if let Some(mads) = cfg.outlier_mads {
         trace = drop_outliers(&trace, mads);
     }
     if trace.len() < 2 {
-        return None;
+        return Err(CleanError::TooSparse(trace.len()));
     }
     let interval = match cfg.interval {
         Some(i) => i,
-        None => trace.median_interval()?,
+        None => trace
+            .median_interval()
+            .ok_or(CleanError::TooSparse(trace.len()))?,
     };
-    Some(regularize(&trace, interval))
+    regularize(&trace, interval)
 }
 
 fn median_of(values: &[f64]) -> f64 {
@@ -206,7 +273,7 @@ mod tests {
 
     #[test]
     fn regularize_fills_gaps_with_nearest() {
-        let out = regularize(&jittered_trace(), Seconds(10.0));
+        let out = regularize(&jittered_trace(), Seconds(10.0)).unwrap();
         // Grid: 0,10,20,30,40,50,60 → 7 samples.
         assert_eq!(out.len(), 7);
         assert_eq!(out.interval(), Seconds(10.0));
@@ -221,15 +288,36 @@ mod tests {
     #[test]
     fn regularize_is_identity_on_already_regular_trace() {
         let reg = RegularSeries::new(Seconds(5.0), Seconds(2.0), vec![1.0, 2.0, 3.0]);
-        let out = regularize(&reg.to_irregular(), Seconds(2.0));
+        let out = regularize(&reg.to_irregular(), Seconds(2.0)).unwrap();
         assert_eq!(out, reg);
     }
 
     #[test]
-    #[should_panic(expected = "drop invalid")]
-    fn regularize_rejects_nan() {
+    fn regularize_rejects_nan_as_error() {
         let ir = IrregularSeries::new(vec![Seconds(0.0), Seconds(1.0)], vec![f64::NAN, 1.0]);
-        regularize(&ir, Seconds(1.0));
+        assert_eq!(regularize(&ir, Seconds(1.0)), Err(CleanError::NonFinite));
+    }
+
+    #[test]
+    fn regularize_rejects_empty_and_bad_interval() {
+        let empty = IrregularSeries::new(vec![], vec![]);
+        assert_eq!(
+            regularize(&empty, Seconds(1.0)),
+            Err(CleanError::TooSparse(0))
+        );
+        let ok = jittered_trace();
+        assert_eq!(
+            regularize(&ok, Seconds(0.0)),
+            Err(CleanError::BadInterval(0.0))
+        );
+        assert_eq!(
+            regularize(&ok, Seconds(-3.0)),
+            Err(CleanError::BadInterval(-3.0))
+        );
+        assert!(matches!(
+            regularize(&ok, Seconds(f64::NAN)),
+            Err(CleanError::BadInterval(s)) if s.is_nan()
+        ));
     }
 
     #[test]
@@ -303,14 +391,72 @@ mod tests {
     }
 
     #[test]
-    fn clean_returns_none_when_too_sparse() {
+    fn clean_default_discards_corrupt_outliers() {
+        // The module doc's §3.2 promise: MAD outlier handling is part of the
+        // default pipeline, not opt-in. An order-of-magnitude corrupt reading
+        // is discarded and the slot re-filled from its neighbours.
+        let ir = IrregularSeries::new(
+            (0..11).map(|i| Seconds(i as f64 * 10.0)).collect(),
+            vec![10.0, 10.1, 9.9, 10.0, 10.2, 1e9, 9.8, 10.0, 10.1, 9.9, 10.0],
+        );
+        let out = clean(&ir, CleanConfig::default()).unwrap();
+        assert!(
+            out.values().iter().all(|&v| v < 100.0),
+            "corruption must not survive the default pipeline: {:?}",
+            out.values()
+        );
+        // The corrupt slot was re-filled, not dropped from the grid.
+        assert_eq!(out.len(), 11);
+    }
+
+    #[test]
+    fn clean_reports_too_sparse() {
         let ir = IrregularSeries::new(vec![Seconds(0.0)], vec![1.0]);
-        assert!(clean(&ir, CleanConfig::default()).is_none());
+        assert_eq!(
+            clean(&ir, CleanConfig::default()),
+            Err(CleanError::TooSparse(1))
+        );
         let all_nan = IrregularSeries::new(
             vec![Seconds(0.0), Seconds(1.0), Seconds(2.0)],
             vec![f64::NAN; 3],
         );
-        assert!(clean(&all_nan, CleanConfig::default()).is_none());
+        assert_eq!(
+            clean(&all_nan, CleanConfig::default()),
+            Err(CleanError::TooSparse(0))
+        );
+    }
+
+    #[test]
+    fn clean_reports_bad_config() {
+        let ir = jittered_trace();
+        assert_eq!(
+            clean(
+                &ir,
+                CleanConfig {
+                    interval: Some(Seconds(-1.0)),
+                    outlier_mads: None,
+                }
+            ),
+            Err(CleanError::BadInterval(-1.0))
+        );
+        assert_eq!(
+            clean(
+                &ir,
+                CleanConfig {
+                    interval: None,
+                    outlier_mads: Some(0.0),
+                }
+            ),
+            Err(CleanError::BadOutlierMads(0.0))
+        );
+    }
+
+    #[test]
+    fn clean_errors_render_diagnostics() {
+        assert!(CleanError::TooSparse(1).to_string().contains("too few"));
+        assert!(CleanError::NonFinite.to_string().contains("NaN"));
+        assert!(CleanError::BadInterval(-2.0).to_string().contains("-2"));
+        assert!(CleanError::BadOutlierMads(0.0).to_string().contains("positive"));
     }
 
     #[test]

@@ -44,10 +44,12 @@ impl fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 /// Parses a `time,value` CSV. Blank lines and `#` comments are skipped; a
-/// single non-numeric header row is tolerated. The literal value `nan`
+/// single non-numeric header row before the first data row is tolerated —
+/// even when comments or blank lines precede it. The literal value `nan`
 /// (case-insensitive) marks a lost measurement.
 pub fn parse_csv(text: &str) -> Result<IrregularSeries, ParseError> {
     let mut pairs: Vec<(Seconds, f64)> = Vec::new();
+    let mut header_allowed = true;
     for (i, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -64,7 +66,13 @@ pub fn parse_csv(text: &str) -> Result<IrregularSeries, ParseError> {
         }
         let t = match t_str.parse::<f64>() {
             Ok(t) => t,
-            Err(_) if i == 0 => continue, // header row
+            // One header row is fine anywhere before the first data row
+            // (tracking "first data row seen", not the literal line number,
+            // so leading comments/blanks don't defeat it).
+            Err(_) if header_allowed => {
+                header_allowed = false;
+                continue;
+            }
             Err(_) => {
                 return Err(ParseError {
                     line: i + 1,
@@ -72,6 +80,7 @@ pub fn parse_csv(text: &str) -> Result<IrregularSeries, ParseError> {
                 })
             }
         };
+        header_allowed = false;
         let v = if v_str.eq_ignore_ascii_case("nan") {
             f64::NAN
         } else {
@@ -167,6 +176,28 @@ mod tests {
     fn header_row_tolerated() {
         let s = parse_csv("time_seconds,value\n0,1\n").unwrap();
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn header_after_leading_comment_and_blank_tolerated() {
+        let s = parse_csv("# exported by sweetspot demo\n\ntime_seconds,value\n0,1\n5,2\n")
+            .unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.values(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn second_header_like_row_is_an_error() {
+        let err = parse_csv("time_seconds,value\nalso,a header\n0,1\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("bad timestamp"));
+    }
+
+    #[test]
+    fn header_after_data_is_an_error() {
+        let err = parse_csv("0,1\ntime_seconds,value\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("bad timestamp"));
     }
 
     #[test]

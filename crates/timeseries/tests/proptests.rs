@@ -36,7 +36,7 @@ proptest! {
     #[test]
     fn regularize_covers_span_with_input_values(series in irregular_strategy()) {
         let interval = Seconds(1.0);
-        let regular = regularize(&series, interval);
+        let regular = regularize(&series, interval).unwrap();
         // Grid starts at the first sample and covers the last.
         prop_assert_eq!(regular.start(), series.start().unwrap());
         let end = regular.time_of(regular.len() - 1);
@@ -55,13 +55,13 @@ proptest! {
     ) {
         let values: Vec<f64> = (0..n).map(|i| base + i as f64).collect();
         let reg = RegularSeries::new(Seconds(5.0), Seconds(interval), values);
-        let back = regularize(&reg.to_irregular(), Seconds(interval));
+        let back = regularize(&reg.to_irregular(), Seconds(interval)).unwrap();
         prop_assert_eq!(back, reg);
     }
 
     #[test]
     fn clean_output_has_no_nans(series in irregular_strategy()) {
-        if let Some(out) = clean(&series, CleanConfig::default()) {
+        if let Ok(out) = clean(&series, CleanConfig::default()) {
             prop_assert!(out.values().iter().all(|v| v.is_finite()));
         }
     }

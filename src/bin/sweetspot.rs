@@ -8,9 +8,10 @@
 //! sweetspot track <trace.csv> [--window SECONDS] [--step SECONDS]
 //!     Moving-window Nyquist tracking (the paper's Figure 7) over a trace.
 //!
-//! sweetspot study [--devices N] [--seed S]
+//! sweetspot study [--devices N] [--seed S] [--threads T]
 //!     Run the §3.2 fleet study on the synthetic fleet and print Figure 1
-//!     plus the headline statistics.
+//!     plus the headline statistics. `--threads 0` (the default) uses all
+//!     available cores; any thread count produces byte-identical output.
 //!
 //! sweetspot demo [--metric NAME] [--days D] [--seed S]
 //!     Emit a synthetic production trace as CSV on stdout (pipe it back
@@ -61,14 +62,14 @@ sweetspot — Nyquist-guided monitoring-rate analysis (HotNets'21 reproduction)
 USAGE:
   sweetspot analyze <trace.csv> [--cutoff F] [--headroom F] [--interval SECONDS]
   sweetspot track   <trace.csv> [--window SECONDS] [--step SECONDS]
-  sweetspot study   [--devices N] [--seed S]
+  sweetspot study   [--devices N] [--seed S] [--threads T]
   sweetspot demo    [--metric NAME] [--days D] [--seed S]
   sweetspot help";
 
 /// Parses `--name value` flag pairs after `positional` leading arguments.
 fn flags(args: &[String], positional: usize) -> Result<Vec<(String, String)>, String> {
     let rest = &args[positional..];
-    if rest.len() % 2 != 0 {
+    if !rest.len().is_multiple_of(2) {
         return Err("flags must come in `--name value` pairs".into());
     }
     rest.chunks(2)
@@ -108,7 +109,7 @@ fn load_trace(path: &str, interval: Option<f64>) -> Result<RegularSeries, String
             outlier_mads: Some(8.0),
         },
     )
-    .ok_or_else(|| format!("{path}: too few valid samples after cleaning"))
+    .map_err(|e| format!("{path}: {e}"))
 }
 
 fn cmd_analyze(args: &[String]) -> Result<(), String> {
@@ -202,12 +203,14 @@ fn cmd_study(args: &[String]) -> Result<(), String> {
     let flags = flags(args, 0)?;
     let devices = flag_u64(&flags, "devices", 40)? as usize;
     let seed = flag_u64(&flags, "seed", 0x5EED_CAFE)?;
+    let threads = flag_u64(&flags, "threads", 0)? as usize;
     let cfg = StudyConfig {
         fleet: FleetConfig {
             seed,
             devices_per_metric: devices,
             trace_duration: Seconds::from_days(1.0),
         },
+        threads,
         ..StudyConfig::default()
     };
     let study = FleetStudy::run(cfg);

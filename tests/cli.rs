@@ -147,3 +147,56 @@ fn study_prints_figure_and_headline() {
     assert!(stdout.contains("Headline statistics"));
     assert!(stdout.contains("42")); // 14 metrics × 3 devices
 }
+
+#[test]
+fn study_output_is_byte_identical_across_thread_counts() {
+    // The sharded engine's core guarantee: `--threads N` only changes how the
+    // work is partitioned, never what is computed.
+    let run = |threads: &str| {
+        let out = bin()
+            .args(["study", "--devices", "4", "--seed", "11", "--threads", threads])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "threads={threads} stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let serial = run("1");
+    assert_eq!(serial, run("4"), "--threads 4 diverged from --threads 1");
+    assert_eq!(serial, run("3"), "--threads 3 diverged from --threads 1");
+}
+
+#[test]
+fn analyze_reports_diagnostic_for_all_nan_trace() {
+    // A fully-NaN trace must exit with a cleaning diagnostic, not a panic.
+    let mut csv = String::from("time_seconds,value\n");
+    for i in 0..32 {
+        csv.push_str(&format!("{},nan\n", i * 30));
+    }
+    let path = write_temp("all-nan", &csv);
+    let out = bin().arg("analyze").arg(&path).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("too few valid samples"),
+        "want a cleaning diagnostic, got: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn analyze_tolerates_comments_before_header() {
+    let csv = format!("# exported trace\n\n{}", oversampled_csv());
+    let path = write_temp("comment-header", &csv);
+    let out = bin().arg("analyze").arg(&path).output().unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_file(path).ok();
+}

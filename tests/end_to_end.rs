@@ -12,7 +12,7 @@ use sweetspot::prelude::*;
 fn fleet_study_pipeline_reproduces_paper_shape() {
     let study = FleetStudy::run(StudyConfig {
         fleet: FleetConfig {
-            seed: 0xE2E_1,
+            seed: 0xE2E1,
             devices_per_metric: 10,
             trace_duration: Seconds::from_days(1.0),
         },
@@ -32,7 +32,7 @@ fn fleet_study_pipeline_reproduces_paper_shape() {
 fn measured_traces_round_trip_through_cleaning() {
     // telemetry (jitter + drops) → clean → regular grid at nominal interval.
     let profile = MetricProfile::for_kind(MetricKind::LinkUtil);
-    let dev = DeviceTrace::synthesize(profile, 1, 0xE2E_2);
+    let dev = DeviceTrace::synthesize(profile, 1, 0xE2E2);
     let raw = dev.production_trace(Seconds::from_hours(12.0));
     let cleaned = sweetspot::timeseries::clean::clean(
         &raw,
@@ -53,7 +53,7 @@ fn adaptive_controller_beats_fixed_polling_on_cost() {
     // below the 5-minute production rate and spend fewer samples.
     let profile = MetricProfile::for_kind(MetricKind::Temperature);
     let dev = (0..50)
-        .map(|i| DeviceTrace::synthesize(profile, i, 0xE2E_3))
+        .map(|i| DeviceTrace::synthesize(profile, i, 0xE2E3))
         .find(|d| {
             !d.is_undersampled_at_production_rate()
                 && d.true_band_edge().value() < 2e-4
@@ -91,7 +91,7 @@ fn sweet_spot_sweep_orders_cost_and_quality() {
             SimDevice::new(DeviceTrace::synthesize(
                 MetricProfile::for_kind(MetricKind::Temperature),
                 i,
-                0xE2E_4,
+                0xE2E4,
             ))
         })
         .collect();
@@ -118,7 +118,7 @@ fn posteriori_policy_preserves_reconstruction_quality() {
         SimDevice::new(DeviceTrace::synthesize(
             MetricProfile::for_kind(MetricKind::Temperature),
             idx,
-            0xE2E_5,
+            0xE2E5,
         ))
     };
     // Same device identity for both policies (fresh noise streams).
@@ -150,7 +150,7 @@ fn undersampled_device_is_caught_by_dual_rate_but_not_by_one_trace() {
     // decisively.
     let profile = MetricProfile::for_kind(MetricKind::LinkUtil);
     let dev = (0..100)
-        .map(|i| DeviceTrace::synthesize(profile, i, 0xE2E_6))
+        .map(|i| DeviceTrace::synthesize(profile, i, 0xE2E6))
         .find(|d| d.is_undersampled_at_production_rate())
         .expect("undersampled device");
 
@@ -183,7 +183,7 @@ fn figure_drivers_run_at_reduced_scale() {
 
     let h = headline::run(StudyConfig {
         fleet: FleetConfig {
-            seed: 0xE2E_7,
+            seed: 0xE2E7,
             devices_per_metric: 3,
             trace_duration: Seconds::from_days(1.0),
         },

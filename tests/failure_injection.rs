@@ -135,7 +135,7 @@ fn all_nan_trace_is_rejected_by_cleaning() {
         (0..10).map(|i| Seconds(i as f64)).collect(),
         vec![f64::NAN; 10],
     );
-    assert!(clean(&raw, CleanConfig::default()).is_none());
+    assert!(clean(&raw, CleanConfig::default()).is_err());
 }
 
 #[test]

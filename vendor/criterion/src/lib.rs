@@ -1,0 +1,200 @@
+//! Vendored, dependency-free stand-in for `criterion`.
+//!
+//! Implements the slice of the criterion API the `sweetspot-bench` benches
+//! use — [`Criterion::bench_function`], [`Bencher::iter`], the builder
+//! setters, and the [`criterion_group!`]/[`criterion_main!`] macros — backed
+//! by a simple mean-of-wall-clock measurement loop. Statistics are far
+//! cruder than real criterion (no outlier rejection, no regression), but
+//! timings are real and the bench binaries run unchanged.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Bench runner and configuration.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            warm_up_time: Duration::from_secs(3),
+            measurement_time: Duration::from_secs(5),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets how long to warm up before measuring.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the measurement window per benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Real criterion parses CLI flags here; the stub accepts and ignores
+    /// them (cargo passes `--bench`).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one benchmark: warm-up, then timed samples, then a one-line
+    /// mean/min/max report.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { timed: Duration::ZERO, iters: 0 };
+
+        // Warm-up: run until the warm-up budget is spent.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up_time {
+            f(&mut b);
+        }
+
+        // Measurement: `sample_size` samples, each a fresh call into the
+        // closure, bounded overall by `measurement_time`.
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let run_start = Instant::now();
+        for _ in 0..self.sample_size {
+            b.timed = Duration::ZERO;
+            b.iters = 0;
+            f(&mut b);
+            if b.iters > 0 {
+                samples.push(b.timed.as_secs_f64() / b.iters as f64);
+            }
+            if run_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+
+        if samples.is_empty() {
+            println!("{id:<40} (no iterations recorded)");
+        } else {
+            let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+            let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = samples.iter().cloned().fold(0.0f64, f64::max);
+            println!(
+                "{id:<40} time: [{} {} {}]",
+                format_time(min),
+                format_time(mean),
+                format_time(max)
+            );
+        }
+        self
+    }
+
+    /// Prints the closing summary (a no-op in the stub).
+    pub fn final_summary(&self) {}
+}
+
+/// Times the closure handed to [`Criterion::bench_function`].
+#[derive(Debug)]
+pub struct Bencher {
+    timed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `f`, accumulating into the current sample.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        let out = f();
+        self.timed += start.elapsed();
+        self.iters += 1;
+        drop(out);
+    }
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.4} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.4} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.4} µs", seconds * 1e6)
+    } else {
+        format!("{:.4} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a bench group: `criterion_group!(name = g; config = expr;
+/// targets = f1, f2)` or the positional `criterion_group!(g, f1, f2)` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default().configure_from_args();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares a `main` that runs bench groups in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+            $crate::Criterion::default().configure_from_args().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(20))
+            .configure_from_args();
+        let mut calls = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| calls += 1));
+        assert!(calls > 0, "the closure must actually run");
+        c.final_summary();
+    }
+
+    #[test]
+    fn time_formatting_covers_scales() {
+        assert!(format_time(2.0).ends_with(" s"));
+        assert!(format_time(2e-3).ends_with(" ms"));
+        assert!(format_time(2e-6).ends_with(" µs"));
+        assert!(format_time(2e-9).ends_with(" ns"));
+    }
+}

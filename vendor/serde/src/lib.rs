@@ -1,0 +1,11 @@
+//! Vendored, dependency-free stand-in for `serde`.
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derives from the vendored
+//! [`serde_derive`] so `use serde::{Deserialize, Serialize};` plus
+//! `#[derive(...)]` compiles unchanged. See `vendor/serde_derive` for why
+//! this is sufficient for the workspace today.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};

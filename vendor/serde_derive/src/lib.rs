@@ -1,0 +1,21 @@
+//! Vendored, dependency-free stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types so they
+//! are ready for a real serde once a registry is reachable, but nothing in
+//! the tree actually serializes through serde today (CSV ingest is
+//! hand-rolled). These derives therefore accept the same syntax — including
+//! `#[serde(...)]` helper attributes — and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and `#[serde(...)]` attrs; expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and `#[serde(...)]` attrs; expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
