@@ -11,24 +11,22 @@ use sweetspot_telemetry::MetricKind;
 pub struct Fig1 {
     /// `(metric, fraction_above_nyquist)` rows in [`MetricKind::ALL`] order.
     pub rows: Vec<(MetricKind, f64)>,
-    /// Number of pairs per metric analyzed.
-    pub devices_per_metric: usize,
+    /// Total metric-device pairs analyzed. (Per-metric counts can differ —
+    /// the paper-scale population gives three metrics one extra device — so
+    /// the caption reports the exact total rather than a per-metric count.)
+    pub pairs_total: usize,
 }
 
 /// Runs the Figure 1 experiment.
 pub fn run(cfg: StudyConfig) -> Fig1 {
-    let study = FleetStudy::run(cfg);
-    Fig1 {
-        rows: study.oversampled_fraction_per_metric(),
-        devices_per_metric: cfg.fleet.devices_per_metric,
-    }
+    from_study(&FleetStudy::run(cfg))
 }
 
 /// Runs Figure 1 on an existing study (to share work with fig4/fig5).
-pub fn from_study(study: &FleetStudy, devices_per_metric: usize) -> Fig1 {
+pub fn from_study(study: &FleetStudy) -> Fig1 {
     Fig1 {
         rows: study.oversampled_fraction_per_metric(),
-        devices_per_metric,
+        pairs_total: study.pairs.len(),
     }
 }
 
@@ -43,8 +41,8 @@ impl Fig1 {
         bar_chart(
             &format!(
                 "Figure 1: fraction of devices sampling above the Nyquist rate \
-                 ({} devices/metric)",
-                self.devices_per_metric
+                 ({} metric-device pairs)",
+                self.pairs_total
             ),
             &rows,
             40,

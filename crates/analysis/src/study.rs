@@ -101,6 +101,26 @@ fn shard_spans(total: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
         .collect()
 }
 
+/// The work list `FleetStudy::run` synthesizes inside its workers, mirroring
+/// `Fleet::build`'s ordering: all devices of metric 0, then metric 1, ...
+fn standard_work(devices_per_metric: usize) -> Vec<(MetricProfile, usize)> {
+    MetricProfile::all()
+        .into_iter()
+        .flat_map(|profile| (0..devices_per_metric).map(move |d| (profile, d)))
+        .collect()
+}
+
+/// The paper's §3.2 population in `Fleet::paper_scale` order: 115 devices
+/// for each of the 14 metrics, plus one extra device for the first three
+/// metrics appended at the end (`14 × 115 + 3 = 1613`).
+fn paper_scale_work() -> Vec<(MetricProfile, usize)> {
+    let mut work = standard_work(115);
+    for (i, profile) in MetricProfile::all().into_iter().enumerate().take(3) {
+        work.push((profile, 115 + i));
+    }
+    work
+}
+
 /// The completed study.
 #[derive(Debug, Clone)]
 pub struct FleetStudy {
@@ -116,15 +136,30 @@ impl FleetStudy {
     /// analysis both scale across cores while peak memory stays one trace
     /// per worker.
     pub fn run(cfg: StudyConfig) -> FleetStudy {
-        // The work list mirrors Fleet::build's ordering: all devices of
-        // metric 0, then metric 1, ...
-        let work: Vec<(MetricProfile, usize)> = MetricProfile::all()
-            .into_iter()
-            .flat_map(|profile| (0..cfg.fleet.devices_per_metric).map(move |d| (profile, d)))
-            .collect();
+        Self::run_work(&standard_work(cfg.fleet.devices_per_metric), cfg)
+    }
+
+    /// Runs the study at the paper's scale — the full 1613 metric-device
+    /// population of §3.2 (`Fleet::paper_scale`), synthesized inside the
+    /// workers like [`FleetStudy::run`]. Output is byte-identical for any
+    /// `threads` value and matches `run_on(&Fleet::paper_scale(seed), ..)`.
+    pub fn run_paper_scale(seed: u64, estimator: NyquistConfig, threads: usize) -> FleetStudy {
+        let cfg = StudyConfig {
+            fleet: FleetConfig {
+                seed,
+                devices_per_metric: 115,
+                trace_duration: Seconds::from_days(1.0),
+            },
+            estimator,
+            threads,
+        };
+        Self::run_work(&paper_scale_work(), cfg)
+    }
+
+    /// Shared synthesize-in-worker driver over an explicit work list.
+    fn run_work(work: &[(MetricProfile, usize)], cfg: StudyConfig) -> FleetStudy {
         let duration = cfg.fleet.trace_duration;
         let seed = cfg.fleet.seed;
-
         Self::run_sharded(work.len(), &cfg, |span, estimator| {
             work[span]
                 .iter()
@@ -419,6 +454,25 @@ mod tests {
                 assert_eq!(covered, total, "total={total} workers={workers}");
                 assert!(spans.len() <= workers.max(1));
             }
+        }
+    }
+
+    #[test]
+    fn paper_scale_work_list_mirrors_fleet_paper_scale() {
+        // Pin the pair count and the exact (profile, device, seed) ordering
+        // against Fleet::paper_scale without paying for 1613 estimations:
+        // synthesizing the traces is cheap, analyzing them is not.
+        let seed = 0xFEED_BEEF;
+        let fleet = Fleet::paper_scale(seed);
+        let work = paper_scale_work();
+        assert_eq!(work.len(), fleet.len());
+        assert_eq!(work.len(), 1613);
+        for (&(profile, device_idx), trace) in work.iter().zip(fleet.traces()) {
+            assert_eq!(
+                &DeviceTrace::synthesize(profile, device_idx, seed),
+                trace,
+                "work list diverges from Fleet::paper_scale at {profile:?}/{device_idx}"
+            );
         }
     }
 

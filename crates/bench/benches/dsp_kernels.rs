@@ -22,6 +22,68 @@ fn signal(n: usize) -> Vec<f64> {
         .collect()
 }
 
+/// The pre-rework periodogram, kept as an in-run reference so every bench
+/// run reports the real-input fast path's speedup under identical load:
+/// promote the signal to complex, run the full-length FFT, fold one-sided.
+fn periodogram_promote_reference(planner: &mut FftPlanner, samples: &[f64]) -> Vec<f64> {
+    use sweetspot_dsp::window::Window;
+    let n = samples.len();
+    let seg: Vec<f64> = samples.to_vec();
+    let mut buf: Vec<Complex64> = seg.iter().map(|&x| Complex64::from_real(x)).collect();
+    planner.fft_in_place(&mut buf);
+    let bins = n / 2 + 1;
+    let mut power = Vec::with_capacity(bins);
+    for (k, c) in buf.iter().take(bins).enumerate() {
+        let mut p = c.norm_sqr();
+        if k != 0 && k != n / 2 {
+            p *= 2.0;
+        }
+        power.push(p);
+    }
+    let norm = (n as f64) * (n as f64) * Window::Rectangular.energy_gain(n);
+    for p in &mut power {
+        *p /= norm;
+    }
+    power
+}
+
+/// The pre-rework Welch loop: a fresh promote-to-complex periodogram per
+/// segment, window coefficients re-evaluated (trig per sample) and the
+/// energy gain recomputed for every segment — the per-segment costs the
+/// cached-table pipeline eliminates.
+fn welch_promote_reference(planner: &mut FftPlanner, samples: &[f64], seg_len: usize) -> Vec<f64> {
+    use sweetspot_dsp::window::Window;
+    let hop = seg_len / 2;
+    let bins = seg_len / 2 + 1;
+    let mut acc = vec![0.0; bins];
+    let mut segments = 0usize;
+    let mut start = 0usize;
+    while start + seg_len <= samples.len() {
+        let mut seg: Vec<f64> = samples[start..start + seg_len].to_vec();
+        let mean = seg.iter().sum::<f64>() / seg_len as f64;
+        for s in &mut seg {
+            *s -= mean;
+        }
+        Window::Hann.apply(&mut seg);
+        let mut buf: Vec<Complex64> = seg.iter().map(|&x| Complex64::from_real(x)).collect();
+        planner.fft_in_place(&mut buf);
+        let norm = (seg_len as f64) * (seg_len as f64) * Window::Hann.energy_gain(seg_len);
+        for (k, c) in buf.iter().take(bins).enumerate() {
+            let mut p = c.norm_sqr();
+            if k != 0 && k != seg_len / 2 {
+                p *= 2.0;
+            }
+            acc[k] += p / norm;
+        }
+        segments += 1;
+        start += hop;
+    }
+    for a in &mut acc {
+        *a /= segments.max(1) as f64;
+    }
+    acc
+}
+
 fn bench(c: &mut Criterion) {
     // FFT: power-of-two (radix-2) vs arbitrary length (Bluestein).
     for n in [1024usize, 1000, 4096, 2880] {
@@ -38,15 +100,36 @@ fn bench(c: &mut Criterion) {
         });
     }
 
-    // PSD estimation.
-    let sig = signal(2880); // one day at 30 s
-    c.bench_function("psd/periodogram_2880", |b| {
+    // PSD estimation. 2880 is one day at 30 s (Bluestein); 4096/8192 are the
+    // power-of-two lengths the real-input fast path is judged on. The
+    // `periodogram_promote_*` rows time the pre-rework full-complex path in
+    // the same run, so the rfft speedup factor is load-independent.
+    let sig = signal(2880);
+    for n in [2880usize, 4096, 8192] {
+        let s = signal(n);
+        c.bench_function(&format!("psd/periodogram_promote_{n}"), |b| {
+            let mut planner = FftPlanner::new();
+            b.iter(|| black_box(periodogram_promote_reference(&mut planner, &s)))
+        });
+        c.bench_function(&format!("psd/periodogram_{n}"), |b| {
+            let mut planner = FftPlanner::new();
+            b.iter(|| black_box(periodogram(&mut planner, &s, 1.0, PsdConfig::default())))
+        });
+        c.bench_function(&format!("psd/welch_promote_{n}_seg256"), |b| {
+            let mut planner = FftPlanner::new();
+            b.iter(|| black_box(welch_promote_reference(&mut planner, &s, 256)))
+        });
+        c.bench_function(&format!("psd/welch_{n}_seg256"), |b| {
+            let mut planner = FftPlanner::new();
+            b.iter(|| black_box(welch(&mut planner, &s, 1.0, WelchConfig::default())))
+        });
+    }
+    // Hann-windowed periodogram: stresses the window-coefficient path too.
+    c.bench_function("psd/periodogram_hann_4096", |b| {
         let mut planner = FftPlanner::new();
-        b.iter(|| black_box(periodogram(&mut planner, &sig, 1.0, PsdConfig::default())))
-    });
-    c.bench_function("psd/welch_2880_seg256", |b| {
-        let mut planner = FftPlanner::new();
-        b.iter(|| black_box(welch(&mut planner, &sig, 1.0, WelchConfig::default())))
+        let s = signal(4096);
+        let cfg = PsdConfig { window: sweetspot_dsp::window::Window::Hann, detrend: true };
+        b.iter(|| black_box(periodogram(&mut planner, &s, 1.0, cfg)))
     });
 
     // Goertzel single-bin evaluation.

@@ -29,6 +29,15 @@ fn bench(c: &mut Criterion) {
             black_box(FleetStudy::run_on(&fleet, cfg).summary())
         })
     });
+    // The CLI's `--paper-scale` path: devices synthesized inside the study
+    // workers (no materialized fleet), all cores.
+    c.bench_function("headline/study_paper_scale_workers", |b| {
+        b.iter(|| {
+            black_box(
+                FleetStudy::run_paper_scale(0x5EED_CAFE, Default::default(), 0).summary(),
+            )
+        })
+    });
     c.bench_function("headline/small_fleet_summary", |b| {
         let cfg = StudyConfig {
             fleet: FleetConfig {

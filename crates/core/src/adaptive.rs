@@ -28,7 +28,7 @@
 //! [`MIN_VERIFY_HEADROOM`]; this is itself a finding about the *real* cost
 //! of the paper's always-on detector.
 
-use crate::aliasing::{companion_rate, detect_aliasing, DualRateConfig};
+use crate::aliasing::{companion_rate, detect_aliasing_with, DualRateConfig};
 use crate::estimator::{NyquistConfig, NyquistEstimate, NyquistEstimator};
 use crate::source::SignalSource;
 use sweetspot_timeseries::{Hertz, Seconds};
@@ -199,7 +199,10 @@ impl AdaptiveSampler {
         let slow = source.sample(start, secondary, duration);
         let samples_taken = fast.len() + slow.len();
 
-        let verdict = detect_aliasing(&fast, &slow, self.config.detector);
+        // Share the estimator's planner so the detector reuses the same
+        // cached twiddle and window tables every epoch.
+        let verdict =
+            detect_aliasing_with(self.estimator.planner_mut(), &fast, &slow, self.config.detector);
         let estimate = self.estimator.estimate_series(&fast);
         let aliased = verdict.aliased || estimate.is_aliased();
 

@@ -83,13 +83,29 @@ pub fn ratio_is_valid(f1: Hertz, f2: Hertz) -> bool {
 /// Compares two traces of the same signal sampled at different rates and
 /// decides whether the *slower* one is aliased.
 ///
+/// Convenience wrapper around [`detect_aliasing_with`] that builds a
+/// throwaway planner; repeated callers (the §4.2 adaptive controller, the
+/// detector ablation) should thread their own planner through so twiddle
+/// and window tables are computed once.
+pub fn detect_aliasing(
+    fast: &RegularSeries,
+    slow: &RegularSeries,
+    cfg: DualRateConfig,
+) -> AliasingVerdict {
+    let mut planner = FftPlanner::new();
+    detect_aliasing_with(&mut planner, fast, slow, cfg)
+}
+
+/// [`detect_aliasing`] against a caller-owned [`FftPlanner`].
+///
 /// `fast` must be sampled at a higher rate than `slow`, with a non-integer
 /// rate ratio (checked). Both should cover the same time window.
 ///
 /// # Panics
 /// Panics if the ratio guard fails, either trace has fewer than 16 samples,
 /// or the configuration is out of range.
-pub fn detect_aliasing(
+pub fn detect_aliasing_with(
+    planner: &mut FftPlanner,
     fast: &RegularSeries,
     slow: &RegularSeries,
     cfg: DualRateConfig,
@@ -113,13 +129,12 @@ pub fn detect_aliasing(
         "relative_floor must be in [0,1)"
     );
 
-    let mut planner = FftPlanner::new();
     let psd_cfg = PsdConfig {
         window: Window::Hann,
         detrend: true,
     };
-    let spec_fast = periodogram(&mut planner, fast.values(), f1.value(), psd_cfg);
-    let spec_slow = periodogram(&mut planner, slow.values(), f2.value(), psd_cfg);
+    let spec_fast = periodogram(planner, fast.values(), f1.value(), psd_cfg);
+    let spec_slow = periodogram(planner, slow.values(), f2.value(), psd_cfg);
 
     let half = f2.value() / 2.0;
     let band_width = half / cfg.bands as f64;

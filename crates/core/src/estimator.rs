@@ -23,8 +23,8 @@
 
 use serde::{Deserialize, Serialize};
 use sweetspot_dsp::fft::FftPlanner;
-use sweetspot_dsp::psd::{periodogram, welch, PsdConfig, WelchConfig};
-use sweetspot_dsp::spectrum::EnergyCapture;
+use sweetspot_dsp::psd::{periodogram_into, welch_into, PsdConfig, PsdScratch, WelchConfig};
+use sweetspot_dsp::spectrum::{EnergyCapture, Spectrum};
 use sweetspot_dsp::window::Window;
 use sweetspot_timeseries::{Hertz, RegularSeries};
 
@@ -117,11 +117,17 @@ impl NyquistEstimate {
     }
 }
 
-/// The estimator. Owns an [`FftPlanner`] so repeated estimates over
-/// equal-length traces reuse twiddle tables; create one per worker thread.
+/// The estimator. Owns an [`FftPlanner`] plus reusable PSD scratch so
+/// repeated estimates over equal-length traces reuse twiddle tables, window
+/// tables and every working buffer — the steady-state fleet-study loop
+/// performs no heap allocations per trace. Create one per worker thread.
 pub struct NyquistEstimator {
     config: NyquistConfig,
     planner: FftPlanner,
+    scratch: PsdScratch,
+    /// Recycled one-sided power buffer (handed to `Spectrum` per estimate
+    /// and reclaimed with `Spectrum::into_power` afterwards).
+    power: Vec<f64>,
 }
 
 impl NyquistEstimator {
@@ -138,6 +144,8 @@ impl NyquistEstimator {
         NyquistEstimator {
             config,
             planner: FftPlanner::new(),
+            scratch: PsdScratch::new(),
+            power: Vec::new(),
         }
     }
 
@@ -149,6 +157,13 @@ impl NyquistEstimator {
     /// The active configuration.
     pub fn config(&self) -> &NyquistConfig {
         &self.config
+    }
+
+    /// The estimator's FFT planner, for sharing its cached tables with
+    /// sibling analyses on the same thread (e.g. the §4.1 dual-rate
+    /// detector inside the adaptive controller).
+    pub fn planner_mut(&mut self) -> &mut FftPlanner {
+        &mut self.planner
     }
 
     /// Estimates the Nyquist rate of raw samples taken at `sample_rate`.
@@ -163,29 +178,36 @@ impl NyquistEstimator {
             samples.len()
         );
         assert!(sample_rate.value() > 0.0, "sample_rate must be positive");
-        let spectrum = match self.config.psd {
-            PsdMethod::Periodogram => periodogram(
+        let mut power = std::mem::take(&mut self.power);
+        let n = match self.config.psd {
+            PsdMethod::Periodogram => {
+                periodogram_into(
+                    &mut self.planner,
+                    &mut self.scratch,
+                    samples,
+                    PsdConfig {
+                        window: self.config.window,
+                        detrend: self.config.detrend,
+                    },
+                    &mut power,
+                );
+                samples.len()
+            }
+            PsdMethod::Welch { segment_len } => welch_into(
                 &mut self.planner,
+                &mut self.scratch,
                 samples,
-                sample_rate.value(),
-                PsdConfig {
-                    window: self.config.window,
-                    detrend: self.config.detrend,
-                },
-            ),
-            PsdMethod::Welch { segment_len } => welch(
-                &mut self.planner,
-                samples,
-                sample_rate.value(),
                 WelchConfig {
                     segment_len,
                     overlap: 0.5,
                     window: self.config.window,
                     detrend: self.config.detrend,
                 },
+                &mut power,
             ),
         };
-        match spectrum.frequency_capturing_energy(self.config.energy_cutoff) {
+        let spectrum = Spectrum::from_psd(power, sample_rate.value(), n);
+        let estimate = match spectrum.frequency_capturing_energy(self.config.energy_cutoff) {
             EnergyCapture::AllBinsNeeded => NyquistEstimate::Aliased,
             EnergyCapture::Captured { frequency } => {
                 // The paper's literal criterion ("all bins needed") only
@@ -200,16 +222,19 @@ impl NyquistEstimator {
                 let slack = 2.0 / (spectrum.bin_count() as f64).sqrt();
                 let guard = (self.config.energy_cutoff - slack).max(0.5) * fold;
                 if frequency >= guard {
-                    return NyquistEstimate::Aliased;
-                }
-                let f = if self.config.floor_to_resolution {
-                    frequency.max(spectrum.resolution())
+                    NyquistEstimate::Aliased
                 } else {
-                    frequency
-                };
-                NyquistEstimate::Rate(Hertz(2.0 * f))
+                    let f = if self.config.floor_to_resolution {
+                        frequency.max(spectrum.resolution())
+                    } else {
+                        frequency
+                    };
+                    NyquistEstimate::Rate(Hertz(2.0 * f))
+                }
             }
-        }
+        };
+        self.power = spectrum.into_power();
+        estimate
     }
 
     /// Estimates the Nyquist rate of a regular series.

@@ -45,6 +45,6 @@ pub mod source;
 pub mod tracker;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveSampler, EpochReport};
-pub use aliasing::{detect_aliasing, AliasingVerdict, DualRateConfig};
+pub use aliasing::{detect_aliasing, detect_aliasing_with, AliasingVerdict, DualRateConfig};
 pub use estimator::{NyquistConfig, NyquistEstimate, NyquistEstimator};
 pub use source::SignalSource;

@@ -83,12 +83,16 @@ pub fn correlation_preservation(
     let n = a.len();
     let m = ((n as f64 * rate.value() / a.sample_rate().value()).round() as usize)
         .clamp(1, n);
-    let mut ideal_roundtrip = |s: &RegularSeries| {
-        let down = sweetspot_dsp::resample::resample_fft(planner, s.values(), m);
-        sweetspot_dsp::resample::resample_fft(planner, &down, n)
+    // Both signals stream through the same pair of resampling buffers.
+    let mut down = Vec::new();
+    let mut ra = Vec::new();
+    let mut rb = Vec::new();
+    let mut ideal_roundtrip = |s: &RegularSeries, out: &mut Vec<f64>| {
+        sweetspot_dsp::resample::resample_fft_into(planner, s.values(), m, &mut down);
+        sweetspot_dsp::resample::resample_fft_into(planner, &down, n, out);
     };
-    let ra = ideal_roundtrip(a);
-    let rb = ideal_roundtrip(b);
+    ideal_roundtrip(a, &mut ra);
+    ideal_roundtrip(b, &mut rb);
     let reconstructed = pearson(&ra, &rb);
     CorrelationReport {
         original,

@@ -1,25 +1,38 @@
 //! Fast Fourier transforms.
 //!
-//! Two algorithms cover all input lengths:
+//! Three algorithms cover all input lengths:
 //!
 //! * **Iterative radix-2 Cooley–Tukey** (decimation in time, bit-reversed
 //!   input ordering) for power-of-two lengths.
 //! * **Bluestein's chirp-z algorithm** for everything else, which re-expresses
 //!   an arbitrary-length DFT as a linear convolution evaluated with
 //!   power-of-two FFTs of length `≥ 2N − 1`.
+//! * A **packed real-input fast path** for even lengths: a length-`N` real
+//!   transform is evaluated as one length-`N/2` complex FFT plus a
+//!   conjugate-symmetric untangle pass — half the complex FFT work of the
+//!   naive "promote to complex" route.
 //!
-//! [`FftPlanner`] caches twiddle tables and Bluestein chirps per length so
-//! repeated transforms of the same size (the common case when scanning a
-//! fleet of equally-long traces) pay the setup cost once.
+//! [`FftPlanner`] caches twiddle tables, Bluestein chirps, real-transform
+//! untangle twiddles and window-coefficient tables per length, so repeated
+//! transforms of the same size (the common case when scanning a fleet of
+//! equally-long traces) pay the setup cost once. Plan tables are held behind
+//! [`Arc`], so a planner is `Send` and [`FftPlanner::clone`] shares the
+//! cached tables with another thread while giving it fresh scratch space.
+//!
+//! The `*_into` methods write into caller-owned buffers and reuse the
+//! planner's [`FftScratch`]; once the buffers have warmed up, steady-state
+//! transforms of previously seen lengths perform **no heap allocations** —
+//! the property the PSD/Welch/STFT pipeline in [`crate::psd`] relies on.
 //!
 //! Conventions: the forward transform is **unnormalized**
 //! (`X_k = Σ x_n e^{−2πi nk/N}`); the inverse scales by `1/N`, so
 //! `ifft(fft(x)) == x`.
 
 use crate::complex::Complex64;
+use crate::window::{Window, WindowTable};
 use std::collections::HashMap;
 use std::f64::consts::PI;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Returns `true` if `n` is a power of two (and nonzero).
 #[inline]
@@ -31,6 +44,40 @@ pub fn is_pow2(n: usize) -> bool {
 #[inline]
 pub fn next_pow2(n: usize) -> usize {
     n.next_power_of_two()
+}
+
+/// Number of one-sided spectrum bins of a length-`n` real signal:
+/// `n/2 + 1` for even `n`, `(n+1)/2` for odd `n`, `0` for `n == 0`.
+#[inline]
+pub fn one_sided_len(n: usize) -> usize {
+    if n == 0 {
+        0
+    } else {
+        n / 2 + 1
+    }
+}
+
+/// Reusable scratch space for the planner's transforms.
+///
+/// Every [`FftPlanner`] owns one (used by the planner-internal convenience
+/// APIs); the `*_into_with` variants accept an external scratch so several
+/// pipelines can keep independent warmed-up buffers. All buffers grow on
+/// demand and are reused across calls — steady state allocates nothing.
+#[derive(Debug, Default)]
+pub struct FftScratch {
+    /// Bluestein convolution buffer (length `m = next_pow2(2n − 1)`).
+    conv: Vec<Complex64>,
+    /// Packed half-length buffer for the real-input fast path.
+    half: Vec<Complex64>,
+    /// Full-length complex buffer for odd-length real transforms.
+    full: Vec<Complex64>,
+}
+
+impl FftScratch {
+    /// Creates empty scratch space; buffers grow on first use.
+    pub fn new() -> Self {
+        FftScratch::default()
+    }
 }
 
 /// Precomputed tables for a power-of-two radix-2 transform.
@@ -103,11 +150,11 @@ struct BluesteinPlan {
     /// FFT of the symmetric chirp kernel `b`, reused every call.
     kernel_fft: Vec<Complex64>,
     /// Power-of-two plan of length `m`.
-    inner: Rc<Pow2Plan>,
+    inner: Arc<Pow2Plan>,
 }
 
 impl BluesteinPlan {
-    fn new(n: usize, inner: Rc<Pow2Plan>) -> Self {
+    fn new(n: usize, inner: Arc<Pow2Plan>) -> Self {
         let m = inner.len;
         debug_assert!(m >= 2 * n - 1);
         // k² mod 2n keeps the chirp angle small and exact: e^{−iπ k²/n} has
@@ -136,38 +183,142 @@ impl BluesteinPlan {
         }
     }
 
-    fn fft(&self, buf: &mut [Complex64]) {
+    /// Forward transform; `conv` is the reusable convolution buffer.
+    fn fft(&self, buf: &mut [Complex64], conv: &mut Vec<Complex64>) {
         debug_assert_eq!(buf.len(), self.n);
-        let mut a = vec![Complex64::ZERO; self.m];
-        for (k, slot) in a.iter_mut().take(self.n).enumerate() {
+        conv.clear();
+        conv.resize(self.m, Complex64::ZERO);
+        for (k, slot) in conv.iter_mut().take(self.n).enumerate() {
             *slot = buf[k] * self.chirp[k];
         }
-        self.inner.fft(&mut a);
-        for (x, k) in a.iter_mut().zip(&self.kernel_fft) {
+        self.inner.fft(conv);
+        for (x, k) in conv.iter_mut().zip(&self.kernel_fft) {
             *x *= *k;
         }
         // Inverse FFT of length m via conjugation.
-        for x in a.iter_mut() {
+        for x in conv.iter_mut() {
             *x = x.conj();
         }
-        self.inner.fft(&mut a);
+        self.inner.fft(conv);
         let scale = 1.0 / self.m as f64;
         for (k, out) in buf.iter_mut().enumerate() {
-            *out = a[k].conj().scale(scale) * self.chirp[k];
+            *out = conv[k].conj().scale(scale) * self.chirp[k];
         }
     }
 }
 
+/// A cached complex plan for one length.
+#[derive(Clone)]
 enum Plan {
-    Pow2(Rc<Pow2Plan>),
-    Bluestein(Rc<BluesteinPlan>),
+    Pow2(Arc<Pow2Plan>),
+    Bluestein(Arc<BluesteinPlan>),
 }
 
-/// Caching FFT planner.
+impl Plan {
+    fn fft(&self, buf: &mut [Complex64], conv: &mut Vec<Complex64>) {
+        match self {
+            Plan::Pow2(p) => p.fft(buf),
+            Plan::Bluestein(p) => p.fft(buf, conv),
+        }
+    }
+}
+
+/// Precomputed state for the packed real-input transform of even length `n`:
+/// one length-`n/2` complex FFT plus a conjugate-symmetric untangle pass.
+struct RealPlan {
+    n: usize,
+    /// Untangle twiddles `e^{−2πi k / n}` for `k ≤ n/2`.
+    twiddles: Vec<Complex64>,
+    /// Complex plan of length `n/2`.
+    inner: Plan,
+}
+
+impl RealPlan {
+    fn new(n: usize, inner: Plan) -> Self {
+        debug_assert!(n >= 2 && n.is_multiple_of(2));
+        let m = n / 2;
+        let twiddles = (0..=m)
+            .map(|k| Complex64::cis(-2.0 * PI * k as f64 / n as f64))
+            .collect();
+        RealPlan { n, twiddles, inner }
+    }
+
+    /// Forward: one-sided spectrum (bins `0..=n/2`) of `input` into `out`.
+    ///
+    /// Packs adjacent real samples into `n/2` complex points, transforms
+    /// them with the half-length plan, then untangles the interleaved even/
+    /// odd sub-spectra: with `Fe`/`Fo` the DFTs of the even- and odd-indexed
+    /// samples, `X[k] = Fe[k] + e^{−2πik/n}·Fo[k]`.
+    fn fft(&self, input: &[f64], out: &mut Vec<Complex64>, scratch: &mut FftScratch) {
+        let n = self.n;
+        let m = n / 2;
+        debug_assert_eq!(input.len(), n);
+        let half = &mut scratch.half;
+        half.clear();
+        half.extend(input.chunks_exact(2).map(|p| Complex64::new(p[0], p[1])));
+        self.inner.fft(half, &mut scratch.conv);
+        let half = &scratch.half;
+        out.clear();
+        out.resize(m + 1, Complex64::ZERO);
+        // k = 0 and k = m both untangle from Z[0] alone (Fe₀ = Re Z₀,
+        // Fo₀ = Im Z₀; w[0] = 1, w[m] = −1).
+        out[0] = Complex64::from_real(half[0].re + half[0].im);
+        out[m] = Complex64::from_real(half[0].re - half[0].im);
+        // Interior bins pair up: with t = w[k]·Fo[k],
+        // X[k] = Fe[k] + t and X[m−k] = conj(Fe[k] − t), so one pass over
+        // k ≤ m/2 settles both ends with a single twiddle multiply. At the
+        // midpoint (even m) Fe is real and t imaginary, so both writes agree.
+        for k in 1..=m / 2 {
+            let zk = half[k];
+            let zmk = half[m - k].conj();
+            let fe = (zk + zmk).scale(0.5);
+            let fo = (zk - zmk) * Complex64::new(0.0, -0.5);
+            let t = self.twiddles[k] * fo;
+            out[k] = fe + t;
+            out[m - k] = (fe - t).conj();
+        }
+    }
+
+    /// Inverse: the length-`n` real signal whose one-sided spectrum is
+    /// `spectrum`, scaled by `1/n` so it exactly undoes [`RealPlan::fft`].
+    fn ifft(&self, spectrum: &[Complex64], out: &mut Vec<f64>, scratch: &mut FftScratch) {
+        let n = self.n;
+        let m = n / 2;
+        debug_assert_eq!(spectrum.len(), m + 1);
+        let half = &mut scratch.half;
+        half.clear();
+        half.reserve(m);
+        for (k, w) in self.twiddles.iter().enumerate().take(m) {
+            let xk = spectrum[k];
+            let xmk = spectrum[m - k].conj();
+            let fe = (xk + xmk).scale(0.5);
+            let fo = (xk - xmk).scale(0.5) * w.conj();
+            // Z[k] = Fe[k] + i·Fo[k] re-packs the two sub-spectra.
+            half.push(fe + Complex64::new(0.0, 1.0) * fo);
+        }
+        // Inverse half-length FFT via conjugation, scaled 1/m; the packed
+        // layout means the 1/m scale is exactly the 1/n the convention wants.
+        for z in half.iter_mut() {
+            *z = z.conj();
+        }
+        self.inner.fft(half, &mut scratch.conv);
+        let scale = 1.0 / m as f64;
+        out.clear();
+        out.reserve(n);
+        for z in scratch.half.iter() {
+            let z = z.conj().scale(scale);
+            out.push(z.re);
+            out.push(z.im);
+        }
+    }
+}
+
+/// Caching FFT planner — the per-thread spectral context.
 ///
-/// Create once and reuse: tables are computed lazily per length and cached.
-/// Not thread-safe by design (keep one planner per worker thread; plans are
-/// cheap relative to trace analysis).
+/// Create once and reuse: tables are computed lazily per length and cached
+/// behind [`Arc`]. The planner is `Send`, and [`Clone`] shares the cached
+/// tables (cheap `Arc` bumps) while giving the clone fresh scratch buffers,
+/// so fleet-study workers can start from a warmed planner.
 ///
 /// ```
 /// use sweetspot_dsp::fft::FftPlanner;
@@ -180,13 +331,30 @@ enum Plan {
 /// assert!((buf[0].re - 12.0).abs() < 1e-9); // DC bin = Σ x_n
 /// ```
 pub struct FftPlanner {
-    pow2: HashMap<usize, Rc<Pow2Plan>>,
-    bluestein: HashMap<usize, Rc<BluesteinPlan>>,
+    pow2: HashMap<usize, Arc<Pow2Plan>>,
+    bluestein: HashMap<usize, Arc<BluesteinPlan>>,
+    real: HashMap<usize, Arc<RealPlan>>,
+    windows: HashMap<(Window, usize), Arc<WindowTable>>,
+    scratch: FftScratch,
 }
 
 impl Default for FftPlanner {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+impl Clone for FftPlanner {
+    /// Shares the cached plan and window tables; the clone gets fresh
+    /// scratch buffers (scratch is working state, not a table).
+    fn clone(&self) -> Self {
+        FftPlanner {
+            pow2: self.pow2.clone(),
+            bluestein: self.bluestein.clone(),
+            real: self.real.clone(),
+            windows: self.windows.clone(),
+            scratch: FftScratch::default(),
+        }
     }
 }
 
@@ -196,13 +364,16 @@ impl FftPlanner {
         FftPlanner {
             pow2: HashMap::new(),
             bluestein: HashMap::new(),
+            real: HashMap::new(),
+            windows: HashMap::new(),
+            scratch: FftScratch::default(),
         }
     }
 
-    fn pow2_plan(&mut self, len: usize) -> Rc<Pow2Plan> {
+    fn pow2_plan(&mut self, len: usize) -> Arc<Pow2Plan> {
         self.pow2
             .entry(len)
-            .or_insert_with(|| Rc::new(Pow2Plan::new(len)))
+            .or_insert_with(|| Arc::new(Pow2Plan::new(len)))
             .clone()
     }
 
@@ -215,10 +386,32 @@ impl FftPlanner {
             }
             let m = next_pow2(2 * len - 1);
             let inner = self.pow2_plan(m);
-            let p = Rc::new(BluesteinPlan::new(len, inner));
+            let p = Arc::new(BluesteinPlan::new(len, inner));
             self.bluestein.insert(len, p.clone());
             Plan::Bluestein(p)
         }
+    }
+
+    fn real_plan(&mut self, n: usize) -> Arc<RealPlan> {
+        debug_assert!(n >= 2 && n.is_multiple_of(2));
+        if let Some(p) = self.real.get(&n) {
+            return p.clone();
+        }
+        let inner = self.plan(n / 2);
+        let p = Arc::new(RealPlan::new(n, inner));
+        self.real.insert(n, p.clone());
+        p
+    }
+
+    /// The cached coefficient table for `window` at length `n`.
+    ///
+    /// Built once per `(window, n)`; spectral estimators multiply by the
+    /// table instead of re-evaluating trig per sample per segment.
+    pub fn window_table(&mut self, window: Window, n: usize) -> Arc<WindowTable> {
+        self.windows
+            .entry((window, n))
+            .or_insert_with(|| Arc::new(WindowTable::new(window, n)))
+            .clone()
     }
 
     /// Forward DFT, in place, unnormalized. Any length (including 0 and 1,
@@ -228,10 +421,8 @@ impl FftPlanner {
         if n <= 1 {
             return;
         }
-        match self.plan(n) {
-            Plan::Pow2(p) => p.fft(buf),
-            Plan::Bluestein(p) => p.fft(buf),
-        }
+        let plan = self.plan(n);
+        plan.fft(buf, &mut self.scratch.conv);
     }
 
     /// Inverse DFT, in place, scaled by `1/N` so it exactly undoes
@@ -251,16 +442,130 @@ impl FftPlanner {
         }
     }
 
+    /// Forward DFT of a real signal into `out` as a **one-sided** spectrum:
+    /// bins `0..=n/2` ([`one_sided_len`] entries; the mirror half is implied
+    /// by conjugate symmetry). Uses the planner's own scratch — steady state
+    /// allocates nothing once `out` has capacity.
+    ///
+    /// Even lengths take the packed fast path (one `n/2` complex FFT); odd
+    /// lengths fall back to a full complex transform internally.
+    pub fn fft_real_into(&mut self, input: &[f64], out: &mut Vec<Complex64>) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.fft_real_into_with(input, out, &mut scratch);
+        self.scratch = scratch;
+    }
+
+    /// [`fft_real_into`](FftPlanner::fft_real_into) with an explicit
+    /// [`FftScratch`], for callers keeping their own warmed buffers.
+    pub fn fft_real_into_with(
+        &mut self,
+        input: &[f64],
+        out: &mut Vec<Complex64>,
+        scratch: &mut FftScratch,
+    ) {
+        let n = input.len();
+        out.clear();
+        match n {
+            0 => {}
+            1 => out.push(Complex64::from_real(input[0])),
+            _ if n.is_multiple_of(2) => {
+                let plan = self.real_plan(n);
+                plan.fft(input, out, scratch);
+            }
+            _ => {
+                // Odd length: full complex transform, keep the first half.
+                let plan = self.plan(n);
+                scratch.full.clear();
+                scratch
+                    .full
+                    .extend(input.iter().map(|&x| Complex64::from_real(x)));
+                plan.fft(&mut scratch.full, &mut scratch.conv);
+                out.extend_from_slice(&scratch.full[..one_sided_len(n)]);
+            }
+        }
+    }
+
+    /// Inverse of [`fft_real_into`](FftPlanner::fft_real_into): reconstructs
+    /// the length-`n` real signal from its one-sided `spectrum`
+    /// ([`one_sided_len`]`(n)` bins), scaled by `1/n`.
+    ///
+    /// # Panics
+    /// Panics if `spectrum.len() != one_sided_len(n)`.
+    pub fn ifft_real_into(&mut self, spectrum: &[Complex64], n: usize, out: &mut Vec<f64>) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        self.ifft_real_into_with(spectrum, n, out, &mut scratch);
+        self.scratch = scratch;
+    }
+
+    /// [`ifft_real_into`](FftPlanner::ifft_real_into) with an explicit
+    /// [`FftScratch`].
+    pub fn ifft_real_into_with(
+        &mut self,
+        spectrum: &[Complex64],
+        n: usize,
+        out: &mut Vec<f64>,
+        scratch: &mut FftScratch,
+    ) {
+        assert_eq!(
+            spectrum.len(),
+            one_sided_len(n),
+            "one-sided spectrum of an n={n} signal must have {} bins",
+            one_sided_len(n)
+        );
+        out.clear();
+        match n {
+            0 => {}
+            1 => out.push(spectrum[0].re),
+            _ if n.is_multiple_of(2) => {
+                let plan = self.real_plan(n);
+                plan.ifft(spectrum, out, scratch);
+            }
+            _ => {
+                // Odd length: expand to the full spectrum by conjugate
+                // symmetry, then a complex inverse transform.
+                let plan = self.plan(n);
+                scratch.full.clear();
+                scratch.full.reserve(n);
+                scratch.full.extend_from_slice(spectrum);
+                for k in (1..=(n - 1) / 2).rev() {
+                    let c = spectrum[k].conj();
+                    scratch.full.push(c);
+                }
+                for z in scratch.full.iter_mut() {
+                    *z = z.conj();
+                }
+                plan.fft(&mut scratch.full, &mut scratch.conv);
+                let scale = 1.0 / n as f64;
+                out.extend(scratch.full.iter().map(|z| z.re * scale));
+            }
+        }
+    }
+
     /// Forward DFT of a real signal; returns all `N` complex bins.
+    ///
+    /// Allocating convenience wrapper: even lengths run the packed fast path
+    /// and mirror the one-sided half; prefer
+    /// [`fft_real_into`](FftPlanner::fft_real_into) in steady-state loops.
     pub fn fft_real(&mut self, input: &[f64]) -> Vec<Complex64> {
-        let mut buf: Vec<Complex64> = input.iter().map(|&x| Complex64::from_real(x)).collect();
-        self.fft_in_place(&mut buf);
-        buf
+        let n = input.len();
+        if n >= 2 && n.is_multiple_of(2) {
+            let mut out = Vec::with_capacity(n);
+            self.fft_real_into(input, &mut out);
+            for j in n / 2 + 1..n {
+                let c = out[n - j].conj();
+                out.push(c);
+            }
+            out
+        } else {
+            let mut buf: Vec<Complex64> = input.iter().map(|&x| Complex64::from_real(x)).collect();
+            self.fft_in_place(&mut buf);
+            buf
+        }
     }
 
     /// Inverse DFT returning only real parts — the counterpart of
-    /// [`fft_real`](FftPlanner::fft_real) for spectra with (approximate)
-    /// conjugate symmetry.
+    /// [`fft_real`](FftPlanner::fft_real) for **full** spectra with
+    /// (approximate) conjugate symmetry.
     pub fn ifft_real(&mut self, spectrum: &[Complex64]) -> Vec<f64> {
         let mut buf = spectrum.to_vec();
         self.ifft_in_place(&mut buf);
@@ -375,7 +680,7 @@ mod tests {
     #[test]
     fn real_input_spectrum_is_conjugate_symmetric() {
         let mut p = FftPlanner::new();
-        let n = 90; // exercises the Bluestein path
+        let n = 90; // even but non-pow2: packed rfft over a Bluestein half
         let input: Vec<f64> = (0..n).map(|i| (i as f64 * 0.21).sin() + 0.3).collect();
         let spec = p.fft_real(&input);
         for k in 1..n {
@@ -383,6 +688,90 @@ mod tests {
             let b = spec[n - k].conj();
             assert!((a.re - b.re).abs() < 1e-8 && (a.im - b.im).abs() < 1e-8);
         }
+    }
+
+    #[test]
+    fn rfft_one_sided_matches_full_complex_fft() {
+        let mut p = FftPlanner::new();
+        // Even pow2, even Bluestein-half, odd, and tiny lengths.
+        for n in [2usize, 4, 8, 64, 256, 6, 10, 12, 90, 100, 1000, 3, 7, 101] {
+            let input: Vec<f64> = (0..n).map(|i| (i as f64 * 0.731).sin() + 0.2).collect();
+            let mut one_sided = Vec::new();
+            p.fft_real_into(&input, &mut one_sided);
+            assert_eq!(one_sided.len(), one_sided_len(n));
+            let mut full: Vec<Complex64> =
+                input.iter().map(|&x| Complex64::from_real(x)).collect();
+            p.fft_in_place(&mut full);
+            let tol = 1e-9 * n as f64;
+            for (k, c) in one_sided.iter().enumerate() {
+                assert!(
+                    (c.re - full[k].re).abs() < tol && (c.im - full[k].im).abs() < tol,
+                    "n={n} bin {k}: {c:?} vs {:?}",
+                    full[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rfft_roundtrip_recovers_signal() {
+        let mut p = FftPlanner::new();
+        for n in [1usize, 2, 4, 12, 64, 90, 100, 3, 7, 101, 255] {
+            let input: Vec<f64> = (0..n).map(|i| (i as f64 * 0.413).cos() - 0.7).collect();
+            let mut spec = Vec::new();
+            p.fft_real_into(&input, &mut spec);
+            let mut back = Vec::new();
+            p.ifft_real_into(&spec, n, &mut back);
+            assert_eq!(back.len(), n);
+            for (a, b) in input.iter().zip(&back) {
+                assert!((a - b).abs() < 1e-9, "n={n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn fft_real_full_matches_one_sided_mirror() {
+        let mut p = FftPlanner::new();
+        for n in [8usize, 90, 101] {
+            let input: Vec<f64> = (0..n).map(|i| (i as f64 * 1.7).sin()).collect();
+            let full = p.fft_real(&input);
+            let mut one_sided = Vec::new();
+            p.fft_real_into(&input, &mut one_sided);
+            for (k, c) in one_sided.iter().enumerate() {
+                assert!((full[k] - *c).norm() < 1e-9 * n as f64, "n={n} bin {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn planner_is_send_and_clone_shares_tables() {
+        fn assert_send<T: Send>() {}
+        assert_send::<FftPlanner>();
+
+        let mut warm = FftPlanner::new();
+        let sig: Vec<f64> = (0..64).map(|i| (i as f64).sin()).collect();
+        let mut expected = Vec::new();
+        warm.fft_real_into(&sig, &mut expected);
+
+        let mut moved = warm.clone();
+        let from_thread = std::thread::spawn(move || {
+            let mut out = Vec::new();
+            moved.fft_real_into(&sig, &mut out);
+            out
+        })
+        .join()
+        .unwrap();
+        assert_close(&from_thread, &expected, 0.0);
+    }
+
+    #[test]
+    fn window_table_is_cached() {
+        let mut p = FftPlanner::new();
+        let a = p.window_table(Window::Hann, 64);
+        let b = p.window_table(Window::Hann, 64);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = p.window_table(Window::Hann, 65);
+        assert!(!Arc::ptr_eq(&a, &c));
     }
 
     #[test]
@@ -433,6 +822,15 @@ mod tests {
         assert_eq!(one[0], Complex64::new(3.0, -1.0));
         p.ifft_in_place(&mut one);
         assert_eq!(one[0], Complex64::new(3.0, -1.0));
+
+        let mut out = Vec::new();
+        p.fft_real_into(&[], &mut out);
+        assert!(out.is_empty());
+        p.fft_real_into(&[2.5], &mut out);
+        assert_eq!(out, vec![Complex64::from_real(2.5)]);
+        let mut back = Vec::new();
+        p.ifft_real_into(&out, 1, &mut back);
+        assert_eq!(back, vec![2.5]);
     }
 
     #[test]
@@ -453,5 +851,17 @@ mod tests {
         assert_eq!(next_pow2(0), 1);
         assert_eq!(next_pow2(5), 8);
         assert_eq!(next_pow2(16), 16);
+        assert_eq!(one_sided_len(0), 0);
+        assert_eq!(one_sided_len(1), 1);
+        assert_eq!(one_sided_len(8), 5);
+        assert_eq!(one_sided_len(9), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "one-sided spectrum")]
+    fn ifft_real_into_rejects_wrong_bin_count() {
+        let mut p = FftPlanner::new();
+        let mut out = Vec::new();
+        p.ifft_real_into(&[Complex64::ONE; 4], 8, &mut out);
     }
 }

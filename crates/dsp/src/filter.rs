@@ -13,8 +13,9 @@ use crate::fft::FftPlanner;
 ///
 /// This is the paper's reconstruction filter (§4.3): *"taking an FFT of the
 /// sampled signal, setting all frequency components above f₀ to 0 and then
-/// taking the IFFT"*. Both positive and negative frequency bins are zeroed
-/// symmetrically so the output stays real.
+/// taking the IFFT"*. The filter runs one-sided through the real-input FFT
+/// fast path; zeroing a one-sided bin zeroes its negative twin implicitly,
+/// so the output stays real by construction.
 ///
 /// # Panics
 /// Panics if `samples` is empty, `sample_rate <= 0`, or `cutoff_hz < 0`.
@@ -28,20 +29,17 @@ pub fn fft_lowpass(
     assert!(sample_rate > 0.0, "sample_rate must be positive");
     assert!(cutoff_hz >= 0.0, "cutoff must be non-negative");
     let n = samples.len();
-    let mut spec = planner.fft_real(samples);
+    let mut spec = Vec::with_capacity(crate::fft::one_sided_len(n));
+    planner.fft_real_into(samples, &mut spec);
     let resolution = sample_rate / n as f64;
-    // Bin k (k <= n/2) represents frequency k·fs/n; bin n−k its negative twin.
     for (k, c) in spec.iter_mut().enumerate() {
-        let freq = if k <= n / 2 {
-            k as f64 * resolution
-        } else {
-            (n - k) as f64 * resolution
-        };
-        if freq > cutoff_hz {
+        if k as f64 * resolution > cutoff_hz {
             *c = crate::Complex64::ZERO;
         }
     }
-    planner.ifft_real(&spec)
+    let mut out = Vec::with_capacity(n);
+    planner.ifft_real_into(&spec, n, &mut out);
+    out
 }
 
 /// Centered moving average of odd width `window` (edges use the available

@@ -48,18 +48,7 @@ impl Interp {
         assert!(!samples.is_empty(), "cannot interpolate an empty signal");
         assert!(sample_rate > 0.0, "sample_rate must be positive");
         let n = samples.len();
-        // Fractional sample index, snapped to the grid when `t·fs` lands
-        // within float round-off of an integer — otherwise `floor()`-based
-        // methods would return the *previous* sample at exact grid points.
-        let pos = {
-            let raw = t * sample_rate;
-            let snapped = raw.round();
-            if (raw - snapped).abs() < 1e-9 * snapped.abs().max(1.0) {
-                snapped
-            } else {
-                raw
-            }
-        };
+        let pos = grid_position(t, sample_rate);
         match *self {
             Interp::Nearest => {
                 let idx = pos.round().clamp(0.0, (n - 1) as f64) as usize;
@@ -90,49 +79,107 @@ impl Interp {
                     }
                     None => (0, n),
                 };
-                let window = &samples[lo..hi];
-                if window.is_empty() {
-                    // The truncated kernel does not reach the record at all
-                    // (query far outside the sampled span): the full sum
-                    // would be 0, so return that rather than dividing by a
-                    // zero-length window below.
-                    return 0.0;
-                }
-                let (weighted, weight, sum) = window.iter().enumerate().fold(
-                    (0.0, 0.0, 0.0),
-                    |(ws, w, s), (i, &x)| {
-                        let k = sinc(pos - (lo + i) as f64);
-                        (ws + x * k, w + k, s + x)
-                    },
-                );
-                // Deficit compensation: over all integers the sinc weights
-                // sum to exactly 1, but a finite (or truncated) record loses
-                // the kernel tails, which shows up as a large DC error on
-                // short records (the reconstruction of a constant droops).
-                // Re-injecting the lost weight at the window's mean level
-                // fixes that without disturbing long zero-mean records,
-                // where the deficit correction vanishes.
-                let mean = sum / window.len() as f64;
-                weighted + mean * (1.0 - weight)
+                sinc_window_eval(samples, lo, hi, pos)
             }
         }
     }
 
     /// Evaluates the reconstruction at each time in `times` (seconds).
+    ///
+    /// For the truncated-sinc kernel over monotone (non-decreasing) `times`
+    /// — the common resampling-onto-a-grid case — the kernel window is
+    /// advanced incrementally across the record instead of being recomputed
+    /// from scratch at every sample; results are identical to calling
+    /// [`Interp::at`] per point.
     pub fn resample(&self, samples: &[f64], sample_rate: f64, times: &[f64]) -> Vec<f64> {
+        if let Interp::Sinc { half_width: Some(h) } = *self {
+            if times.windows(2).all(|w| w[0] <= w[1]) {
+                return sinc_resample_monotone(samples, sample_rate, h, times);
+            }
+        }
         times.iter().map(|&t| self.at(samples, sample_rate, t)).collect()
     }
 
     /// Resamples onto a regular grid at `dst_rate` spanning the same duration
     /// (`samples.len() / sample_rate` seconds, half-open).
+    ///
+    /// Grid times are monotone, so the truncated-sinc kernel takes the
+    /// incremental-window path of [`Interp::resample`].
     pub fn resample_to_rate(&self, samples: &[f64], sample_rate: f64, dst_rate: f64) -> Vec<f64> {
         assert!(dst_rate > 0.0, "dst_rate must be positive");
         let duration = samples.len() as f64 / sample_rate;
         let m = (duration * dst_rate).round().max(1.0) as usize;
-        (0..m)
-            .map(|i| self.at(samples, sample_rate, i as f64 / dst_rate))
-            .collect()
+        let times: Vec<f64> = (0..m).map(|i| i as f64 / dst_rate).collect();
+        self.resample(samples, sample_rate, &times)
     }
+}
+
+/// Fractional sample index of time `t`, snapped to the grid when `t·fs`
+/// lands within float round-off of an integer — otherwise `floor()`-based
+/// methods would return the *previous* sample at exact grid points.
+fn grid_position(t: f64, sample_rate: f64) -> f64 {
+    let raw = t * sample_rate;
+    let snapped = raw.round();
+    if (raw - snapped).abs() < 1e-9 * snapped.abs().max(1.0) {
+        snapped
+    } else {
+        raw
+    }
+}
+
+/// Truncated-sinc evaluation of `samples[lo..hi]` at fractional position
+/// `pos` — the shared kernel of [`Interp::at`] and the monotone resampling
+/// fast path.
+///
+/// Deficit compensation: over all integers the sinc weights sum to exactly
+/// 1, but a finite (or truncated) record loses the kernel tails, which
+/// shows up as a large DC error on short records (the reconstruction of a
+/// constant droops). Re-injecting the lost weight at the window's mean
+/// level fixes that without disturbing long zero-mean records, where the
+/// deficit correction vanishes.
+fn sinc_window_eval(samples: &[f64], lo: usize, hi: usize, pos: f64) -> f64 {
+    let window = &samples[lo..hi];
+    if window.is_empty() {
+        // The truncated kernel does not reach the record at all (query far
+        // outside the sampled span): the full sum would be 0, so return
+        // that rather than dividing by a zero-length window below.
+        return 0.0;
+    }
+    let (weighted, weight, sum) = window.iter().enumerate().fold(
+        (0.0, 0.0, 0.0),
+        |(ws, w, s), (i, &x)| {
+            let k = sinc(pos - (lo + i) as f64);
+            (ws + x * k, w + k, s + x)
+        },
+    );
+    let mean = sum / window.len() as f64;
+    weighted + mean * (1.0 - weight)
+}
+
+/// Truncated-sinc evaluation over monotone query times: the `[lo, hi)`
+/// kernel-window cursors only ever move right, so the per-sample span
+/// search of [`Interp::at`] is hoisted out of the inner loop. Results are
+/// identical to the pointwise path — both call [`sinc_window_eval`].
+fn sinc_resample_monotone(samples: &[f64], sample_rate: f64, h: usize, times: &[f64]) -> Vec<f64> {
+    assert!(!samples.is_empty(), "cannot interpolate an empty signal");
+    assert!(sample_rate > 0.0, "sample_rate must be positive");
+    let n = samples.len();
+    let h = h as isize;
+    let mut out = Vec::with_capacity(times.len());
+    let mut lo = 0usize;
+    let mut hi = 0usize;
+    for &t in times {
+        let pos = grid_position(t, sample_rate);
+        let center = pos.round() as isize;
+        while lo < n && (lo as isize) < center - h {
+            lo += 1;
+        }
+        while hi < n && (hi as isize) < center + h + 1 {
+            hi += 1;
+        }
+        out.push(sinc_window_eval(samples, lo, hi.max(lo), pos));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -242,6 +289,34 @@ mod tests {
         let samples = [0.0, 1.0, 2.0, 3.0];
         let out = Interp::Linear.resample(&samples, 1.0, &[0.5, 1.5, 2.5]);
         assert_eq!(out, vec![0.5, 1.5, 2.5]);
+    }
+
+    #[test]
+    fn monotone_sinc_resample_matches_pointwise_at() {
+        let fs = 8.0;
+        let samples: Vec<f64> = (0..96)
+            .map(|i| (2.0 * PI * 0.7 * i as f64 / fs).sin() + 0.3)
+            .collect();
+        let m = Interp::Sinc { half_width: Some(6) };
+        // Monotone grid including out-of-span queries on both sides (the
+        // incremental window must clamp exactly like `at` does).
+        let times: Vec<f64> = (0..200).map(|i| -3.0 + i as f64 * 0.11).collect();
+        let fast = m.resample(&samples, fs, &times);
+        for (&t, &got) in times.iter().zip(&fast) {
+            let want = m.at(&samples, fs, t);
+            assert_eq!(got, want, "t={t}");
+        }
+    }
+
+    #[test]
+    fn non_monotone_sinc_resample_falls_back_correctly() {
+        let samples: Vec<f64> = (0..32).map(|i| (i as f64 * 0.4).cos()).collect();
+        let m = Interp::Sinc { half_width: Some(4) };
+        let times = [5.0, 2.0, 7.3, 1.1];
+        let out = m.resample(&samples, 1.0, &times);
+        for (&t, &got) in times.iter().zip(&out) {
+            assert_eq!(got, m.at(&samples, 1.0, t), "t={t}");
+        }
     }
 
     #[test]

@@ -11,9 +11,17 @@
 //! Both return a one-sided [`Spectrum`] normalized as *power per bin* with
 //! window energy-gain compensation, so cumulative-energy fractions are
 //! comparable across window choices.
+//!
+//! The `*_into` variants ([`periodogram_into`], [`welch_into`]) write into
+//! caller-owned buffers through a reusable [`PsdScratch`]: one windowed-
+//! segment buffer and one spectrum buffer are shared across all segments,
+//! window coefficients come from the planner's cached per-`(window, n)`
+//! tables, and the real-input FFT fast path runs through the planner's own
+//! scratch — so the steady-state inner loop performs **zero heap
+//! allocations per segment** (pinned by `tests/alloc_steady_state.rs`).
 
 use crate::complex::Complex64;
-use crate::fft::FftPlanner;
+use crate::fft::{one_sided_len, FftPlanner};
 use crate::spectrum::Spectrum;
 use crate::window::Window;
 
@@ -61,23 +69,85 @@ impl Default for WelchConfig {
     }
 }
 
-/// Folds a full complex spectrum into one-sided per-bin power.
+/// Reusable scratch buffers for the PSD estimators.
+///
+/// Holds the windowed-segment buffer, the one-sided spectrum buffer and a
+/// per-segment power buffer; all grow on demand and are reused across calls.
+/// Keep one per long-lived estimator (the Nyquist estimator owns one) so the
+/// steady-state pipeline allocates nothing.
+#[derive(Debug, Default)]
+pub struct PsdScratch {
+    /// Windowed (and detrended) copy of the current segment.
+    seg: Vec<f64>,
+    /// One-sided spectrum of the current segment.
+    spec: Vec<Complex64>,
+    /// Per-segment folded power, used by [`welch_into`]'s accumulation.
+    power: Vec<f64>,
+}
+
+impl PsdScratch {
+    /// Creates empty scratch space; buffers grow on first use.
+    pub fn new() -> Self {
+        PsdScratch::default()
+    }
+}
+
+/// The shared kernel: one windowed segment's one-sided per-bin power into
+/// `out` (cleared first).
 ///
 /// Interior bins are doubled (they carry the energy of both the positive and
 /// negative frequency); DC and — for even `n` — the Nyquist bin are not.
-fn fold_one_sided(full: &[Complex64], n: usize) -> Vec<f64> {
-    let bins = if n.is_multiple_of(2) { n / 2 + 1 } else { n.div_ceil(2) };
-    let mut out = Vec::with_capacity(bins);
-    for (k, c) in full.iter().take(bins).enumerate() {
-        let mut p = c.norm_sqr();
+/// Everything is normalized by `n²` and the window energy gain.
+fn segment_power_into(
+    planner: &mut FftPlanner,
+    seg: &mut Vec<f64>,
+    spec: &mut Vec<Complex64>,
+    samples: &[f64],
+    cfg: PsdConfig,
+    out: &mut Vec<f64>,
+) {
+    let n = samples.len();
+    seg.clear();
+    seg.extend_from_slice(samples);
+    if cfg.detrend {
+        let mean = seg.iter().sum::<f64>() / n as f64;
+        for s in seg.iter_mut() {
+            *s -= mean;
+        }
+    }
+    let table = planner.window_table(cfg.window, n);
+    table.apply(seg);
+    planner.fft_real_into(seg, spec);
+    let norm = (n as f64) * (n as f64) * table.energy_gain();
+    out.clear();
+    out.reserve(spec.len());
+    for (k, c) in spec.iter().enumerate() {
         let is_dc = k == 0;
         let is_nyquist = n.is_multiple_of(2) && k == n / 2;
+        let mut p = c.norm_sqr();
         if !is_dc && !is_nyquist {
             p *= 2.0;
         }
-        out.push(p);
+        out.push(p / norm);
     }
-    out
+}
+
+/// [`periodogram`] into a caller-owned power buffer (cleared first) —
+/// the allocation-free core for steady-state pipelines. The buffer holds
+/// [`one_sided_len`]`(samples.len())` bins; wrap it with
+/// [`Spectrum::from_psd`] (and reclaim it via `Spectrum::into_power`).
+///
+/// # Panics
+/// Panics if `samples` is empty.
+pub fn periodogram_into(
+    planner: &mut FftPlanner,
+    scratch: &mut PsdScratch,
+    samples: &[f64],
+    cfg: PsdConfig,
+    out: &mut Vec<f64>,
+) {
+    assert!(!samples.is_empty(), "cannot estimate the PSD of an empty signal");
+    segment_power_into(planner, &mut scratch.seg, &mut scratch.spec, samples, cfg, out);
 }
 
 /// Single-segment PSD estimate (§3.2's raw method when
@@ -94,24 +164,63 @@ pub fn periodogram(
     sample_rate: f64,
     cfg: PsdConfig,
 ) -> Spectrum {
-    assert!(!samples.is_empty(), "cannot estimate the PSD of an empty signal");
     assert!(sample_rate > 0.0, "sample_rate must be positive");
-    let n = samples.len();
-    let mut seg: Vec<f64> = samples.to_vec();
-    if cfg.detrend {
-        let mean = seg.iter().sum::<f64>() / n as f64;
-        for s in &mut seg {
-            *s -= mean;
+    let mut scratch = PsdScratch::new();
+    let mut power = Vec::new();
+    periodogram_into(planner, &mut scratch, samples, cfg, &mut power);
+    Spectrum::from_psd(power, sample_rate, samples.len())
+}
+
+/// [`welch`] into a caller-owned power buffer (cleared first).
+///
+/// Returns the segment length the buffer must be interpreted against: the
+/// configured `segment_len` clamped to the trace length, so a signal
+/// shorter than one segment degenerates to exactly one full-length
+/// periodogram. The inner loop reuses `scratch` across segments and
+/// performs no per-segment allocations in steady state.
+///
+/// # Panics
+/// Panics if `samples` is empty, `segment_len == 0`, or
+/// `overlap ∉ [0, 0.95]`.
+pub fn welch_into(
+    planner: &mut FftPlanner,
+    scratch: &mut PsdScratch,
+    samples: &[f64],
+    cfg: WelchConfig,
+    out: &mut Vec<f64>,
+) -> usize {
+    assert!(!samples.is_empty(), "cannot estimate the PSD of an empty signal");
+    assert!(cfg.segment_len > 0, "segment_len must be positive");
+    assert!(
+        (0.0..=0.95).contains(&cfg.overlap),
+        "overlap must be in [0, 0.95], got {}",
+        cfg.overlap
+    );
+    let seg_len = cfg.segment_len.min(samples.len());
+    let hop = ((seg_len as f64) * (1.0 - cfg.overlap)).round().max(1.0) as usize;
+    let seg_cfg = PsdConfig {
+        window: cfg.window,
+        detrend: cfg.detrend,
+    };
+    let PsdScratch { seg, spec, power } = scratch;
+    out.clear();
+    out.resize(one_sided_len(seg_len), 0.0);
+    let mut segments = 0usize;
+    let mut start = 0usize;
+    while start + seg_len <= samples.len() {
+        segment_power_into(planner, seg, spec, &samples[start..start + seg_len], seg_cfg, power);
+        for (a, p) in out.iter_mut().zip(power.iter()) {
+            *a += *p;
         }
+        segments += 1;
+        start += hop;
     }
-    cfg.window.apply(&mut seg);
-    let spec = planner.fft_real(&seg);
-    let mut power = fold_one_sided(&spec, n);
-    let norm = (n as f64) * (n as f64) * cfg.window.energy_gain(n);
-    for p in &mut power {
-        *p /= norm;
+    // `seg_len <= samples.len()` by the clamp above, so the loop always ran.
+    debug_assert!(segments > 0);
+    for a in out.iter_mut() {
+        *a /= segments as f64;
     }
-    Spectrum::from_psd(power, sample_rate, n)
+    seg_len
 }
 
 /// Welch's method: average the periodograms of overlapping windowed segments.
@@ -130,44 +239,11 @@ pub fn welch(
     sample_rate: f64,
     cfg: WelchConfig,
 ) -> Spectrum {
-    assert!(!samples.is_empty(), "cannot estimate the PSD of an empty signal");
     assert!(sample_rate > 0.0, "sample_rate must be positive");
-    assert!(cfg.segment_len > 0, "segment_len must be positive");
-    assert!(
-        (0.0..=0.95).contains(&cfg.overlap),
-        "overlap must be in [0, 0.95], got {}",
-        cfg.overlap
-    );
-    let seg_len = cfg.segment_len.min(samples.len());
-    let hop = ((seg_len as f64) * (1.0 - cfg.overlap)).round().max(1.0) as usize;
-    let bins = if seg_len.is_multiple_of(2) {
-        seg_len / 2 + 1
-    } else {
-        seg_len.div_ceil(2)
-    };
-    let mut acc = vec![0.0; bins];
-    let mut segments = 0usize;
-    let mut start = 0usize;
-    let seg_cfg = PsdConfig {
-        window: cfg.window,
-        detrend: cfg.detrend,
-    };
-    while start + seg_len <= samples.len() {
-        let s = periodogram(planner, &samples[start..start + seg_len], sample_rate, seg_cfg);
-        for (a, p) in acc.iter_mut().zip(s.power()) {
-            *a += p;
-        }
-        segments += 1;
-        start += hop;
-    }
-    if segments == 0 {
-        // Signal shorter than a segment: fall back to a single periodogram.
-        return periodogram(planner, samples, sample_rate, seg_cfg);
-    }
-    for a in &mut acc {
-        *a /= segments as f64;
-    }
-    Spectrum::from_psd(acc, sample_rate, seg_len)
+    let mut scratch = PsdScratch::new();
+    let mut acc = Vec::new();
+    let n = welch_into(planner, &mut scratch, samples, cfg, &mut acc);
+    Spectrum::from_psd(acc, sample_rate, n)
 }
 
 #[cfg(test)]

@@ -11,7 +11,7 @@
 //!   the spectrum and inverse-transform.
 
 use crate::complex::Complex64;
-use crate::fft::FftPlanner;
+use crate::fft::{one_sided_len, FftPlanner};
 
 /// Keeps every `factor`-th sample, starting with the first.
 ///
@@ -57,45 +57,66 @@ pub fn fractional_decimate(samples: &[f64], ratio: f64) -> Vec<f64> {
 /// # Panics
 /// Panics if `samples` is empty or `new_len == 0`.
 pub fn resample_fft(planner: &mut FftPlanner, samples: &[f64], new_len: usize) -> Vec<f64> {
+    let mut out = Vec::with_capacity(new_len);
+    resample_fft_into(planner, samples, new_len, &mut out);
+    out
+}
+
+/// [`resample_fft`] into a caller-owned output buffer (cleared first), for
+/// pipelines that resample repeatedly (e.g. the §6 correlation roundtrip).
+///
+/// Both the analysis and the synthesis run one-sided through the real-input
+/// FFT fast path: the source's one-sided spectrum is mapped onto the
+/// target's one-sided grid (the mirror half is implied by conjugate
+/// symmetry) and inverse-transformed with the packed real inverse.
+///
+/// # Panics
+/// Panics if `samples` is empty or `new_len == 0`.
+pub fn resample_fft_into(
+    planner: &mut FftPlanner,
+    samples: &[f64],
+    new_len: usize,
+    out: &mut Vec<f64>,
+) {
     assert!(!samples.is_empty(), "cannot resample an empty signal");
     assert!(new_len > 0, "new_len must be positive");
     let n = samples.len();
     if new_len == n {
-        return samples.to_vec();
+        out.clear();
+        out.extend_from_slice(samples);
+        return;
     }
-    let spec = planner.fft_real(samples);
-    let mut out = vec![Complex64::ZERO; new_len];
+    let mut spec = Vec::with_capacity(one_sided_len(n));
+    planner.fft_real_into(samples, &mut spec);
     let m = new_len;
+    let mut out_spec = vec![Complex64::ZERO; one_sided_len(m)];
 
     // Number of strictly-positive frequencies shared by both lengths.
     let keep_pos = ((n - 1) / 2).min((m - 1) / 2);
-    out[0] = spec[0];
-    for k in 1..=keep_pos {
-        out[k] = spec[k];
-        out[m - k] = spec[n - k];
-    }
+    out_spec[0] = spec[0];
+    out_spec[1..=keep_pos].copy_from_slice(&spec[1..=keep_pos]);
     if m > n {
         // Upsampling: if n is even, its Nyquist bin must be split between the
-        // two mirrored positions of the longer spectrum.
+        // two mirrored positions of the longer spectrum (the mirror half of
+        // the one-sided target carries the conjugate implicitly).
         if n.is_multiple_of(2) {
-            let half = spec[n / 2].scale(0.5);
-            out[n / 2] = half;
-            out[m - n / 2] = half.conj();
+            out_spec[n / 2] = spec[n / 2].scale(0.5);
         }
     } else {
         // Downsampling: if m is even, fold the two source bins that map onto
-        // the new Nyquist position (they are conjugates, so the sum is real).
-        // Summing — not averaging — makes up-then-down an exact inverse and
-        // matches true decimation of a Nyquist-frequency cosine.
+        // the new Nyquist position (they are conjugates, so the sum is the
+        // real `2·Re`). Summing — not averaging — makes up-then-down an
+        // exact inverse and matches true decimation of a Nyquist-frequency
+        // cosine.
         if m.is_multiple_of(2) {
-            out[m / 2] = spec[m / 2] + spec[n - m / 2];
+            out_spec[m / 2] = Complex64::from_real(2.0 * spec[m / 2].re);
         }
     }
     let scale = m as f64 / n as f64;
-    for c in &mut out {
+    for c in &mut out_spec {
         *c = c.scale(scale);
     }
-    planner.ifft_real(&out)
+    planner.ifft_real_into(&out_spec, m, out);
 }
 
 /// Convenience wrapper: upsamples by an integer `factor` via [`resample_fft`].

@@ -89,6 +89,13 @@ impl Spectrum {
         &self.power
     }
 
+    /// Consumes the spectrum and returns its power buffer, capacity intact —
+    /// steady-state pipelines hand the buffer back to the next
+    /// `periodogram_into`/`welch_into` call instead of reallocating.
+    pub fn into_power(self) -> Vec<f64> {
+        self.power
+    }
+
     /// Sum of all bin powers (total energy proxy; see §3.2 step (a)).
     pub fn total_power(&self) -> f64 {
         self.power.iter().sum()

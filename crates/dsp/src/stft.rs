@@ -7,8 +7,8 @@
 //! tracker's scalar per window (e.g. diagnosing *what* raised a signal's
 //! Nyquist rate, not just *that* it rose).
 
-use crate::fft::FftPlanner;
-use crate::psd::{periodogram, PsdConfig};
+use crate::fft::{one_sided_len, FftPlanner};
+use crate::psd::{periodogram_into, PsdConfig, PsdScratch};
 use crate::spectrum::Spectrum;
 use crate::window::Window;
 
@@ -66,18 +66,34 @@ pub fn stft(
         window: cfg.window,
         detrend: cfg.detrend,
     };
-    let mut frames = Vec::new();
+    // Pre-size the output from the frame-count geometry and stream every
+    // frame through one shared scratch: the loop's only allocation is each
+    // frame's own (exact-capacity) power buffer.
+    let frame_count = if samples.len() >= cfg.frame_len {
+        (samples.len() - cfg.frame_len) / cfg.hop + 1
+    } else {
+        0
+    };
+    let mut frames = Vec::with_capacity(frame_count);
+    let mut scratch = PsdScratch::new();
+    let bins = one_sided_len(cfg.frame_len);
     let mut start = 0usize;
     while start + cfg.frame_len <= samples.len() {
-        let spectrum = periodogram(
+        let mut power = Vec::with_capacity(bins);
+        periodogram_into(
             planner,
+            &mut scratch,
             &samples[start..start + cfg.frame_len],
-            sample_rate,
             psd_cfg,
+            &mut power,
         );
-        frames.push(StftFrame { start, spectrum });
+        frames.push(StftFrame {
+            start,
+            spectrum: Spectrum::from_psd(power, sample_rate, cfg.frame_len),
+        });
         start += cfg.hop;
     }
+    debug_assert_eq!(frames.len(), frame_count);
     frames
 }
 

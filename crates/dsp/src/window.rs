@@ -89,6 +89,90 @@ impl Window {
     ];
 }
 
+/// A materialized window: coefficients plus their normalization gains.
+///
+/// Evaluating a window coefficient costs up to four trig calls per sample;
+/// the spectral pipeline instead builds one table per `(window, n)` (cached
+/// by `FftPlanner::window_table`) and multiplies segments by it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowTable {
+    window: Window,
+    coeffs: Vec<f64>,
+    coherent_gain: f64,
+    energy_gain: f64,
+}
+
+impl WindowTable {
+    /// Materializes `window` at length `n` and precomputes its gains.
+    pub fn new(window: Window, n: usize) -> Self {
+        let coeffs = window.coefficients(n);
+        let (coherent_gain, energy_gain) = if n == 0 {
+            (1.0, 1.0)
+        } else {
+            (
+                coeffs.iter().sum::<f64>() / n as f64,
+                coeffs.iter().map(|c| c * c).sum::<f64>() / n as f64,
+            )
+        };
+        WindowTable {
+            window,
+            coeffs,
+            coherent_gain,
+            energy_gain,
+        }
+    }
+
+    /// The window shape this table was built from.
+    pub fn window(&self) -> Window {
+        self.window
+    }
+
+    /// Number of samples the table covers.
+    pub fn len(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// `true` when the table covers zero samples.
+    pub fn is_empty(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// The precomputed coefficients.
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Coherent gain (mean coefficient); equals [`Window::coherent_gain`].
+    pub fn coherent_gain(&self) -> f64 {
+        self.coherent_gain
+    }
+
+    /// Energy gain (mean squared coefficient); equals
+    /// [`Window::energy_gain`].
+    pub fn energy_gain(&self) -> f64 {
+        self.energy_gain
+    }
+
+    /// Multiplies the table into `samples` (no-op for the rectangular
+    /// window).
+    ///
+    /// # Panics
+    /// Panics if `samples.len()` differs from the table length.
+    pub fn apply(&self, samples: &mut [f64]) {
+        assert_eq!(
+            samples.len(),
+            self.coeffs.len(),
+            "window table length mismatch"
+        );
+        if matches!(self.window, Window::Rectangular) {
+            return;
+        }
+        for (s, &c) in samples.iter_mut().zip(&self.coeffs) {
+            *s *= c;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,5 +247,32 @@ mod tests {
             assert_eq!(win.coefficient(0, 0), 1.0);
             assert_eq!(win.coefficient(0, 1), 1.0);
         }
+    }
+
+    #[test]
+    fn window_table_matches_direct_evaluation() {
+        for win in Window::ALL {
+            let n = 97;
+            let table = WindowTable::new(win, n);
+            assert_eq!(table.window(), win);
+            assert_eq!(table.len(), n);
+            assert_eq!(table.coeffs(), win.coefficients(n).as_slice());
+            assert_eq!(table.coherent_gain(), win.coherent_gain(n));
+            assert_eq!(table.energy_gain(), win.energy_gain(n));
+
+            let mut via_table = vec![1.5; n];
+            table.apply(&mut via_table);
+            let mut direct = vec![1.5; n];
+            win.apply(&mut direct);
+            assert_eq!(via_table, direct);
+        }
+    }
+
+    #[test]
+    fn empty_window_table_has_unit_gains() {
+        let t = WindowTable::new(Window::Hann, 0);
+        assert!(t.is_empty());
+        assert_eq!(t.coherent_gain(), 1.0);
+        assert_eq!(t.energy_gain(), 1.0);
     }
 }

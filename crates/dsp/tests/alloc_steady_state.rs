@@ -1,0 +1,118 @@
+//! Allocation accounting for the spectral pipeline.
+//!
+//! Pins the PR's zero-allocation guarantee with a counting global allocator:
+//! once the planner, scratch and output buffers are warm, `periodogram_into`
+//! and `welch_into` must not touch the heap at all, and `stft` must allocate
+//! only each frame's own output power buffer.
+//!
+//! Everything lives in a single `#[test]` so no concurrently running test in
+//! this binary can perturb the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use sweetspot_dsp::fft::FftPlanner;
+use sweetspot_dsp::psd::{periodogram_into, welch_into, PsdConfig, PsdScratch, WelchConfig};
+use sweetspot_dsp::stft::{stft, StftConfig};
+use sweetspot_dsp::window::Window;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+struct CountingAllocator;
+
+// SAFETY: delegates every operation to `System`; the counter is a plain
+// atomic side effect.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn allocations_during(f: impl FnOnce()) -> usize {
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    f();
+    ALLOCATIONS.load(Ordering::SeqCst) - before
+}
+
+fn signal(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| {
+            let t = i as f64;
+            (0.002 * t).sin() + 0.5 * (0.04 * t).sin() + 0.1 * (0.3 * t).cos()
+        })
+        .collect()
+}
+
+#[test]
+fn spectral_pipeline_steady_state_is_allocation_free() {
+    let cfg = PsdConfig {
+        window: Window::Hann,
+        detrend: true,
+    };
+    let mut planner = FftPlanner::new();
+    let mut scratch = PsdScratch::new();
+    let mut power = Vec::new();
+
+    // Periodogram: pow-of-two and Bluestein (day-trace) lengths. First call
+    // warms plans and buffers; the second must be allocation-free.
+    for n in [4096usize, 2880] {
+        let sig = signal(n);
+        periodogram_into(&mut planner, &mut scratch, &sig, cfg, &mut power);
+        let count = allocations_during(|| {
+            periodogram_into(&mut planner, &mut scratch, &sig, cfg, &mut power);
+        });
+        assert_eq!(count, 0, "steady-state periodogram (n={n}) must not allocate");
+    }
+
+    // Welch: the per-segment inner loop must be allocation-free — not just
+    // amortized. With everything warm, an entire multi-segment run touches
+    // the heap zero times, so per-segment cost is exactly zero.
+    let welch_cfg = WelchConfig {
+        segment_len: 256,
+        overlap: 0.5,
+        window: Window::Hann,
+        detrend: true,
+    };
+    let long = signal(8192); // 63 overlapped segments
+    let mut acc = Vec::new();
+    welch_into(&mut planner, &mut scratch, &long, welch_cfg, &mut acc);
+    let count = allocations_during(|| {
+        welch_into(&mut planner, &mut scratch, &long, welch_cfg, &mut acc);
+    });
+    assert_eq!(count, 0, "steady-state welch must not allocate in its segment loop");
+
+    // STFT returns one Spectrum per frame, so the per-frame floor is the
+    // output power buffer itself (1 allocation) — the scratch contributes
+    // nothing. Budget: frames + the pre-sized frames vec + small slack for
+    // the Vec moves inside Spectrum construction.
+    let stft_cfg = StftConfig {
+        frame_len: 256,
+        hop: 128,
+        window: Window::Hann,
+        detrend: true,
+    };
+    let frames = stft(&mut planner, &long, 1.0, stft_cfg); // warm plans
+    let frame_count = frames.len();
+    assert!(frame_count > 10, "geometry sanity: got {frame_count} frames");
+    let count = allocations_during(|| {
+        let f = stft(&mut planner, &long, 1.0, stft_cfg);
+        assert_eq!(f.len(), frame_count);
+    });
+    assert!(
+        count <= frame_count + 4,
+        "stft should allocate only per-frame outputs: {count} allocations for {frame_count} frames"
+    );
+}

@@ -5,7 +5,7 @@
 //! stay within physical bounds.
 
 use proptest::prelude::*;
-use sweetspot_dsp::fft::{dft_naive, FftPlanner};
+use sweetspot_dsp::fft::{dft_naive, one_sided_len, FftPlanner};
 use sweetspot_dsp::interp::Interp;
 use sweetspot_dsp::quantize::Quantizer;
 use sweetspot_dsp::resample::resample_fft;
@@ -58,6 +58,38 @@ proptest! {
         let freq_energy: f64 = buf.iter().map(|c| c.norm_sqr()).sum::<f64>() / n;
         let tol = 1e-9 * time_energy.max(1.0);
         prop_assert!((time_energy - freq_energy).abs() < tol);
+    }
+
+    #[test]
+    fn rfft_matches_complex_fft(sig in signal_strategy(300)) {
+        // Lengths 1..300 cover the packed fast path over both inner plans
+        // (power-of-two and Bluestein halves) plus the odd-length fallback.
+        let mut planner = FftPlanner::new();
+        let n = sig.len();
+        let mut one_sided = Vec::new();
+        planner.fft_real_into(&sig, &mut one_sided);
+        prop_assert_eq!(one_sided.len(), one_sided_len(n));
+        let mut full: Vec<Complex64> = sig.iter().map(|&x| Complex64::from_real(x)).collect();
+        planner.fft_in_place(&mut full);
+        let scale = sig.iter().map(|x| x.abs()).fold(1.0, f64::max);
+        let tol = 1e-9 * scale * n as f64;
+        for (k, c) in one_sided.iter().enumerate() {
+            prop_assert!((c.re - full[k].re).abs() < tol, "bin {}: {} vs {}", k, c.re, full[k].re);
+            prop_assert!((c.im - full[k].im).abs() < tol, "bin {}: {} vs {}", k, c.im, full[k].im);
+        }
+    }
+
+    #[test]
+    fn rfft_inverse_roundtrips(sig in signal_strategy(300)) {
+        let mut planner = FftPlanner::new();
+        let mut spec = Vec::new();
+        planner.fft_real_into(&sig, &mut spec);
+        let mut back = Vec::new();
+        planner.ifft_real_into(&spec, sig.len(), &mut back);
+        let scale = sig.iter().map(|x| x.abs()).fold(1.0, f64::max);
+        for (a, b) in sig.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-8 * scale, "{} vs {}", a, b);
+        }
     }
 
     #[test]

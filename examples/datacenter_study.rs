@@ -33,7 +33,7 @@ fn main() {
     );
 
     // Figure 1: fraction of devices above the Nyquist rate, per metric.
-    println!("{}", fig1::from_study(&study, cfg.fleet.devices_per_metric).render());
+    println!("{}", fig1::from_study(&study).render());
 
     // Figure 4: reduction-ratio CDFs (three representative panels printed;
     // all fourteen are computed).

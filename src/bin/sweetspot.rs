@@ -8,10 +8,12 @@
 //! sweetspot track <trace.csv> [--window SECONDS] [--step SECONDS]
 //!     Moving-window Nyquist tracking (the paper's Figure 7) over a trace.
 //!
-//! sweetspot study [--devices N] [--seed S] [--threads T]
+//! sweetspot study [--devices N] [--seed S] [--threads T] [--paper-scale]
 //!     Run the §3.2 fleet study on the synthetic fleet and print Figure 1
 //!     plus the headline statistics. `--threads 0` (the default) uses all
 //!     available cores; any thread count produces byte-identical output.
+//!     `--paper-scale` analyzes the paper's full 1613 metric-device pairs
+//!     (115 devices/metric + 3 extras; overrides `--devices`).
 //!
 //! sweetspot demo [--metric NAME] [--days D] [--seed S]
 //!     Emit a synthetic production trace as CSV on stdout (pipe it back
@@ -62,7 +64,7 @@ sweetspot — Nyquist-guided monitoring-rate analysis (HotNets'21 reproduction)
 USAGE:
   sweetspot analyze <trace.csv> [--cutoff F] [--headroom F] [--interval SECONDS]
   sweetspot track   <trace.csv> [--window SECONDS] [--step SECONDS]
-  sweetspot study   [--devices N] [--seed S] [--threads T]
+  sweetspot study   [--devices N] [--seed S] [--threads T] [--paper-scale]
   sweetspot demo    [--metric NAME] [--days D] [--seed S]
   sweetspot help";
 
@@ -200,21 +202,37 @@ fn cmd_track(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_study(args: &[String]) -> Result<(), String> {
-    let flags = flags(args, 0)?;
+    // `--paper-scale` is a bare boolean switch; pull it out before the
+    // `--name value` pair parser sees the rest.
+    let mut paper_scale = false;
+    let rest: Vec<String> = args
+        .iter()
+        .filter(|a| {
+            let hit = a.as_str() == "--paper-scale";
+            paper_scale |= hit;
+            !hit
+        })
+        .cloned()
+        .collect();
+    let flags = flags(&rest, 0)?;
     let devices = flag_u64(&flags, "devices", 40)? as usize;
     let seed = flag_u64(&flags, "seed", 0x5EED_CAFE)?;
     let threads = flag_u64(&flags, "threads", 0)? as usize;
-    let cfg = StudyConfig {
-        fleet: FleetConfig {
-            seed,
-            devices_per_metric: devices,
-            trace_duration: Seconds::from_days(1.0),
-        },
-        threads,
-        ..StudyConfig::default()
+    let study = if paper_scale {
+        FleetStudy::run_paper_scale(seed, NyquistConfig::default(), threads)
+    } else {
+        let cfg = StudyConfig {
+            fleet: FleetConfig {
+                seed,
+                devices_per_metric: devices,
+                trace_duration: Seconds::from_days(1.0),
+            },
+            threads,
+            ..StudyConfig::default()
+        };
+        FleetStudy::run(cfg)
     };
-    let study = FleetStudy::run(cfg);
-    println!("{}", fig1::from_study(&study, devices).render());
+    println!("{}", fig1::from_study(&study).render());
     println!("{}", headline::from_study(&study).render());
     Ok(())
 }

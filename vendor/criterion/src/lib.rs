@@ -3,13 +3,30 @@
 //! Implements the slice of the criterion API the `sweetspot-bench` benches
 //! use — [`Criterion::bench_function`], [`Bencher::iter`], the builder
 //! setters, and the [`criterion_group!`]/[`criterion_main!`] macros — backed
-//! by a simple mean-of-wall-clock measurement loop. Statistics are far
-//! cruder than real criterion (no outlier rejection, no regression), but
-//! timings are real and the bench binaries run unchanged.
+//! by a wall-clock sampling loop with regression-grade summary statistics:
+//! every benchmark reports **min / p50 / p95** (plus mean and max) over a
+//! configurable number of samples, and emits one machine-readable JSON line
+//! (`BENCH_JSON {...}`) so CI can accumulate per-PR trajectories.
+//!
+//! ## Environment knobs
+//!
+//! * `BENCH_SAMPLE_SIZE=N` — override the number of timed samples.
+//! * `BENCH_WARMUP_MS=N` / `BENCH_MEASURE_MS=N` — override the warm-up and
+//!   measurement windows.
+//! * `BENCH_QUICK=1` — smoke mode: at most 10 samples, 50 ms warm-up,
+//!   300 ms measurement window (what CI's bench-smoke job uses).
+//! * `BENCH_JSON_PATH=file` — append each benchmark's JSON line to `file`
+//!   in addition to printing it. Prefer an absolute path: cargo runs bench
+//!   binaries with the bench package root as working directory, so a
+//!   relative path lands under `crates/bench/`, not the workspace root.
+//!
+//! Statistics are still cruder than real criterion (no outlier rejection,
+//! no bootstrap), but timings are real and the bench binaries run unchanged.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+use std::io::Write as _;
 use std::time::{Duration, Instant};
 
 /// Bench runner and configuration.
@@ -51,24 +68,68 @@ impl Criterion {
     }
 
     /// Real criterion parses CLI flags here; the stub accepts and ignores
-    /// them (cargo passes `--bench`).
-    pub fn configure_from_args(self) -> Self {
+    /// them (cargo passes `--bench`) but honors the `BENCH_*` environment
+    /// knobs documented at the crate root, so CI can force quick runs
+    /// without touching bench code.
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::var("BENCH_QUICK").is_ok_and(|v| v == "1") {
+            self.sample_size = self.sample_size.min(10);
+            self.warm_up_time = Duration::from_millis(50);
+            self.measurement_time = Duration::from_millis(300);
+        }
+        if let Some(n) = env_usize("BENCH_SAMPLE_SIZE") {
+            if n > 0 {
+                self.sample_size = n;
+            }
+        }
+        if let Some(ms) = env_usize("BENCH_WARMUP_MS") {
+            self.warm_up_time = Duration::from_millis(ms as u64);
+        }
+        if let Some(ms) = env_usize("BENCH_MEASURE_MS") {
+            self.measurement_time = Duration::from_millis(ms as u64);
+        }
         self
     }
 
     /// Runs one benchmark: warm-up, then timed samples, then a one-line
-    /// mean/min/max report.
+    /// min/p50/p95 report plus a `BENCH_JSON` line.
+    ///
+    /// Like real criterion, each sample runs the benched closure in a batch
+    /// of iterations sized during warm-up so one sample lasts roughly
+    /// `measurement_time / sample_size` — per-sample setup done in the
+    /// `|b|` closure (planner construction, input cloning) amortizes away
+    /// instead of polluting every sample.
     pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { timed: Duration::ZERO, iters: 0 };
+        let mut b = Bencher {
+            timed: Duration::ZERO,
+            iters: 0,
+            batch: 1,
+        };
 
-        // Warm-up: run until the warm-up budget is spent.
+        // Warm-up: run until the warm-up budget is spent, estimating the
+        // per-iteration cost from the fastest observed call.
         let warm_start = Instant::now();
+        let mut est = f64::INFINITY;
         while warm_start.elapsed() < self.warm_up_time {
+            b.timed = Duration::ZERO;
+            b.iters = 0;
             f(&mut b);
+            if b.iters > 0 {
+                est = est.min(b.timed.as_secs_f64() / b.iters as f64);
+            }
         }
+
+        // Size each sample's batch so the measurement window is spent evenly
+        // across `sample_size` samples.
+        let target = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        b.batch = if est.is_finite() && est > 0.0 {
+            (target / est).ceil().clamp(1.0, 1e7) as u64
+        } else {
+            1
+        };
 
         // Measurement: `sample_size` samples, each a fresh call into the
         // closure, bounded overall by `measurement_time`.
@@ -88,16 +149,25 @@ impl Criterion {
 
         if samples.is_empty() {
             println!("{id:<40} (no iterations recorded)");
-        } else {
-            let mean = samples.iter().sum::<f64>() / samples.len() as f64;
-            let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
-            let max = samples.iter().cloned().fold(0.0f64, f64::max);
-            println!(
-                "{id:<40} time: [{} {} {}]",
-                format_time(min),
-                format_time(mean),
-                format_time(max)
-            );
+            return self;
+        }
+        let stats = SampleStats::of(&mut samples);
+        println!(
+            "{id:<40} time: [{} {} {}]  mean {}  ({} samples)",
+            format_time(stats.min),
+            format_time(stats.p50),
+            format_time(stats.p95),
+            format_time(stats.mean),
+            stats.samples
+        );
+        let json = stats.to_json(id);
+        println!("BENCH_JSON {json}");
+        if let Ok(path) = std::env::var("BENCH_JSON_PATH") {
+            if !path.is_empty() {
+                if let Err(e) = append_line(&path, &json) {
+                    eprintln!("warning: cannot append to {path}: {e}");
+                }
+            }
         }
         self
     }
@@ -106,24 +176,105 @@ impl Criterion {
     pub fn final_summary(&self) {}
 }
 
+/// Summary statistics over one benchmark's per-iteration samples (seconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleStats {
+    /// Number of samples collected.
+    pub samples: usize,
+    /// Fastest sample.
+    pub min: f64,
+    /// Median sample.
+    pub p50: f64,
+    /// 95th-percentile sample.
+    pub p95: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Slowest sample.
+    pub max: f64,
+}
+
+impl SampleStats {
+    /// Computes the summary; sorts `samples` in place.
+    ///
+    /// # Panics
+    /// Panics if `samples` is empty.
+    pub fn of(samples: &mut [f64]) -> SampleStats {
+        assert!(!samples.is_empty(), "need at least one sample");
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let n = samples.len();
+        let nearest = |q: f64| samples[(((n - 1) as f64) * q).round() as usize];
+        SampleStats {
+            samples: n,
+            min: samples[0],
+            p50: nearest(0.5),
+            p95: nearest(0.95),
+            mean: samples.iter().sum::<f64>() / n as f64,
+            max: samples[n - 1],
+        }
+    }
+
+    /// One-line JSON record (hand-rolled: the vendored stub has no serde).
+    pub fn to_json(&self, id: &str) -> String {
+        format!(
+            "{{\"benchmark\":\"{}\",\"unit\":\"seconds\",\"samples\":{},\
+             \"min\":{:e},\"p50\":{:e},\"p95\":{:e},\"mean\":{:e},\"max\":{:e}}}",
+            json_escape(id),
+            self.samples,
+            self.min,
+            self.p50,
+            self.p95,
+            self.mean,
+            self.max
+        )
+    }
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.parse().ok()
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+fn append_line(path: &str, line: &str) -> std::io::Result<()> {
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(file, "{line}")
+}
+
 /// Times the closure handed to [`Criterion::bench_function`].
 #[derive(Debug)]
 pub struct Bencher {
     timed: Duration,
     iters: u64,
+    /// Iterations per sample, calibrated by the runner during warm-up.
+    batch: u64,
 }
 
 impl Bencher {
-    /// Times repeated calls of `f`, accumulating into the current sample.
+    /// Times `batch` calls of `f` (calibrated by the runner), accumulating
+    /// into the current sample.
     pub fn iter<O, F>(&mut self, mut f: F)
     where
         F: FnMut() -> O,
     {
+        let batch = self.batch.max(1);
         let start = Instant::now();
-        let out = f();
+        for _ in 0..batch {
+            std::hint::black_box(f());
+        }
         self.timed += start.elapsed();
-        self.iters += 1;
-        drop(out);
+        self.iters += batch;
     }
 }
 
@@ -182,8 +333,7 @@ mod tests {
         let mut c = Criterion::default()
             .sample_size(3)
             .warm_up_time(Duration::from_millis(1))
-            .measurement_time(Duration::from_millis(20))
-            .configure_from_args();
+            .measurement_time(Duration::from_millis(20));
         let mut calls = 0u64;
         c.bench_function("smoke", |b| b.iter(|| calls += 1));
         assert!(calls > 0, "the closure must actually run");
@@ -196,5 +346,64 @@ mod tests {
         assert!(format_time(2e-3).ends_with(" ms"));
         assert!(format_time(2e-6).ends_with(" µs"));
         assert!(format_time(2e-9).ends_with(" ns"));
+    }
+
+    #[test]
+    fn sample_stats_are_ordered_percentiles() {
+        let mut samples: Vec<f64> = (1..=100).rev().map(|i| i as f64).collect();
+        let s = SampleStats::of(&mut samples);
+        assert_eq!(s.samples, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!(s.min <= s.p50 && s.p50 <= s.p95 && s.p95 <= s.max);
+        assert_eq!(s.p50, 51.0); // nearest-rank: index round(99·0.5) = 50
+        assert_eq!(s.p95, 95.0); // index round(99·0.95) = 94
+        assert!((s.mean - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample_stats_collapse() {
+        let mut samples = vec![0.25];
+        let s = SampleStats::of(&mut samples);
+        assert_eq!(s.min, 0.25);
+        assert_eq!(s.p50, 0.25);
+        assert_eq!(s.p95, 0.25);
+        assert_eq!(s.max, 0.25);
+    }
+
+    #[test]
+    fn json_line_is_well_formed() {
+        let mut samples = vec![2e-6, 1e-6, 3e-6];
+        let s = SampleStats::of(&mut samples);
+        let json = s.to_json("fft/radix2_1024");
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"benchmark\":\"fft/radix2_1024\""));
+        assert!(json.contains("\"samples\":3"));
+        assert!(json.contains("\"min\":1e-6"));
+        // Quotes and backslashes in ids must be escaped.
+        let tricky = s.to_json("a\"b\\c");
+        assert!(tricky.contains("a\\\"b\\\\c"));
+    }
+
+    #[test]
+    fn quick_mode_shrinks_configuration() {
+        // `configure_from_args` reads the env; make the test hermetic by
+        // clearing every knob it honors and restoring them afterwards.
+        let knobs = ["BENCH_QUICK", "BENCH_SAMPLE_SIZE", "BENCH_WARMUP_MS", "BENCH_MEASURE_MS"];
+        let saved: Vec<Option<String>> = knobs.iter().map(|k| std::env::var(k).ok()).collect();
+        for k in &knobs {
+            std::env::remove_var(k);
+        }
+        std::env::set_var("BENCH_QUICK", "1");
+        let c = Criterion::default().configure_from_args();
+        for (k, v) in knobs.iter().zip(saved) {
+            match v {
+                Some(v) => std::env::set_var(k, v),
+                None => std::env::remove_var(k),
+            }
+        }
+        assert!(c.sample_size <= 10);
+        assert!(c.warm_up_time <= Duration::from_millis(50));
+        assert!(c.measurement_time <= Duration::from_millis(300));
     }
 }
