@@ -23,13 +23,14 @@
 //! `parallel_and_serial_agree` test pins this.
 
 use std::thread;
+use std::time::{Duration, Instant};
 use sweetspot_core::estimator::{NyquistConfig, NyquistEstimate, NyquistEstimator};
 use sweetspot_core::reduction::{reduction_outcome, summarize, ReductionOutcome, ReductionSummary};
 use sweetspot_dsp::stats::{Cdf, FiveNumber};
-use sweetspot_telemetry::{DeviceTrace, Fleet, FleetConfig, MetricKind, MetricProfile};
-use sweetspot_timeseries::clean::{clean, CleanConfig};
+use sweetspot_telemetry::{DeviceTrace, Fleet, FleetConfig, MetricKind, MetricProfile, TraceSynth};
+use sweetspot_timeseries::clean::{clean_into, CleanConfig, CleanScratch};
 use sweetspot_timeseries::ingest::TraceMeta;
-use sweetspot_timeseries::{Hertz, Seconds};
+use sweetspot_timeseries::{Hertz, IrregularSeries, Seconds};
 
 /// Study parameters.
 #[derive(Debug, Clone, Copy)]
@@ -76,20 +77,82 @@ pub struct PairResult {
     pub truly_undersampled: bool,
 }
 
+/// Wall-clock totals of the three per-pair phases, summed over every pair a
+/// worker (or, after merging, the whole study) processed. Because phases are
+/// summed across concurrent workers, the totals measure aggregate CPU time,
+/// not elapsed time — the right quantity for "which phase dominates".
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// Trace synthesis: oscillator-bank ground truth + impairment chain.
+    pub synthesis: Duration,
+    /// §3.2 pre-cleaning (outlier discard + nearest-neighbour re-gridding).
+    pub clean: Duration,
+    /// Nyquist estimation (PSD + energy threshold).
+    pub estimate: Duration,
+}
+
+impl PhaseTimings {
+    /// Sum of all three phases.
+    pub fn total(&self) -> Duration {
+        self.synthesis + self.clean + self.estimate
+    }
+
+    fn merge(&mut self, other: PhaseTimings) {
+        self.synthesis += other.synthesis;
+        self.clean += other.clean;
+        self.estimate += other.estimate;
+    }
+}
+
+/// Persistent per-worker state for the study loop: synthesis scratch
+/// (oscillator bank + trace buffers), cleaning scratch, and the estimator
+/// (FFT plans + PSD scratch). With one `WorkerScratch` per worker the
+/// steady-state per-pair loop recycles every sample buffer it touches —
+/// the only remaining allocations are the O(tones) model and identity
+/// strings a fresh [`DeviceTrace`] itself owns.
+pub struct WorkerScratch {
+    synth: TraceSynth,
+    times: Vec<Seconds>,
+    values: Vec<f64>,
+    clean: CleanScratch,
+    estimator: NyquistEstimator,
+    timings: PhaseTimings,
+}
+
+impl WorkerScratch {
+    /// Fresh scratch with an estimator configured as `cfg`.
+    pub fn new(cfg: NyquistConfig) -> Self {
+        WorkerScratch {
+            synth: TraceSynth::new(),
+            times: Vec::new(),
+            values: Vec::new(),
+            clean: CleanScratch::new(),
+            estimator: NyquistEstimator::new(cfg),
+            timings: PhaseTimings::default(),
+        }
+    }
+}
+
 /// The results of one worker's contiguous slice of the index space, tagged
 /// with where the slice starts so merging can restore global order.
 #[derive(Debug)]
 struct Shard {
     start_index: usize,
     pairs: Vec<PairResult>,
+    timings: PhaseTimings,
 }
 
-/// Merges per-worker shards back into a single in-order result list.
-fn merge_shards(mut shards: Vec<Shard>, expected: usize) -> Vec<PairResult> {
+/// Merges per-worker shards back into a single in-order result list plus
+/// the summed phase timings.
+fn merge_shards(mut shards: Vec<Shard>, expected: usize) -> (Vec<PairResult>, PhaseTimings) {
     shards.sort_by_key(|s| s.start_index);
+    let mut timings = PhaseTimings::default();
+    for s in &shards {
+        timings.merge(s.timings);
+    }
     let pairs: Vec<PairResult> = shards.into_iter().flat_map(|s| s.pairs).collect();
     debug_assert_eq!(pairs.len(), expected, "every work item produces one result");
-    pairs
+    (pairs, timings)
 }
 
 /// Splits `total` work items into at most `workers` contiguous spans.
@@ -126,6 +189,10 @@ fn paper_scale_work() -> Vec<(MetricProfile, usize)> {
 pub struct FleetStudy {
     /// Per-pair results in fleet order.
     pub pairs: Vec<PairResult>,
+    /// Per-phase wall-clock totals (synthesis / clean / estimate), summed
+    /// over all workers. Timing never influences the results, so output
+    /// stays byte-identical across `--threads N`.
+    pub timing: PhaseTimings,
 }
 
 impl FleetStudy {
@@ -160,12 +227,12 @@ impl FleetStudy {
     fn run_work(work: &[(MetricProfile, usize)], cfg: StudyConfig) -> FleetStudy {
         let duration = cfg.fleet.trace_duration;
         let seed = cfg.fleet.seed;
-        Self::run_sharded(work.len(), &cfg, |span, estimator| {
+        Self::run_sharded(work.len(), &cfg, |span, scratch| {
             work[span]
                 .iter()
                 .map(|&(profile, device_idx)| {
                     let trace = DeviceTrace::synthesize(profile, device_idx, seed);
-                    analyze_pair(&trace, duration, estimator)
+                    analyze_pair(&trace, duration, scratch)
                 })
                 .collect()
         })
@@ -176,32 +243,38 @@ impl FleetStudy {
     pub fn run_on(fleet: &Fleet, cfg: StudyConfig) -> FleetStudy {
         let traces = fleet.traces();
         let duration = cfg.fleet.trace_duration;
-        Self::run_sharded(traces.len(), &cfg, |span, estimator| {
+        Self::run_sharded(traces.len(), &cfg, |span, scratch| {
             traces[span]
                 .iter()
-                .map(|trace| analyze_pair(trace, duration, estimator))
+                .map(|trace| analyze_pair(trace, duration, scratch))
                 .collect()
         })
     }
 
     /// Shared fan-out/merge skeleton: splits `total` items into per-worker
     /// spans, runs `process` for each span on a scoped thread with a
-    /// worker-local estimator, and merges the shards in index order.
+    /// persistent worker-local [`WorkerScratch`], and merges the shards in
+    /// index order.
     fn run_sharded<F>(total: usize, cfg: &StudyConfig, process: F) -> FleetStudy
     where
-        F: Fn(std::ops::Range<usize>, &mut NyquistEstimator) -> Vec<PairResult> + Sync,
+        F: Fn(std::ops::Range<usize>, &mut WorkerScratch) -> Vec<PairResult> + Sync,
     {
         let threads = cfg.resolve_threads(total);
         let spans = shard_spans(total, threads);
 
         let shards: Vec<Shard> = if threads == 1 {
             // Serial fast path: no thread overhead, same code path semantics.
-            let mut estimator = NyquistEstimator::new(cfg.estimator);
+            let mut scratch = WorkerScratch::new(cfg.estimator);
             spans
                 .into_iter()
-                .map(|span| Shard {
-                    start_index: span.start,
-                    pairs: process(span, &mut estimator),
+                .map(|span| {
+                    scratch.timings = PhaseTimings::default();
+                    let pairs = process(span.clone(), &mut scratch);
+                    Shard {
+                        start_index: span.start,
+                        pairs,
+                        timings: scratch.timings,
+                    }
                 })
                 .collect()
         } else {
@@ -212,10 +285,12 @@ impl FleetStudy {
                         let process = &process;
                         let estimator_cfg = cfg.estimator;
                         s.spawn(move || {
-                            let mut estimator = NyquistEstimator::new(estimator_cfg);
+                            let mut scratch = WorkerScratch::new(estimator_cfg);
+                            let pairs = process(span.clone(), &mut scratch);
                             Shard {
                                 start_index: span.start,
-                                pairs: process(span, &mut estimator),
+                                pairs,
+                                timings: scratch.timings,
                             }
                         })
                     })
@@ -227,9 +302,8 @@ impl FleetStudy {
             })
         };
 
-        FleetStudy {
-            pairs: merge_shards(shards, total),
-        }
+        let (pairs, timing) = merge_shards(shards, total);
+        FleetStudy { pairs, timing }
     }
 
     /// Results for one metric.
@@ -287,22 +361,50 @@ impl FleetStudy {
 fn analyze_pair(
     trace: &DeviceTrace,
     duration: Seconds,
-    estimator: &mut NyquistEstimator,
+    ws: &mut WorkerScratch,
 ) -> PairResult {
     let production_rate = trace.profile().production_rate();
-    let raw = trace.production_trace(duration);
+
+    // Synthesis: oscillator-bank ground truth + impairments, streamed into
+    // the worker's recycled buffers.
+    let t_synth = Instant::now();
+    let mut times = std::mem::take(&mut ws.times);
+    let mut values = std::mem::take(&mut ws.values);
+    trace.production_trace_into(&mut ws.synth, duration, &mut times, &mut values);
+    let raw = IrregularSeries::from_recycled(times, values);
+    let t_clean = Instant::now();
+
     // §3.2 pre-cleaning: nearest-neighbour re-grid onto the nominal interval.
-    let estimate = match clean(
+    let cleaned = clean_into(
         &raw,
         CleanConfig {
             interval: Some(production_rate.period()),
             outlier_mads: Some(8.0),
         },
-    ) {
-        Ok(series) if series.len() >= 4 => estimator.estimate_series(&series),
+        &mut ws.clean,
+    );
+    let t_estimate = Instant::now();
+
+    let estimate = match cleaned {
+        Ok(series) if series.len() >= 4 => {
+            let estimate = ws.estimator.estimate_series(&series);
+            ws.clean.reclaim(series);
+            estimate
+        }
         // Too little data ⇒ treat as "cannot assess", conservatively aliased.
-        _ => NyquistEstimate::Aliased,
+        Ok(series) => {
+            ws.clean.reclaim(series);
+            NyquistEstimate::Aliased
+        }
+        Err(_) => NyquistEstimate::Aliased,
     };
+    let t_done = Instant::now();
+
+    ws.timings.synthesis += t_clean - t_synth;
+    ws.timings.clean += t_estimate - t_clean;
+    ws.timings.estimate += t_done - t_estimate;
+    (ws.times, ws.values) = raw.into_parts();
+
     PairResult {
         kind: trace.profile().kind,
         meta: trace.meta().clone(),
@@ -393,6 +495,18 @@ mod tests {
                 assert!(f.max <= prod * 1.01, "{kind}: max {} vs prod {prod}", f.max);
             }
         }
+    }
+
+    #[test]
+    fn phase_timings_are_populated() {
+        let study = small_study();
+        assert!(study.timing.synthesis > Duration::ZERO);
+        assert!(study.timing.clean > Duration::ZERO);
+        assert!(study.timing.estimate > Duration::ZERO);
+        assert_eq!(
+            study.timing.total(),
+            study.timing.synthesis + study.timing.clean + study.timing.estimate
+        );
     }
 
     #[test]

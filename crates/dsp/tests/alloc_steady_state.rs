@@ -5,26 +5,33 @@
 //! and `welch_into` must not touch the heap at all, and `stft` must allocate
 //! only each frame's own output power buffer.
 //!
-//! Everything lives in a single `#[test]` so no concurrently running test in
-//! this binary can perturb the counter.
+//! The counter is **per-thread**: libtest's harness threads (timeout
+//! watchdog, capture machinery) allocate at unpredictable times, so a
+//! process-global counter would flake. Counting only the measuring thread's
+//! allocations makes the zero assertion exact.
 
 use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::cell::Cell;
 
 use sweetspot_dsp::fft::FftPlanner;
 use sweetspot_dsp::psd::{periodogram_into, welch_into, PsdConfig, PsdScratch, WelchConfig};
 use sweetspot_dsp::stft::{stft, StftConfig};
 use sweetspot_dsp::window::Window;
 
-static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+std::thread_local! {
+    // const-init + no Drop ⇒ accessing this inside the allocator hooks
+    // never itself allocates or registers a TLS destructor.
+    static ALLOCATIONS: Cell<usize> = const { Cell::new(0) };
+}
 
 struct CountingAllocator;
 
 // SAFETY: delegates every operation to `System`; the counter is a plain
-// atomic side effect.
+// thread-local side effect (`try_with` so teardown-time allocations on
+// foreign threads are simply not counted rather than panicking).
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
         unsafe { System.alloc(layout) }
     }
 
@@ -33,7 +40,7 @@ unsafe impl GlobalAlloc for CountingAllocator {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -41,10 +48,11 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static ALLOCATOR: CountingAllocator = CountingAllocator;
 
+/// Number of allocations *this thread* performed while running `f`.
 fn allocations_during(f: impl FnOnce()) -> usize {
-    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let before = ALLOCATIONS.with(Cell::get);
     f();
-    ALLOCATIONS.load(Ordering::SeqCst) - before
+    ALLOCATIONS.with(Cell::get) - before
 }
 
 fn signal(n: usize) -> Vec<f64> {

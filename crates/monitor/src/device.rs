@@ -7,7 +7,7 @@
 //! controller can drive it directly.
 
 use sweetspot_core::source::SignalSource;
-use sweetspot_telemetry::DeviceTrace;
+use sweetspot_telemetry::{DeviceTrace, ToneBank};
 use sweetspot_timeseries::clean::{clean, CleanConfig};
 use sweetspot_timeseries::ingest::TraceMeta;
 use sweetspot_timeseries::{Hertz, IrregularSeries, RegularSeries, Seconds};
@@ -18,6 +18,9 @@ pub struct SimDevice {
     trace: DeviceTrace,
     /// Stream counter so successive polls see fresh measurement noise.
     next_stream: u64,
+    /// Oscillator-bank scratch reused across polls (the adaptive controller
+    /// polls the same device hundreds of times per experiment).
+    bank: ToneBank,
 }
 
 impl SimDevice {
@@ -26,6 +29,7 @@ impl SimDevice {
         SimDevice {
             trace,
             next_stream: 1,
+            bank: ToneBank::new(),
         }
     }
 
@@ -44,16 +48,13 @@ impl SimDevice {
     pub fn poll(&mut self, start: Seconds, rate: Hertz, duration: Seconds) -> IrregularSeries {
         let stream = self.next_stream;
         self.next_stream += 1;
-        // The generator samples from t=0; shift the window by sampling a
-        // longer span and slicing. Simpler: sample ground truth at the
-        // requested offsets via the model directly.
-        let model = self.trace.model();
-        let n = (duration.value() * rate.value()).round().max(1.0) as usize;
-        let interval = rate.period();
-        let values: Vec<f64> = (0..n)
-            .map(|k| model.value_at(start.value() + k as f64 * interval.value()))
-            .collect();
-        let truth = RegularSeries::new(start, interval, values);
+        // Ground truth over the requested window, streamed through the
+        // oscillator bank (which handles arbitrary window starts).
+        let mut values = Vec::new();
+        self.trace
+            .model()
+            .sample_into(&mut self.bank, start, rate, duration, &mut values);
+        let truth = RegularSeries::new(start, rate.period(), values);
         let mut rng = stream_rng(&self.trace, stream);
         self.trace.impairments().apply(&mut rng, &truth)
     }
@@ -80,13 +81,12 @@ impl SimDevice {
     /// Pristine ground truth over a window (for quality evaluation only —
     /// not available to any poller).
     pub fn ground_truth(&self, start: Seconds, rate: Hertz, duration: Seconds) -> RegularSeries {
-        let model = self.trace.model();
-        let n = (duration.value() * rate.value()).round().max(1.0) as usize;
-        let interval = rate.period();
-        let values = (0..n)
-            .map(|k| model.value_at(start.value() + k as f64 * interval.value()))
-            .collect();
-        RegularSeries::new(start, interval, values)
+        let mut bank = ToneBank::new();
+        let mut values = Vec::new();
+        self.trace
+            .model()
+            .sample_into(&mut bank, start, rate, duration, &mut values);
+        RegularSeries::new(start, rate.period(), values)
     }
 }
 

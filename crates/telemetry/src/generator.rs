@@ -6,8 +6,7 @@
 //! schedule. It can produce both the *measured* trace the §3.2 study
 //! analyzes and the pristine ground truth tests validate against.
 
-use crate::metric::MetricKind;
-use crate::model::SignalModel;
+use crate::model::{SignalModel, ToneBank};
 use crate::noise::Impairments;
 use crate::profile::MetricProfile;
 use rand::rngs::StdRng;
@@ -28,6 +27,24 @@ fn mix_seed(a: u64, b: u64, c: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Reusable scratch for streaming trace synthesis: the [`ToneBank`]
+/// oscillator plus the ground-truth grid buffer. One `TraceSynth` per worker
+/// lets [`DeviceTrace::measured_into`] synthesize trace after trace with
+/// zero steady-state heap allocations (pinned by
+/// `crates/telemetry/tests/alloc_steady_state.rs`).
+#[derive(Debug, Clone, Default)]
+pub struct TraceSynth {
+    bank: ToneBank,
+    truth: Vec<f64>,
+}
+
+impl TraceSynth {
+    /// Empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// One synthetic `(metric, device)` pair.
@@ -114,7 +131,7 @@ impl DeviceTrace {
         DeviceTrace {
             meta: TraceMeta {
                 metric: profile.kind.name().to_string(),
-                device: format!("{}-dev{:04}", metric_slug(profile.kind), device_idx),
+                device: format!("{}-dev{:04}", profile.kind.slug(), device_idx),
             },
             profile,
             model,
@@ -174,8 +191,30 @@ impl DeviceTrace {
     }
 
     /// Pristine ground truth sampled at `rate` for `duration` from t=0.
+    ///
+    /// Evaluates through the streaming [`ToneBank`] oscillator (allocating
+    /// fresh buffers); the zero-allocation loop uses
+    /// [`DeviceTrace::ground_truth_into`].
     pub fn ground_truth(&self, rate: Hertz, duration: Seconds) -> RegularSeries {
-        self.model.sample(Seconds::ZERO, rate, duration)
+        let mut bank = ToneBank::new();
+        let mut values = Vec::new();
+        self.model
+            .sample_into(&mut bank, Seconds::ZERO, rate, duration, &mut values);
+        RegularSeries::new(Seconds::ZERO, rate.period(), values)
+    }
+
+    /// [`DeviceTrace::ground_truth`] into a recycled buffer: `out` is
+    /// cleared and refilled; `synth` carries the oscillator bank. Zero
+    /// steady-state heap allocations.
+    pub fn ground_truth_into(
+        &self,
+        synth: &mut TraceSynth,
+        rate: Hertz,
+        duration: Seconds,
+        out: &mut Vec<f64>,
+    ) {
+        self.model
+            .sample_into(&mut synth.bank, Seconds::ZERO, rate, duration, out);
     }
 
     /// The measured trace at the *production* rate: ground truth through the
@@ -184,13 +223,56 @@ impl DeviceTrace {
         self.measured(self.profile.production_rate(), duration, 0)
     }
 
+    /// [`DeviceTrace::production_trace`] into recycled buffers (see
+    /// [`DeviceTrace::measured_into`]).
+    pub fn production_trace_into(
+        &self,
+        synth: &mut TraceSynth,
+        duration: Seconds,
+        times: &mut Vec<Seconds>,
+        values: &mut Vec<f64>,
+    ) {
+        self.measured_into(synth, self.profile.production_rate(), duration, 0, times, values);
+    }
+
     /// Measured trace at an arbitrary rate. `stream` decorrelates repeated
     /// measurements of the same device (e.g. the two pollers of the
     /// dual-rate aliasing detector must not share noise).
     pub fn measured(&self, rate: Hertz, duration: Seconds, stream: u64) -> IrregularSeries {
-        let truth = self.ground_truth(rate, duration);
+        let mut synth = TraceSynth::new();
+        let mut times = Vec::new();
+        let mut values = Vec::new();
+        self.measured_into(&mut synth, rate, duration, stream, &mut times, &mut values);
+        IrregularSeries::from_recycled(times, values)
+    }
+
+    /// [`DeviceTrace::measured`] into recycled buffers: the ground truth is
+    /// streamed into `synth`'s grid buffer and the impairment chain writes
+    /// the surviving `(time, value)` pairs into `times`/`values` (cleared,
+    /// then filled). Identical output to [`DeviceTrace::measured`]; zero
+    /// steady-state heap allocations.
+    pub fn measured_into(
+        &self,
+        synth: &mut TraceSynth,
+        rate: Hertz,
+        duration: Seconds,
+        stream: u64,
+        times: &mut Vec<Seconds>,
+        values: &mut Vec<f64>,
+    ) {
+        let mut truth = std::mem::take(&mut synth.truth);
+        self.model
+            .sample_into(&mut synth.bank, Seconds::ZERO, rate, duration, &mut truth);
         let mut rng = StdRng::seed_from_u64(mix_seed(self.seed, 0xDA7A, stream));
-        self.impairments.apply(&mut rng, &truth)
+        self.impairments.apply_grid_into(
+            &mut rng,
+            Seconds::ZERO,
+            rate.period(),
+            &truth,
+            times,
+            values,
+        );
+        synth.truth = truth;
     }
 }
 
@@ -200,17 +282,10 @@ fn log_uniform<R: Rng>(rng: &mut R, lo: f64, hi: f64) -> f64 {
     u.exp()
 }
 
-fn metric_slug(kind: MetricKind) -> String {
-    kind.name()
-        .to_ascii_lowercase()
-        .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metric::MetricKind;
 
     fn temp_trace(idx: usize) -> DeviceTrace {
         DeviceTrace::synthesize(MetricProfile::for_kind(MetricKind::Temperature), idx, 1)
@@ -304,6 +379,48 @@ mod tests {
         let a = t.measured(Hertz(1.0 / 300.0), Seconds::from_hours(6.0), 1);
         let b = t.measured(Hertz(1.0 / 300.0), Seconds::from_hours(6.0), 2);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn measured_into_matches_measured_exactly() {
+        let t = DeviceTrace::synthesize(MetricProfile::for_kind(MetricKind::LinkUtil), 2, 9);
+        let rate = t.profile().production_rate();
+        let day = Seconds::from_days(1.0);
+        let reference = t.measured(rate, day, 3);
+        let mut synth = TraceSynth::new();
+        let mut times = Vec::new();
+        let mut values = Vec::new();
+        t.measured_into(&mut synth, rate, day, 3, &mut times, &mut values);
+        assert_eq!(times, reference.times());
+        assert_eq!(values, reference.values());
+    }
+
+    #[test]
+    fn synthesis_buffers_are_recycled_across_traces() {
+        let a = temp_trace(0);
+        let b = temp_trace(1);
+        let mut synth = TraceSynth::new();
+        let mut times = Vec::new();
+        let mut values = Vec::new();
+        let day = Seconds::from_days(1.0);
+        a.production_trace_into(&mut synth, day, &mut times, &mut values);
+        let (tp, vp) = (times.as_ptr(), values.as_ptr());
+        b.production_trace_into(&mut synth, day, &mut times, &mut values);
+        assert_eq!(times.as_ptr(), tp, "times buffer must be reused");
+        assert_eq!(values.as_ptr(), vp, "values buffer must be reused");
+        assert_eq!(values, b.production_trace(day).values());
+    }
+
+    #[test]
+    fn ground_truth_into_matches_ground_truth() {
+        let t = temp_trace(4);
+        let rate = Hertz(1.0 / 300.0);
+        let dur = Seconds::from_hours(12.0);
+        let reference = t.ground_truth(rate, dur);
+        let mut synth = TraceSynth::new();
+        let mut out = Vec::new();
+        t.ground_truth_into(&mut synth, rate, dur, &mut out);
+        assert_eq!(out, reference.values());
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod noise;
 pub mod profile;
 
 pub use fleet::{Fleet, FleetConfig};
-pub use generator::DeviceTrace;
+pub use generator::{DeviceTrace, TraceSynth};
 pub use metric::MetricKind;
+pub use model::ToneBank;
 pub use profile::MetricProfile;

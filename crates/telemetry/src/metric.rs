@@ -79,6 +79,29 @@ impl MetricKind {
         }
     }
 
+    /// Lowercase hyphenated identifier (the [`MetricKind::name`] with every
+    /// non-alphanumeric character mapped to `-`). Static, so building device
+    /// names does not re-derive the slug per device; `slug_matches_name`
+    /// pins the correspondence.
+    pub fn slug(self) -> &'static str {
+        match self {
+            MetricKind::CpuUtil5pct => "5-pct-cpu-util",
+            MetricKind::FcsErrors => "fcs-errors",
+            MetricKind::InboundDiscards => "in-bound-discards",
+            MetricKind::OutboundDiscards => "out-bound-discards",
+            MetricKind::LinkUtil => "link-util",
+            MetricKind::LossyPaths => "lossy-paths",
+            MetricKind::MemoryUsage => "memory-usage",
+            MetricKind::MulticastBytes => "multicast-bytes",
+            MetricKind::MulticastDrops => "multicast-drops",
+            MetricKind::PeakEgressBw => "peak-egress-bw",
+            MetricKind::PeakIngressBw => "peak-ingress-bw",
+            MetricKind::Temperature => "temperature",
+            MetricKind::UnicastBytes => "unicast-bytes",
+            MetricKind::UnicastDrops => "unicast-drops",
+        }
+    }
+
     /// Measurement unit, for display.
     pub fn unit(self) -> &'static str {
         match self {
@@ -135,6 +158,19 @@ mod tests {
     fn display_matches_name() {
         assert_eq!(MetricKind::Temperature.to_string(), "Temperature");
         assert_eq!(MetricKind::CpuUtil5pct.to_string(), "5-pct CPU util");
+    }
+
+    #[test]
+    fn slug_matches_name() {
+        for m in MetricKind::ALL {
+            let derived: String = m
+                .name()
+                .to_ascii_lowercase()
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+                .collect();
+            assert_eq!(m.slug(), derived, "{m}");
+        }
     }
 
     #[test]

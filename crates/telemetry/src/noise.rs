@@ -78,12 +78,60 @@ impl Impairments {
     /// drop → timestamp jitter. Dropped samples are removed (not NaN), so the
     /// output is an [`IrregularSeries`] — exactly the input shape the paper's
     /// pre-cleaning step expects.
+    ///
+    /// Allocates the output; the synthesis hot loop uses
+    /// [`Impairments::apply_into`] with recycled buffers instead.
     pub fn apply<R: Rng>(&self, rng: &mut R, truth: &RegularSeries) -> IrregularSeries {
+        let mut times = Vec::with_capacity(truth.len());
+        let mut values = Vec::with_capacity(truth.len());
+        self.apply_grid_into(
+            rng,
+            truth.start(),
+            truth.interval(),
+            truth.values(),
+            &mut times,
+            &mut values,
+        );
+        IrregularSeries::from_recycled(times, values)
+    }
+
+    /// [`Impairments::apply`] into caller-owned `times`/`values` buffers
+    /// (cleared, then filled): identical samples and RNG stream, zero heap
+    /// allocations once the buffers have grown to the trace length. Pair
+    /// with [`IrregularSeries::from_recycled`] / `into_parts` to cycle the
+    /// buffers through a series and back.
+    pub fn apply_into<R: Rng>(
+        &self,
+        rng: &mut R,
+        truth: &RegularSeries,
+        times: &mut Vec<Seconds>,
+        values: &mut Vec<f64>,
+    ) {
+        self.apply_grid_into(rng, truth.start(), truth.interval(), truth.values(), times, values);
+    }
+
+    /// The buffer-level primitive behind [`Impairments::apply_into`]: the
+    /// ground truth arrives as a bare uniform grid (`start`, `interval`,
+    /// `truth`), so the generator can feed its recycled synthesis buffer
+    /// without wrapping it in a [`RegularSeries`] first.
+    pub fn apply_grid_into<R: Rng>(
+        &self,
+        rng: &mut R,
+        start: Seconds,
+        interval: Seconds,
+        truth: &[f64],
+        times: &mut Vec<Seconds>,
+        values: &mut Vec<f64>,
+    ) {
         self.validate();
         let quantizer = self.quant_step.map(Quantizer::new);
-        let interval = truth.interval().value();
-        let mut pairs: Vec<(Seconds, f64)> = Vec::with_capacity(truth.len());
-        for (t, v) in truth.iter() {
+        let interval_s = interval.value();
+        times.clear();
+        values.clear();
+        times.reserve(truth.len());
+        values.reserve(truth.len());
+        for (k, &v) in truth.iter().enumerate() {
+            let t = start + interval * k as f64;
             if self.drop_prob > 0.0 && rng.gen_bool(self.drop_prob) {
                 continue;
             }
@@ -98,14 +146,16 @@ impl Impairments {
             if let Some(q) = &quantizer {
                 value = q.quantize(value);
             }
+            // `jitter_frac < 0.5` (validated) keeps jittered timestamps
+            // strictly increasing, so no sort/dedup pass is needed.
             let jitter = if self.jitter_frac > 0.0 {
-                rng.gen_range(-self.jitter_frac..self.jitter_frac) * interval
+                rng.gen_range(-self.jitter_frac..self.jitter_frac) * interval_s
             } else {
                 0.0
             };
-            pairs.push((Seconds(t.value() + jitter), value));
+            times.push(Seconds(t.value() + jitter));
+            values.push(value);
         }
-        IrregularSeries::from_pairs(pairs)
     }
 }
 
@@ -249,6 +299,42 @@ mod tests {
         let a = imp.apply(&mut StdRng::seed_from_u64(99), &t);
         let b = imp.apply(&mut StdRng::seed_from_u64(99), &t);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn apply_into_matches_apply_exactly() {
+        let t = truth();
+        let imp = Impairments {
+            noise_std: 0.5,
+            quant_step: Some(0.25),
+            drop_prob: 0.1,
+            jitter_frac: 0.2,
+            corrupt_prob: 0.01,
+            corrupt_magnitude: 100.0,
+        };
+        let reference = imp.apply(&mut StdRng::seed_from_u64(5), &t);
+        let mut times = Vec::new();
+        let mut values = Vec::new();
+        imp.apply_into(&mut StdRng::seed_from_u64(5), &t, &mut times, &mut values);
+        assert_eq!(times, reference.times());
+        assert_eq!(values, reference.values());
+    }
+
+    #[test]
+    fn apply_into_reuses_buffers() {
+        let t = truth();
+        let imp = Impairments {
+            noise_std: 0.1,
+            drop_prob: 0.05,
+            ..Impairments::none()
+        };
+        let mut times = Vec::new();
+        let mut values = Vec::new();
+        imp.apply_into(&mut rng(), &t, &mut times, &mut values);
+        let (tp, vp) = (times.as_ptr(), values.as_ptr());
+        imp.apply_into(&mut rng(), &t, &mut times, &mut values);
+        assert_eq!(times.as_ptr(), tp, "times buffer must be reused");
+        assert_eq!(values.as_ptr(), vp, "values buffer must be reused");
     }
 
     #[test]

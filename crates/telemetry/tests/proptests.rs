@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use sweetspot_telemetry::model::SignalModel;
+use sweetspot_telemetry::model::{SignalModel, ToneBank};
 use sweetspot_telemetry::noise::Impairments;
 use sweetspot_telemetry::{DeviceTrace, MetricKind, MetricProfile};
 use sweetspot_timeseries::{Hertz, Seconds};
@@ -103,6 +103,43 @@ proptest! {
             prop_assert!(
                 (t.value() - truth.start().value() - slot * 30.0).abs() <= 0.4 * 30.0 + 1e-9
             );
+        }
+    }
+
+    /// The oscillator-bank recurrence must track direct `Tone::value_at`
+    /// evaluation to 1e-9 (relative to the model's amplitude scale) over
+    /// day-length traces, both at the production polling rate and at 3× the
+    /// production *folding* frequency — the fastest grid an under-sampled
+    /// device's band edge (up to 3× folding) ever demands. This pins
+    /// `ToneBank::RENORM_INTERVAL`: drift grows with the interval, so a too
+    /// lax re-seed cadence fails exactly this bound.
+    #[test]
+    fn oscillator_bank_matches_direct_evaluation(
+        seed in 0u64..500,
+        metric_idx in 0usize..14,
+        device_idx in 0usize..20,
+    ) {
+        let profile = MetricProfile::for_kind(MetricKind::ALL[metric_idx]);
+        let dev = DeviceTrace::synthesize(profile, device_idx, seed);
+        let model = dev.model();
+        let day = Seconds::from_days(1.0);
+        let production = profile.production_rate();
+        let three_fold = Hertz(3.0 * profile.folding_frequency().value());
+        let tol = 1e-9 * (1.0 + model.total_amplitude() + model.mean().abs());
+        let mut bank = ToneBank::new();
+        let mut fast = Vec::new();
+        for rate in [production, three_fold] {
+            model.sample_into(&mut bank, Seconds::ZERO, rate, day, &mut fast);
+            let dt = rate.period().value();
+            prop_assert!(!fast.is_empty());
+            for (k, v) in fast.iter().enumerate() {
+                let exact = model.value_at(k as f64 * dt);
+                prop_assert!(
+                    (v - exact).abs() <= tol,
+                    "{}/dev{} rate {rate}: slot {k} drifted {} (tol {tol})",
+                    profile.kind, device_idx, (v - exact).abs()
+                );
+            }
         }
     }
 

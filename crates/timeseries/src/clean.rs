@@ -191,6 +191,9 @@ pub fn regularize(
 /// Full cleaning pipeline: drop invalid readings, optionally discard
 /// outliers, then re-grid at the configured (or inferred) interval.
 ///
+/// Allocates fresh working storage per call; the fleet-study hot loop uses
+/// [`clean_into`] with a persistent [`CleanScratch`] instead.
+///
 /// # Errors
 /// * [`CleanError::TooSparse`] — fewer than 2 valid samples remain.
 /// * [`CleanError::BadInterval`] — the configured interval is not positive
@@ -198,6 +201,51 @@ pub fn regularize(
 /// * [`CleanError::BadOutlierMads`] — the configured MAD multiple is not
 ///   positive.
 pub fn clean(series: &IrregularSeries, cfg: CleanConfig) -> Result<RegularSeries, CleanError> {
+    clean_into(series, cfg, &mut CleanScratch::new())
+}
+
+/// Reusable working storage for [`clean_into`]: the filtered trace, the
+/// median/MAD sort buffer and the re-gridded output all live here, so a
+/// steady-state cleaning loop performs no heap allocations once the buffers
+/// have grown to the trace length.
+#[derive(Debug, Default)]
+pub struct CleanScratch {
+    /// Timestamps surviving the drop/outlier filters.
+    times: Vec<Seconds>,
+    /// Values surviving the drop/outlier filters (parallel to `times`).
+    values: Vec<f64>,
+    /// Sort buffer for medians (values, deviations, gaps).
+    work: Vec<f64>,
+    /// Recycled output storage for the re-gridded series.
+    grid: Vec<f64>,
+}
+
+impl CleanScratch {
+    /// Empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hands a cleaned series' value buffer back for the next call. Without
+    /// this, every [`clean_into`] result keeps its output buffer and the
+    /// scratch re-allocates one per trace.
+    pub fn reclaim(&mut self, series: RegularSeries) {
+        self.grid = series.into_values();
+    }
+}
+
+/// [`clean`] with caller-owned scratch: identical results, but all working
+/// storage (including the returned series' value buffer — hand it back with
+/// [`CleanScratch::reclaim`]) is recycled across calls, so the steady-state
+/// per-trace cleaning cost is zero heap allocations.
+///
+/// # Errors
+/// Exactly as [`clean`].
+pub fn clean_into(
+    series: &IrregularSeries,
+    cfg: CleanConfig,
+    scratch: &mut CleanScratch,
+) -> Result<RegularSeries, CleanError> {
     if let Some(interval) = cfg.interval {
         if !(interval.value() > 0.0 && interval.value().is_finite()) {
             return Err(CleanError::BadInterval(interval.value()));
@@ -209,20 +257,100 @@ pub fn clean(series: &IrregularSeries, cfg: CleanConfig) -> Result<RegularSeries
             return Err(CleanError::BadOutlierMads(mads));
         }
     }
-    let mut trace = drop_invalid(series);
+
+    // Drop invalid readings (the input is already strictly increasing, so
+    // filtering preserves the ordering invariant).
+    scratch.times.clear();
+    scratch.values.clear();
+    for (t, v) in series.iter() {
+        if v.is_finite() {
+            scratch.times.push(t);
+            scratch.values.push(v);
+        }
+    }
+
+    // MAD outlier discard, matching `drop_outliers` bit for bit (every value
+    // is finite at this point).
     if let Some(mads) = cfg.outlier_mads {
-        trace = drop_outliers(&trace, mads);
+        if !scratch.values.is_empty() {
+            scratch.work.clear();
+            scratch.work.extend_from_slice(&scratch.values);
+            let median = median_of_mut(&mut scratch.work);
+            scratch.work.clear();
+            scratch
+                .work
+                .extend(scratch.values.iter().map(|v| (v - median).abs()));
+            let mad = median_of_mut(&mut scratch.work) * 1.4826;
+            if mad > 0.0 {
+                let lo = median - mads * mad;
+                let hi = median + mads * mad;
+                let mut kept = 0;
+                for i in 0..scratch.values.len() {
+                    let v = scratch.values[i];
+                    if v >= lo && v <= hi {
+                        scratch.times[kept] = scratch.times[i];
+                        scratch.values[kept] = v;
+                        kept += 1;
+                    }
+                }
+                scratch.times.truncate(kept);
+                scratch.values.truncate(kept);
+            }
+        }
     }
-    if trace.len() < 2 {
-        return Err(CleanError::TooSparse(trace.len()));
+
+    if scratch.values.len() < 2 {
+        return Err(CleanError::TooSparse(scratch.values.len()));
     }
+
+    // Grid interval: configured, or the median inter-sample gap (the same
+    // `gaps[len/2]` statistic as `IrregularSeries::median_interval`).
     let interval = match cfg.interval {
         Some(i) => i,
-        None => trace
-            .median_interval()
-            .ok_or(CleanError::TooSparse(trace.len()))?,
+        None => {
+            scratch.work.clear();
+            scratch
+                .work
+                .extend(scratch.times.windows(2).map(|w| (w[1] - w[0]).value()));
+            scratch
+                .work
+                .sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            Seconds(scratch.work[scratch.work.len() / 2])
+        }
     };
-    regularize(&trace, interval)
+    if !(interval.value() > 0.0 && interval.value().is_finite()) {
+        return Err(CleanError::BadInterval(interval.value()));
+    }
+
+    // Nearest-neighbour re-gridding. Grid timestamps are non-decreasing, so
+    // one merge walk replaces the per-point binary search of `regularize`
+    // while selecting exactly the same nearest sample (ties to the earlier
+    // one, as in `IrregularSeries::nearest_value`).
+    let start = scratch.times[0];
+    let end = *scratch.times.last().expect("len >= 2");
+    let span = (end - start).value();
+    let steps = (span / interval.value()).round() as usize + 1;
+    let mut grid = std::mem::take(&mut scratch.grid);
+    grid.clear();
+    grid.reserve(steps);
+    let mut j = 0usize; // count of samples strictly before the grid point
+    for k in 0..steps {
+        let t = start + interval * k as f64;
+        while j < scratch.times.len() && scratch.times[j].value() < t.value() {
+            j += 1;
+        }
+        let v = if j == 0 {
+            scratch.values[0]
+        } else if j == scratch.times.len()
+            || (t - scratch.times[j - 1]).value() <= (scratch.times[j] - t).value()
+        {
+            scratch.values[j - 1]
+        } else {
+            scratch.values[j]
+        };
+        grid.push(v);
+    }
+    Ok(RegularSeries::new(start, interval, grid))
 }
 
 fn median_of(values: &[f64]) -> f64 {
@@ -457,6 +585,60 @@ mod tests {
         assert!(CleanError::NonFinite.to_string().contains("NaN"));
         assert!(CleanError::BadInterval(-2.0).to_string().contains("-2"));
         assert!(CleanError::BadOutlierMads(0.0).to_string().contains("positive"));
+    }
+
+    /// The scratch pipeline must reproduce the composed reference pipeline
+    /// (`drop_invalid` → `drop_outliers` → `regularize`) bit for bit — the
+    /// fleet study's byte-identical-output guarantee rides on this.
+    #[test]
+    fn clean_into_matches_composed_reference() {
+        // Jittery cadence + a gap + NaN losses + one corrupt spike.
+        let mut times = Vec::new();
+        let mut values = Vec::new();
+        let mut t = 0.0;
+        for i in 0..200 {
+            t += 10.0 + ((i * 7919) % 13) as f64 * 0.3 - 1.8;
+            if i == 60 {
+                t += 120.0; // outage
+            }
+            times.push(Seconds(t));
+            values.push(match i {
+                17 | 91 => f64::NAN,
+                130 => 1e9,
+                _ => 10.0 + ((i * 31) % 17) as f64 * 0.11,
+            });
+        }
+        let ir = IrregularSeries::new(times, values);
+        for cfg in [
+            CleanConfig::default(),
+            CleanConfig { interval: Some(Seconds(10.0)), outlier_mads: Some(8.0) },
+            CleanConfig { interval: Some(Seconds(7.5)), outlier_mads: None },
+            CleanConfig { interval: None, outlier_mads: None },
+        ] {
+            let mut reference = drop_invalid(&ir);
+            if let Some(mads) = cfg.outlier_mads {
+                reference = drop_outliers(&reference, mads);
+            }
+            let interval = cfg
+                .interval
+                .unwrap_or_else(|| reference.median_interval().unwrap());
+            let expected = regularize(&reference, interval).unwrap();
+
+            let mut scratch = CleanScratch::new();
+            let got = clean_into(&ir, cfg, &mut scratch).unwrap();
+            assert_eq!(got, expected, "cfg {cfg:?}");
+        }
+    }
+
+    #[test]
+    fn clean_into_recycles_the_output_buffer() {
+        let ir = jittered_trace();
+        let mut scratch = CleanScratch::new();
+        let first = clean_into(&ir, CleanConfig::default(), &mut scratch).unwrap();
+        let ptr = first.values().as_ptr();
+        scratch.reclaim(first);
+        let second = clean_into(&ir, CleanConfig::default(), &mut scratch).unwrap();
+        assert_eq!(second.values().as_ptr(), ptr, "grid buffer must be recycled");
     }
 
     #[test]

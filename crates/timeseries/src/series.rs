@@ -83,6 +83,19 @@ impl RegularSeries {
         self.values
     }
 
+    /// Rebuilds the series in place from recycled storage: `values` (e.g.
+    /// reclaimed from a previous series via [`RegularSeries::into_values`])
+    /// is moved in without copying, and the old value buffer is returned so
+    /// the caller can keep cycling it. The steady-state synthesis loop uses
+    /// this to rebuild series trace after trace with zero heap allocations.
+    ///
+    /// # Panics
+    /// Same invariants as [`RegularSeries::new`].
+    pub fn refill(&mut self, start: Seconds, interval: Seconds, values: Vec<f64>) -> Vec<f64> {
+        let old = std::mem::replace(self, RegularSeries::new(start, interval, values));
+        old.values
+    }
+
     /// Timestamp of sample `k`.
     pub fn time_of(&self, k: usize) -> Seconds {
         self.start + self.interval * k as f64
@@ -256,6 +269,21 @@ impl IrregularSeries {
         }
     }
 
+    /// Builds a series from buffers reclaimed via
+    /// [`IrregularSeries::into_parts`]. Identical invariants to
+    /// [`IrregularSeries::new`]; the buffers are moved, not copied, so a
+    /// synthesis loop that hands its series back with `into_parts` rebuilds
+    /// trace after trace without touching the heap.
+    pub fn from_recycled(times: Vec<Seconds>, values: Vec<f64>) -> Self {
+        IrregularSeries::new(times, values)
+    }
+
+    /// Consumes the series, returning its `(times, values)` buffers for
+    /// recycling through [`IrregularSeries::from_recycled`].
+    pub fn into_parts(self) -> (Vec<Seconds>, Vec<f64>) {
+        (self.times, self.values)
+    }
+
     /// `(timestamp, value)` iterator.
     pub fn iter(&self) -> impl Iterator<Item = (Seconds, f64)> + '_ {
         self.times.iter().copied().zip(self.values.iter().copied())
@@ -385,6 +413,38 @@ mod tests {
     fn irregular_allows_nan_values() {
         let ir = IrregularSeries::new(vec![Seconds(0.0), Seconds(1.0)], vec![f64::NAN, 1.0]);
         assert!(ir.values()[0].is_nan());
+    }
+
+    #[test]
+    fn refill_reuses_the_value_buffer() {
+        let mut s = series();
+        let old_ptr = s.values().as_ptr();
+        let mut spare = Vec::with_capacity(8);
+        spare.extend_from_slice(&[9.0, 8.0]);
+        let returned = s.refill(Seconds(1.0), Seconds(0.5), spare);
+        assert_eq!(s.start(), Seconds(1.0));
+        assert_eq!(s.values(), &[9.0, 8.0]);
+        assert_eq!(returned.as_ptr(), old_ptr, "old buffer must come back");
+        assert_eq!(returned, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn irregular_recycling_roundtrip() {
+        let ir = IrregularSeries::new(
+            vec![Seconds(0.0), Seconds(1.0)],
+            vec![10.0, 20.0],
+        );
+        let (times, values) = ir.into_parts();
+        let t_ptr = times.as_ptr();
+        let rebuilt = IrregularSeries::from_recycled(times, values);
+        assert_eq!(rebuilt.times().as_ptr(), t_ptr, "buffers are moved, not copied");
+        assert_eq!(rebuilt.values(), &[10.0, 20.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn from_recycled_keeps_invariants() {
+        IrregularSeries::from_recycled(vec![Seconds(2.0), Seconds(1.0)], vec![0.0, 0.0]);
     }
 
     #[test]

@@ -8,12 +8,13 @@
 //! sweetspot track <trace.csv> [--window SECONDS] [--step SECONDS]
 //!     Moving-window Nyquist tracking (the paper's Figure 7) over a trace.
 //!
-//! sweetspot study [--devices N] [--seed S] [--threads T] [--paper-scale]
+//! sweetspot study [--devices N] [--seed S] [--threads T] [--paper-scale] [--timing]
 //!     Run the §3.2 fleet study on the synthetic fleet and print Figure 1
 //!     plus the headline statistics. `--threads 0` (the default) uses all
 //!     available cores; any thread count produces byte-identical output.
 //!     `--paper-scale` analyzes the paper's full 1613 metric-device pairs
-//!     (115 devices/metric + 3 extras; overrides `--devices`).
+//!     (115 devices/metric + 3 extras; overrides `--devices`). `--timing`
+//!     prints the synthesis/clean/estimate wall-clock split to stderr.
 //!
 //! sweetspot demo [--metric NAME] [--days D] [--seed S]
 //!     Emit a synthetic production trace as CSV on stdout (pipe it back
@@ -64,7 +65,7 @@ sweetspot — Nyquist-guided monitoring-rate analysis (HotNets'21 reproduction)
 USAGE:
   sweetspot analyze <trace.csv> [--cutoff F] [--headroom F] [--interval SECONDS]
   sweetspot track   <trace.csv> [--window SECONDS] [--step SECONDS]
-  sweetspot study   [--devices N] [--seed S] [--threads T] [--paper-scale]
+  sweetspot study   [--devices N] [--seed S] [--threads T] [--paper-scale] [--timing]
   sweetspot demo    [--metric NAME] [--days D] [--seed S]
   sweetspot help";
 
@@ -201,19 +202,25 @@ fn cmd_track(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_study(args: &[String]) -> Result<(), String> {
-    // `--paper-scale` is a bare boolean switch; pull it out before the
-    // `--name value` pair parser sees the rest.
-    let mut paper_scale = false;
-    let rest: Vec<String> = args
+/// Removes a bare boolean `--name` switch from `args`, returning whether it
+/// was present (so the `--name value` pair parser never sees it).
+fn take_switch(args: &[String], name: &str) -> (bool, Vec<String>) {
+    let mut found = false;
+    let rest = args
         .iter()
         .filter(|a| {
-            let hit = a.as_str() == "--paper-scale";
-            paper_scale |= hit;
+            let hit = a.as_str() == name;
+            found |= hit;
             !hit
         })
         .cloned()
         .collect();
+    (found, rest)
+}
+
+fn cmd_study(args: &[String]) -> Result<(), String> {
+    let (paper_scale, rest) = take_switch(args, "--paper-scale");
+    let (timing, rest) = take_switch(&rest, "--timing");
     let flags = flags(&rest, 0)?;
     let devices = flag_u64(&flags, "devices", 40)? as usize;
     let seed = flag_u64(&flags, "seed", 0x5EED_CAFE)?;
@@ -234,6 +241,25 @@ fn cmd_study(args: &[String]) -> Result<(), String> {
     };
     println!("{}", fig1::from_study(&study).render());
     println!("{}", headline::from_study(&study).render());
+    if timing {
+        // stderr, not stdout: timing varies run to run, and stdout must stay
+        // byte-identical across thread counts (CI compares it verbatim).
+        let t = study.timing;
+        let total = t.total().as_secs_f64().max(f64::MIN_POSITIVE);
+        let pct = |d: std::time::Duration| 100.0 * d.as_secs_f64() / total;
+        eprintln!(
+            "timing: synthesis {:.3}s ({:.0}%) | clean {:.3}s ({:.0}%) | estimate {:.3}s ({:.0}%) \
+             | total {:.3}s across workers over {} pairs",
+            t.synthesis.as_secs_f64(),
+            pct(t.synthesis),
+            t.clean.as_secs_f64(),
+            pct(t.clean),
+            t.estimate.as_secs_f64(),
+            pct(t.estimate),
+            t.total().as_secs_f64(),
+            study.pairs.len()
+        );
+    }
     Ok(())
 }
 

@@ -170,6 +170,41 @@ fn study_output_is_byte_identical_across_thread_counts() {
 }
 
 #[test]
+fn study_timing_prints_phase_split_on_stderr() {
+    let timed = bin()
+        .args(["study", "--devices", "2", "--seed", "3", "--timing"])
+        .output()
+        .unwrap();
+    assert!(
+        timed.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&timed.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&timed.stderr);
+    let timing_line = stderr
+        .lines()
+        .find(|l| l.starts_with("timing:"))
+        .unwrap_or_else(|| panic!("no timing line in: {stderr}"));
+    for phase in ["synthesis", "clean", "estimate", "total"] {
+        assert!(timing_line.contains(phase), "missing {phase}: {timing_line}");
+    }
+    assert!(timing_line.contains("pairs"), "{timing_line}");
+
+    // Timing must be observability-only: stdout stays byte-identical to a
+    // run without the flag (CI's determinism smoke compares stdout).
+    let plain = bin()
+        .args(["study", "--devices", "2", "--seed", "3"])
+        .output()
+        .unwrap();
+    assert!(plain.status.success());
+    assert_eq!(timed.stdout, plain.stdout, "--timing must not alter stdout");
+    assert!(
+        !String::from_utf8_lossy(&plain.stderr).contains("timing:"),
+        "timing must be opt-in"
+    );
+}
+
+#[test]
 fn study_paper_scale_flag_is_accepted_with_other_flags() {
     // `--paper-scale` is a bare switch among `--name value` pairs; the
     // parser must not trip over the mix. (The full 1613-pair run is covered

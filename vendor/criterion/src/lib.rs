@@ -328,8 +328,15 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    /// Serializes the tests that touch process environment variables:
+    /// `set_var`/`remove_var` racing a concurrent `getenv` (e.g.
+    /// `bench_function` reading `BENCH_JSON_PATH` on another test thread)
+    /// is undefined behavior on glibc.
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     #[test]
     fn bench_function_runs_and_reports() {
+        let _env = ENV_LOCK.lock().unwrap();
         let mut c = Criterion::default()
             .sample_size(3)
             .warm_up_time(Duration::from_millis(1))
@@ -389,6 +396,7 @@ mod tests {
     fn quick_mode_shrinks_configuration() {
         // `configure_from_args` reads the env; make the test hermetic by
         // clearing every knob it honors and restoring them afterwards.
+        let _env = ENV_LOCK.lock().unwrap();
         let knobs = ["BENCH_QUICK", "BENCH_SAMPLE_SIZE", "BENCH_WARMUP_MS", "BENCH_MEASURE_MS"];
         let saved: Vec<Option<String>> = knobs.iter().map(|k| std::env::var(k).ok()).collect();
         for k in &knobs {
