@@ -1,0 +1,893 @@
+//! Fleet-level adaptive simulation: every device's §4.2 controller running
+//! concurrently under **one shared collection budget**, with a pluggable
+//! cross-device scheduler arbitrating epoch-by-epoch poll rates.
+//!
+//! The paper's controller adapts each device in isolation, but its cost
+//! argument (§1) is fleet-wide: collection, transmission and storage budgets
+//! are shared. This module measures that trade-off on the synthetic fleet:
+//!
+//! 1. Every `(metric, device)` pair gets a [`FleetMember`] — its simulated
+//!    device plus an [`AdaptiveSampler`](sweetspot_core::adaptive) — stepped
+//!    in **lockstep epochs** (the scheduling quantum).
+//! 2. Each epoch, controllers *request* rates; a [`scheduler`] policy
+//!    converts the cost-unit budget into grantable rate and splits it.
+//! 3. Members run their epoch at the granted rate
+//!    ([`AdaptiveSampler::step_granted`](sweetspot_core::adaptive::AdaptiveSampler::step_granted)):
+//!    throttled controllers record deferrals and re-ramp through their
+//!    Nyquist memory when budget returns.
+//! 4. A ground-truth [`quality`] model scores every device's achieved rate
+//!    against its true Nyquist rate; an [`EpochLedger`] accounts every cost
+//!    unit. The output is a **cost-vs-quality frontier per policy** — the
+//!    paper's sweet spot, measured at fleet level.
+//!
+//! # Sharded execution
+//!
+//! Epochs are inherently sequential (epoch `k`'s grants depend on epoch
+//! `k−1`'s outcomes), but *within* an epoch every device is independent
+//! given its grant. The engine reuses the `analysis::study` pattern: the
+//! device index space is split into contiguous per-worker shards (scoped
+//! threads, persistent per-device state), grants are computed serially on
+//! the merged request vector, and all aggregation sums run in device index
+//! order — so output is **byte-identical for any `--threads N`** (pinned by
+//! tests and the CI smoke).
+
+pub mod quality;
+pub mod scheduler;
+
+use std::thread;
+use std::time::{Duration, Instant};
+use sweetspot_core::adaptive::AdaptiveConfig;
+use sweetspot_monitor::poller::FleetMember;
+use sweetspot_monitor::{CostModel, EpochAccount, EpochLedger};
+use sweetspot_telemetry::{paper_scale_work, FleetConfig, MetricProfile};
+use sweetspot_timeseries::{Hertz, Seconds};
+
+use quality::{DeviceQuality, FleetQuality};
+use scheduler::SchedulerPolicy;
+
+/// Primary-stream cost is amplified by the §4.1 companion stream at
+/// `rate/φ`: one unit of granted rate costs `1 + 1/φ` in samples.
+const VERIFY_OVERHEAD: f64 = 1.0 + 1.0 / sweetspot_core::aliasing::COMPANION_RATIO;
+
+/// Fleet simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetSimConfig {
+    /// Fleet population (seed + devices per metric) when `paper_scale` is
+    /// off. `trace_duration` is unused here — the simulation horizon is
+    /// `days`.
+    pub fleet: FleetConfig,
+    /// Simulate the paper's full 1613-pair population (overrides
+    /// `fleet.devices_per_metric`).
+    pub paper_scale: bool,
+    /// Simulation horizon in days.
+    pub days: f64,
+    /// Lockstep scheduling epoch. It must be long enough for production-rate
+    /// streams to feed the §3.2 estimator (64+ samples) *and* to resolve the
+    /// diurnal component — 24 h does both for every built-in profile, and
+    /// re-budgeting daily is what a real fleet would do. Devices that settle
+    /// slower than the window resolves simply hold their rate (see
+    /// `core::adaptive` on evidence-free epochs).
+    pub window: Seconds,
+    /// Worker threads (0 ⇒ available parallelism). Never changes output.
+    pub threads: usize,
+    /// Resource prices (shared by scheduler and ledger).
+    pub cost: CostModel,
+    /// Per-metric water-filling weights, indexed by
+    /// [`MetricKind::index`](sweetspot_telemetry::MetricKind). Neutral 1.0
+    /// by default.
+    pub metric_weights: [f64; 14],
+}
+
+impl Default for FleetSimConfig {
+    fn default() -> Self {
+        FleetSimConfig {
+            fleet: FleetConfig {
+                seed: 0x5EED_CAFE,
+                devices_per_metric: 8,
+                trace_duration: Seconds::from_days(1.0),
+            },
+            paper_scale: false,
+            days: 10.0,
+            window: Seconds::from_days(1.0),
+            threads: 0,
+            cost: CostModel::default(),
+            metric_weights: [1.0; 14],
+        }
+    }
+}
+
+impl FleetSimConfig {
+    fn work(&self) -> Vec<(MetricProfile, usize)> {
+        if self.paper_scale {
+            paper_scale_work()
+        } else {
+            self.fleet.work_list()
+        }
+    }
+
+    fn epochs(&self) -> usize {
+        ((self.days * 86_400.0) / self.window.value()).ceil().max(1.0) as usize
+    }
+
+    fn resolve_threads(&self, work_items: usize) -> usize {
+        crate::shard::resolve_threads(self.threads, work_items)
+    }
+}
+
+/// The controller configuration a fleet member runs under: start at the
+/// production default, floor three decades below it, ceiling 8× above
+/// (enough headroom for the worst 3×-folding under-sampled devices).
+///
+/// Headroom runs at 1.9 rather than the 1.65 verification floor: at the
+/// floor the companion stream's folding frequency sits ≈5% above the band
+/// edge, and spectral leakage on day-window periodograms flaps the §4.1
+/// detector (settle → false alarm → probe → settle). 1.9 buys a ~17%
+/// guard band; the extra samples are what continuous verification really
+/// costs at fleet scale.
+pub fn member_config(profile: &MetricProfile, window: Seconds) -> AdaptiveConfig {
+    let prod = profile.production_rate().value();
+    // Counters quantize coarsely, and every poll draws fresh measurement
+    // noise: sub-bands that only hold (decorrelated) noise would flip the
+    // detector forever. Compare only bands that stand *out* of a flat
+    // spectrum — at 24 bands the uniform share is ~4.2%, so an 8% floor
+    // keeps every structured band and drops the pure-noise ones.
+    let detector = sweetspot_core::aliasing::DualRateConfig {
+        relative_floor: 0.08,
+        ..Default::default()
+    };
+    AdaptiveConfig {
+        initial_rate: Hertz(prod),
+        min_rate: Hertz(prod / 1024.0),
+        max_rate: Hertz(prod * 8.0),
+        headroom: 1.9,
+        epoch: window,
+        detector,
+        ..AdaptiveConfig::default()
+    }
+}
+
+/// Wall-clock totals of the simulation phases. Worker time is summed across
+/// threads (aggregate CPU, like `study::PhaseTimings`); timing never
+/// influences results, so output stays byte-identical across `--threads N`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FleetTimings {
+    /// Member construction (trace synthesis models + controllers).
+    pub build: Duration,
+    /// Controller epochs: polling, dual-rate detection, estimation.
+    pub step: Duration,
+    /// Scheduling + ledger/quality aggregation (serial, main thread).
+    pub schedule: Duration,
+}
+
+impl FleetTimings {
+    /// Sum of all phases.
+    pub fn total(&self) -> Duration {
+        self.build + self.step + self.schedule
+    }
+
+    fn merge(&mut self, other: FleetTimings) {
+        self.build += other.build;
+        self.step += other.step;
+        self.schedule += other.schedule;
+    }
+}
+
+/// One policy's complete simulation outcome.
+#[derive(Debug, Clone)]
+pub struct PolicyOutcome {
+    /// The scheduling policy simulated.
+    pub policy: SchedulerPolicy,
+    /// Budget per epoch in cost units (`f64::INFINITY` when uncapped).
+    pub budget_per_epoch: f64,
+    /// Fleet size.
+    pub devices: usize,
+    /// Lockstep epochs simulated.
+    pub epochs: usize,
+    /// Epoch window.
+    pub window: Seconds,
+    /// Per-epoch shared-budget accounting.
+    pub ledger: EpochLedger,
+    /// Per-device quality scores, in fleet order.
+    pub device_quality: Vec<DeviceQuality>,
+    /// Fleet-level quality aggregates.
+    pub quality: FleetQuality,
+    /// Phase timings (observability only).
+    pub timing: FleetTimings,
+}
+
+impl PolicyOutcome {
+    /// Total cost units actually spent over the whole run.
+    pub fn total_spent(&self) -> f64 {
+        self.ledger.total_spent()
+    }
+
+    /// Quality bought per **kilo**-cost-unit: the frontier's y/x slope and
+    /// the headline efficiency number.
+    pub fn coverage_per_kilocost(&self) -> f64 {
+        let spent = self.total_spent();
+        if spent <= 0.0 {
+            0.0
+        } else {
+            self.quality.mean_coverage / (spent / 1000.0)
+        }
+    }
+}
+
+/// Runs one policy at one budget over the configured fleet.
+///
+/// `budget_per_epoch` is in cost units (see [`CostModel::cost_per_sample`]);
+/// pass `f64::INFINITY` for the uncapped baseline.
+pub fn run_policy(
+    cfg: &FleetSimConfig,
+    policy: SchedulerPolicy,
+    budget_per_epoch: f64,
+) -> PolicyOutcome {
+    let work = cfg.work();
+    let n = work.len();
+    let epochs = cfg.epochs();
+    let threads = cfg.resolve_threads(n);
+    let mut timing = FleetTimings::default();
+
+    // Build members (deterministic per (profile, idx, seed); build order is
+    // the fleet order regardless of sharding).
+    let t0 = Instant::now();
+    let seed = cfg.fleet.seed;
+    let window = cfg.window;
+    let mut members: Vec<FleetMember> = build_sharded(&work, threads, |index, profile, device| {
+        FleetMember::new(
+            index,
+            sweetspot_telemetry::DeviceTrace::synthesize(profile, device, seed),
+            member_config(&profile, window),
+        )
+    });
+    // Quality requirement per device. A quiescent device's signal never
+    // moves a full quantum, so *any* rate fully captures what is observable:
+    // its requirement is zero (coverage 1.0 by definition in `quality`).
+    let nyquist: Vec<f64> = members
+        .iter()
+        .map(|m| {
+            if m.device().trace().is_quiet() {
+                0.0
+            } else {
+                m.true_nyquist_rate().value()
+            }
+        })
+        .collect();
+    let production: Vec<f64> = work
+        .iter()
+        .map(|(p, _)| p.production_rate().value())
+        .collect();
+    let weights: Vec<f64> = work
+        .iter()
+        .map(|(p, _)| cfg.metric_weights[p.kind.index()])
+        .collect();
+    timing.build = t0.elapsed();
+
+    // The scheduler works in rate space: convert the cost budget once.
+    let unit_cost = cfg.cost.cost_per_sample();
+    let epoch_unit = unit_cost * window.value() * VERIFY_OVERHEAD;
+    let capacity_rate = budget_per_epoch / epoch_unit; // INF stays INF
+
+    let mut ledger = EpochLedger::new();
+    let mut requests = vec![0.0f64; n];
+    let mut grants: Vec<f64> = Vec::with_capacity(n);
+    let mut coverage_sum = vec![0.0f64; n];
+    let mut epoch_samples = vec![0usize; n];
+    let mut epoch_throttled = vec![false; n];
+
+    for epoch in 0..epochs {
+        let t_sched = Instant::now();
+        for (r, m) in requests.iter_mut().zip(&members) {
+            *r = m.requested_rate().value();
+        }
+        scheduler::allocate(
+            policy,
+            &requests,
+            &weights,
+            &production,
+            capacity_rate,
+            &mut grants,
+        );
+        timing.schedule += t_sched.elapsed();
+
+        let start = Seconds(epoch as f64 * window.value());
+        let chunk = crate::shard::chunk_size(n, threads);
+        if threads == 1 {
+            let t_step = Instant::now();
+            for (i, member) in members.iter_mut().enumerate() {
+                let report = member.step_epoch(start, Hertz(grants[i]), window);
+                coverage_sum[i] += quality::coverage(report.primary_rate, Hertz(nyquist[i]));
+                epoch_samples[i] = report.samples_taken;
+                epoch_throttled[i] = report.throttled;
+            }
+            timing.step += t_step.elapsed();
+        } else {
+            let step_time: Duration = thread::scope(|s| {
+                let handles: Vec<_> = members
+                    .chunks_mut(chunk)
+                    .zip(grants.chunks(chunk))
+                    .zip(nyquist.chunks(chunk))
+                    .zip(
+                        coverage_sum
+                            .chunks_mut(chunk)
+                            .zip(epoch_samples.chunks_mut(chunk))
+                            .zip(epoch_throttled.chunks_mut(chunk)),
+                    )
+                    .map(|(((members, grants), nyquist), ((coverage, samples), throttled))| {
+                        s.spawn(move || {
+                            let t = Instant::now();
+                            for i in 0..members.len() {
+                                let report =
+                                    members[i].step_epoch(start, Hertz(grants[i]), window);
+                                coverage[i] +=
+                                    quality::coverage(report.primary_rate, Hertz(nyquist[i]));
+                                samples[i] = report.samples_taken;
+                                throttled[i] = report.throttled;
+                            }
+                            t.elapsed()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("fleetsim worker panicked"))
+                    .sum()
+            });
+            timing.step += step_time;
+        }
+
+        // Ledger: every sum in device index order (deterministic).
+        let t_ledger = Instant::now();
+        let demanded: f64 = requests.iter().map(|r| r * epoch_unit).sum();
+        let granted: f64 = grants.iter().map(|g| g * epoch_unit).sum();
+        let samples: usize = epoch_samples.iter().sum();
+        let throttled_devices = epoch_throttled.iter().filter(|&&t| t).count();
+        ledger.record(EpochAccount {
+            epoch,
+            budget: budget_per_epoch,
+            demanded,
+            granted,
+            samples,
+            spent: samples as f64 * unit_cost,
+            throttled_devices,
+        });
+        timing.schedule += t_ledger.elapsed();
+    }
+
+    let t_quality = Instant::now();
+    let device_quality: Vec<DeviceQuality> = members
+        .iter()
+        .enumerate()
+        .map(|(i, m)| DeviceQuality {
+            index: i,
+            kind: m.kind(),
+            mean_coverage: coverage_sum[i] / epochs as f64,
+            deferred_epochs: m.sampler().deferred_epochs(),
+        })
+        .collect();
+    let quality = FleetQuality::from_devices(&device_quality);
+    timing.schedule += t_quality.elapsed();
+
+    PolicyOutcome {
+        policy,
+        budget_per_epoch,
+        devices: n,
+        epochs,
+        window,
+        ledger,
+        device_quality,
+        quality,
+        timing,
+    }
+}
+
+/// Builds per-device state in parallel shards, merged back in fleet order.
+fn build_sharded<T, F>(work: &[(MetricProfile, usize)], threads: usize, build: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, MetricProfile, usize) -> T + Sync,
+{
+    let n = work.len();
+    if threads <= 1 || n < 2 {
+        return work
+            .iter()
+            .enumerate()
+            .map(|(i, &(p, d))| build(i, p, d))
+            .collect();
+    }
+    let chunk = crate::shard::chunk_size(n, threads);
+    thread::scope(|s| {
+        let build = &build;
+        let handles: Vec<_> = work
+            .chunks(chunk)
+            .enumerate()
+            .map(|(shard, span)| {
+                s.spawn(move || {
+                    span.iter()
+                        .enumerate()
+                        .map(|(j, &(p, d))| build(shard * chunk + j, p, d))
+                        .collect::<Vec<T>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("fleetsim build worker panicked"))
+            .collect()
+    })
+}
+
+/// One row of the cost-vs-quality frontier.
+#[derive(Debug, Clone)]
+pub struct FrontierPoint {
+    /// Budget as a fraction of the uncapped steady demand (`None` for the
+    /// uncapped row and for absolute `--budget` runs).
+    pub fraction: Option<f64>,
+    /// The simulation outcome.
+    pub outcome: PolicyOutcome,
+}
+
+/// The fleet cost-vs-quality frontier: one [`FrontierPoint`] per
+/// (policy, budget) pair, plus the anchor demand the ladder was scaled by.
+#[derive(Debug, Clone)]
+pub struct FleetFrontier {
+    /// All simulated points, in render order.
+    pub points: Vec<FrontierPoint>,
+    /// Uncapped steady demand (last-epoch spend of the uncapped run), in
+    /// cost units per epoch — the budget ladder's 100% anchor.
+    pub steady_demand: f64,
+    /// Fleet size.
+    pub devices: usize,
+    /// Epochs simulated per point.
+    pub epochs: usize,
+    /// Epoch window.
+    pub window: Seconds,
+    /// Fleet seed (for reproduction).
+    pub seed: u64,
+}
+
+/// Budget ladder for the frontier sweep, as fractions of steady demand.
+pub const FRONTIER_FRACTIONS: [f64; 4] = [0.1, 0.25, 0.5, 1.0];
+
+/// Policies swept at every budget rung (the uncapped baseline runs once).
+const CAPPED_POLICIES: [SchedulerPolicy; 3] = [
+    SchedulerPolicy::Uniform,
+    SchedulerPolicy::Fair,
+    SchedulerPolicy::WaterFill,
+];
+
+/// Runs the full frontier sweep: the uncapped baseline, then every capped
+/// policy at every [`FRONTIER_FRACTIONS`] rung of the steady demand.
+pub fn run_frontier(cfg: &FleetSimConfig) -> FleetFrontier {
+    run_frontier_for(cfg, &CAPPED_POLICIES)
+}
+
+/// [`run_frontier`] restricted to a chosen set of capped policies (the
+/// uncapped baseline always runs — it anchors the budget ladder).
+pub fn run_frontier_for(cfg: &FleetSimConfig, policies: &[SchedulerPolicy]) -> FleetFrontier {
+    let uncapped = run_policy(cfg, SchedulerPolicy::Uncapped, f64::INFINITY);
+    let steady_demand = uncapped
+        .ledger
+        .accounts()
+        .last()
+        .map_or(0.0, |a| a.spent);
+    let mut points = vec![FrontierPoint {
+        fraction: None,
+        outcome: uncapped,
+    }];
+    for &fraction in &FRONTIER_FRACTIONS {
+        for &policy in policies {
+            if policy == SchedulerPolicy::Uncapped {
+                continue;
+            }
+            points.push(FrontierPoint {
+                fraction: Some(fraction),
+                outcome: run_policy(cfg, policy, fraction * steady_demand),
+            });
+        }
+    }
+    frontier(cfg, points, steady_demand)
+}
+
+/// Runs a single budget point: one policy (or, with `policy == None`, all
+/// four) at an absolute per-epoch budget.
+pub fn run_point(
+    cfg: &FleetSimConfig,
+    budget_per_epoch: f64,
+    policy: Option<SchedulerPolicy>,
+) -> FleetFrontier {
+    let policies: Vec<SchedulerPolicy> =
+        policy.map_or_else(|| SchedulerPolicy::ALL.to_vec(), |p| vec![p]);
+    let points: Vec<FrontierPoint> = policies
+        .into_iter()
+        .map(|p| {
+            let budget = if p == SchedulerPolicy::Uncapped {
+                f64::INFINITY
+            } else {
+                budget_per_epoch
+            };
+            FrontierPoint {
+                fraction: None,
+                outcome: run_policy(cfg, p, budget),
+            }
+        })
+        .collect();
+    let steady_demand = points
+        .iter()
+        .find(|pt| pt.outcome.policy == SchedulerPolicy::Uncapped)
+        .and_then(|pt| pt.outcome.ledger.accounts().last())
+        .map_or(0.0, |a| a.spent);
+    frontier(cfg, points, steady_demand)
+}
+
+fn frontier(cfg: &FleetSimConfig, points: Vec<FrontierPoint>, steady_demand: f64) -> FleetFrontier {
+    let (devices, epochs) = points
+        .first()
+        .map_or((0, 0), |p| (p.outcome.devices, p.outcome.epochs));
+    FleetFrontier {
+        points,
+        steady_demand,
+        devices,
+        epochs,
+        window: cfg.window,
+        seed: cfg.fleet.seed,
+    }
+}
+
+impl FleetFrontier {
+    /// Summed phase timings over every simulated point.
+    pub fn timing(&self) -> FleetTimings {
+        let mut t = FleetTimings::default();
+        for p in &self.points {
+            t.merge(p.outcome.timing);
+        }
+        t
+    }
+
+    /// Text rendering: the frontier table plus one headline per policy.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Fleet simulation: {} devices, {} epochs x {:.1} h (seed {:#x})\n",
+            self.devices,
+            self.epochs,
+            self.window.value() / 3600.0,
+            self.seed,
+        );
+        if self.steady_demand > 0.0 {
+            out.push_str(&format!(
+                "steady uncapped demand: {:.1} cost units/epoch\n",
+                self.steady_demand
+            ));
+        }
+        out.push('\n');
+        let rows: Vec<Vec<String>> = self
+            .points
+            .iter()
+            .map(|p| {
+                let o = &p.outcome;
+                let budget = if o.budget_per_epoch.is_infinite() {
+                    "unlimited".to_string()
+                } else if let Some(f) = p.fraction {
+                    format!("{:>3.0}% ({:.1})", f * 100.0, o.budget_per_epoch)
+                } else {
+                    format!("{:.1}", o.budget_per_epoch)
+                };
+                vec![
+                    o.policy.name().to_string(),
+                    budget,
+                    format!("{:.1}", o.ledger.mean_spent_per_epoch()),
+                    format!("{:.4}", o.quality.mean_coverage),
+                    format!("{:.4}", o.quality.p10_coverage),
+                    format!("{:>5.1}%", o.quality.covered_fraction * 100.0),
+                    format!("{:>5.1}%", o.quality.starved_fraction * 100.0),
+                    format!("{:>5.1}%", o.ledger.throttled_fraction(o.devices) * 100.0),
+                    format!("{:.3e}", o.coverage_per_kilocost()),
+                ]
+            })
+            .collect();
+        out.push_str(&crate::report::table(
+            &[
+                "policy",
+                "budget/ep",
+                "spent/ep",
+                "coverage",
+                "p10",
+                "covered",
+                "starved",
+                "throttled",
+                "cov/kcost",
+            ],
+            &rows,
+        ));
+        out.push('\n');
+        out.push_str(&self.headlines());
+        out
+    }
+
+    /// One-line summary per policy: quality per cost unit, benchmarked
+    /// against naive uniform throttling at the same budget.
+    pub fn headlines(&self) -> String {
+        let mut out = String::new();
+        for point in &self.points {
+            let o = &point.outcome;
+            if o.policy == SchedulerPolicy::Uncapped {
+                out.push_str(&format!(
+                    "  uncapped : coverage {:.4} at {:.1} units/epoch steady — the per-device controller, fleet-wide\n",
+                    o.quality.mean_coverage,
+                    self.steady_demand,
+                ));
+                continue;
+            }
+            // Compare against uniform at the same budget rung, if present.
+            let uniform = self.points.iter().find(|p| {
+                p.outcome.policy == SchedulerPolicy::Uniform
+                    && p.fraction == point.fraction
+                    && p.outcome.budget_per_epoch == o.budget_per_epoch
+            });
+            let rung = match point.fraction {
+                Some(f) => format!("{:>3.0}% budget", f * 100.0),
+                None => format!("{:.1} units/ep", o.budget_per_epoch),
+            };
+            match uniform {
+                Some(u) if o.policy != SchedulerPolicy::Uniform => {
+                    let base = u.outcome.coverage_per_kilocost();
+                    let gain = if base > 0.0 {
+                        o.coverage_per_kilocost() / base
+                    } else {
+                        f64::INFINITY
+                    };
+                    out.push_str(&format!(
+                        "  {:<9}@ {rung}: coverage {:.4} — {:.2}x quality per cost unit vs uniform\n",
+                        o.policy.name(),
+                        o.quality.mean_coverage,
+                        gain,
+                    ));
+                }
+                _ => {
+                    out.push_str(&format!(
+                        "  {:<9}@ {rung}: coverage {:.4} ({:.3e} per kcost)\n",
+                        o.policy.name(),
+                        o.quality.mean_coverage,
+                        o.coverage_per_kilocost(),
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Machine-readable rendering (see `report::json`).
+    pub fn to_json(&self) -> String {
+        use crate::report::json::{JsonArray, JsonObject};
+        let mut rows = JsonArray::new();
+        for p in &self.points {
+            let o = &p.outcome;
+            let mut row = JsonObject::new();
+            row.field_str("policy", o.policy.name());
+            match p.fraction {
+                Some(f) => row.field_num("budget_fraction", f),
+                None => row.field_null("budget_fraction"),
+            };
+            row.field_num("budget_per_epoch", o.budget_per_epoch);
+            row.field_num("spent_per_epoch", o.ledger.mean_spent_per_epoch());
+            row.field_num("total_spent", o.total_spent());
+            row.field_num("total_samples", o.ledger.total_samples() as f64);
+            row.field_num("mean_coverage", o.quality.mean_coverage);
+            row.field_num("p10_coverage", o.quality.p10_coverage);
+            row.field_num("covered_fraction", o.quality.covered_fraction);
+            row.field_num("starved_fraction", o.quality.starved_fraction);
+            row.field_num(
+                "throttled_fraction",
+                o.ledger.throttled_fraction(o.devices),
+            );
+            row.field_num("coverage_per_kilocost", o.coverage_per_kilocost());
+            rows.push_raw(&row.finish());
+        }
+        let mut root = JsonObject::new();
+        root.field_num("devices", self.devices as f64);
+        root.field_num("epochs", self.epochs as f64);
+        root.field_num("window_seconds", self.window.value());
+        root.field_num("seed", self.seed as f64);
+        // 0 means "no uncapped baseline ran": unknown, not literally zero.
+        if self.steady_demand > 0.0 {
+            root.field_num("steady_demand_per_epoch", self.steady_demand);
+        } else {
+            root.field_null("steady_demand_per_epoch");
+        }
+        root.field_raw("frontier", &rows.finish());
+        root.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config(threads: usize) -> FleetSimConfig {
+        FleetSimConfig {
+            fleet: FleetConfig {
+                seed: 0xF1EE7,
+                devices_per_metric: 2,
+                trace_duration: Seconds::from_days(1.0),
+            },
+            days: 4.0,
+            threads,
+            ..FleetSimConfig::default()
+        }
+    }
+
+    #[test]
+    fn uncapped_covers_fleet_and_spends_demand() {
+        let out = run_policy(&tiny_config(2), SchedulerPolicy::Uncapped, f64::INFINITY);
+        assert_eq!(out.devices, 28);
+        assert_eq!(out.epochs, 4);
+        assert_eq!(out.ledger.epochs(), 4);
+        // Nothing is ever throttled without a budget.
+        assert_eq!(out.ledger.throttled_fraction(out.devices), 0.0);
+        for d in &out.device_quality {
+            assert_eq!(d.deferred_epochs, 0);
+        }
+        // The adaptive fleet keeps most devices alias-free.
+        assert!(
+            out.quality.mean_coverage > 0.85,
+            "uncapped coverage {}",
+            out.quality.mean_coverage
+        );
+    }
+
+    #[test]
+    fn output_is_identical_across_thread_counts() {
+        let serial = run_policy(&tiny_config(1), SchedulerPolicy::Fair, 40.0);
+        for threads in [2, 3, 5] {
+            let parallel = run_policy(&tiny_config(threads), SchedulerPolicy::Fair, 40.0);
+            assert_eq!(serial.ledger.accounts(), parallel.ledger.accounts());
+            assert_eq!(serial.device_quality, parallel.device_quality);
+            assert_eq!(serial.quality, parallel.quality);
+        }
+    }
+
+    #[test]
+    fn uncapped_fleet_matches_standalone_members() {
+        // The engine's uncapped policy must walk each device through exactly
+        // the trajectory its controller would take alone — the acceptance
+        // guarantee that fleetsim changes nothing until budgets bind.
+        let cfg = tiny_config(3);
+        let out = run_policy(&cfg, SchedulerPolicy::Uncapped, f64::INFINITY);
+        let work = cfg.work();
+        for index in [0usize, 7, 27] {
+            let (profile, device) = work[index];
+            let mut member = FleetMember::new(
+                index,
+                sweetspot_telemetry::DeviceTrace::synthesize(profile, device, cfg.fleet.seed),
+                member_config(&profile, cfg.window),
+            );
+            let requirement = if member.device().trace().is_quiet() {
+                Hertz(0.0)
+            } else {
+                member.true_nyquist_rate()
+            };
+            let mut coverage = 0.0;
+            for epoch in 0..out.epochs {
+                let start = Seconds(epoch as f64 * cfg.window.value());
+                let r = member.step_epoch(start, member.requested_rate(), cfg.window);
+                coverage += quality::coverage(r.primary_rate, requirement);
+            }
+            let expected = coverage / out.epochs as f64;
+            assert_eq!(
+                out.device_quality[index].mean_coverage, expected,
+                "device {index} diverged from its standalone controller"
+            );
+        }
+    }
+
+    #[test]
+    fn binding_budget_throttles_and_stays_within_spend() {
+        let cfg = tiny_config(2);
+        let uncapped = run_policy(&cfg, SchedulerPolicy::Uncapped, f64::INFINITY);
+        let steady = uncapped.ledger.accounts().last().unwrap().spent;
+        let budget = steady * 0.25;
+        let fair = run_policy(&cfg, SchedulerPolicy::Fair, budget);
+        assert!(
+            fair.ledger.throttled_fraction(fair.devices) > 0.2,
+            "a 4x cut must throttle: {}",
+            fair.ledger.throttled_fraction(fair.devices)
+        );
+        // Steady-state epochs respect the budget (the first epoch pre-dates
+        // any request information; min-rate floors add rounding slack).
+        for account in &fair.ledger.accounts()[1..] {
+            assert!(
+                account.spent <= budget * 1.35 + 5.0,
+                "epoch {} overspent: {} > {}",
+                account.epoch,
+                account.spent,
+                budget
+            );
+        }
+        assert!(fair.quality.mean_coverage < uncapped.quality.mean_coverage);
+    }
+
+    #[test]
+    fn informed_policies_beat_naive_uniform_throttling() {
+        // The acceptance criterion: under a binding budget, fair-share and
+        // water-filling buy measurably more fleet quality per cost unit
+        // than scaling every device's production rate uniformly — the
+        // controllers' Nyquist knowledge is what the scheduler monetizes.
+        let cfg = FleetSimConfig {
+            fleet: FleetConfig {
+                seed: 0xF1EE7,
+                devices_per_metric: 4,
+                trace_duration: Seconds::from_days(1.0),
+            },
+            days: 6.0,
+            threads: 0,
+            ..FleetSimConfig::default()
+        };
+        let uncapped = run_policy(&cfg, SchedulerPolicy::Uncapped, f64::INFINITY);
+        let budget = uncapped.ledger.accounts().last().unwrap().spent * 0.5;
+        let uniform = run_policy(&cfg, SchedulerPolicy::Uniform, budget);
+        let fair = run_policy(&cfg, SchedulerPolicy::Fair, budget);
+        let waterfill = run_policy(&cfg, SchedulerPolicy::WaterFill, budget);
+        let eff = |o: &PolicyOutcome| o.coverage_per_kilocost();
+        assert!(
+            eff(&fair) > eff(&uniform) * 1.05,
+            "fair {} vs uniform {}",
+            eff(&fair),
+            eff(&uniform)
+        );
+        assert!(
+            eff(&waterfill) > eff(&uniform) * 1.05,
+            "waterfill {} vs uniform {}",
+            eff(&waterfill),
+            eff(&uniform)
+        );
+        // The informed policies' real edge is the starvation tail: uniform
+        // throttling blindly starves the devices that genuinely need their
+        // rate, while demand-aware schedulers keep them alive.
+        assert!(
+            fair.quality.p10_coverage > uniform.quality.p10_coverage * 2.0,
+            "fair p10 {} vs uniform p10 {}",
+            fair.quality.p10_coverage,
+            uniform.quality.p10_coverage
+        );
+        assert!(
+            waterfill.quality.p10_coverage > uniform.quality.p10_coverage * 2.0,
+            "waterfill p10 {} vs uniform p10 {}",
+            waterfill.quality.p10_coverage,
+            uniform.quality.p10_coverage
+        );
+    }
+
+    #[test]
+    fn frontier_sweeps_every_rung_and_renders() {
+        let cfg = FleetSimConfig {
+            fleet: FleetConfig {
+                seed: 3,
+                devices_per_metric: 1,
+                trace_duration: Seconds::from_days(1.0),
+            },
+            days: 1.0,
+            threads: 2,
+            ..FleetSimConfig::default()
+        };
+        let frontier = run_frontier(&cfg);
+        assert_eq!(frontier.points.len(), 1 + FRONTIER_FRACTIONS.len() * 3);
+        let text = frontier.render();
+        for name in ["uncapped", "uniform", "fair", "waterfill"] {
+            assert!(text.contains(name), "{name} missing from:\n{text}");
+        }
+        assert!(text.contains("cov/kcost"));
+        let json = frontier.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"frontier\":["));
+        assert!(json.contains("\"policy\":\"waterfill\""));
+    }
+
+    #[test]
+    fn run_point_single_policy() {
+        let cfg = tiny_config(2);
+        let f = run_point(&cfg, 30.0, Some(SchedulerPolicy::WaterFill));
+        assert_eq!(f.points.len(), 1);
+        assert_eq!(f.points[0].outcome.policy, SchedulerPolicy::WaterFill);
+        assert_eq!(f.points[0].outcome.budget_per_epoch, 30.0);
+    }
+}

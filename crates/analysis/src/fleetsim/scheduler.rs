@@ -1,0 +1,342 @@
+//! Cross-device rate schedulers: how a shared collection budget is split
+//! across the fleet's controllers each epoch.
+//!
+//! Every policy is a pure function from (requests, weights, production
+//! rates, capacity) to grants — no RNG, no time, no shared state — so the
+//! fleet simulation stays byte-identical for any thread count.
+//!
+//! Capacity and grants live in **rate space** (Hz summed over devices): the
+//! engine converts the operator's cost-unit budget with the
+//! [`CostModel`](sweetspot_monitor::CostModel) unit price once per epoch and
+//! hands schedulers plain numbers.
+
+/// A cross-device scheduling policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedulerPolicy {
+    /// No budget: every controller gets exactly what it asks for. This is
+    /// the per-device §4.2 controller, unchanged — the fleet baseline.
+    Uncapped,
+    /// Naive uniform throttling — today's operator response to budget
+    /// pressure: every device is polled at the *same fraction of its
+    /// production rate*, chosen to exhaust the budget. Controller requests
+    /// are ignored; Nyquist knowledge is wasted.
+    Uniform,
+    /// Fair share: proportional throttling. When aggregate demand exceeds
+    /// capacity, every request is scaled by the same factor, so each
+    /// controller keeps its *relative* share.
+    Fair,
+    /// Weighted max-min water-filling: cheap requests are fully satisfied,
+    /// the remaining budget is spread level across the expensive ones
+    /// (per-metric weights tilt the water level).
+    WaterFill,
+}
+
+impl SchedulerPolicy {
+    /// All policies, in frontier-table order.
+    pub const ALL: [SchedulerPolicy; 4] = [
+        SchedulerPolicy::Uncapped,
+        SchedulerPolicy::Uniform,
+        SchedulerPolicy::Fair,
+        SchedulerPolicy::WaterFill,
+    ];
+
+    /// Stable CLI / report name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulerPolicy::Uncapped => "uncapped",
+            SchedulerPolicy::Uniform => "uniform",
+            SchedulerPolicy::Fair => "fair",
+            SchedulerPolicy::WaterFill => "waterfill",
+        }
+    }
+
+    /// Parses a CLI name (case-insensitive).
+    pub fn parse(name: &str) -> Option<SchedulerPolicy> {
+        Self::ALL
+            .into_iter()
+            .find(|p| p.name().eq_ignore_ascii_case(name))
+    }
+}
+
+impl std::fmt::Display for SchedulerPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Computes per-device grants for one epoch.
+///
+/// * `requests` — each controller's requested rate (Hz).
+/// * `weights` — per-device scheduling weights (only [`WaterFill`] uses
+///   them; must be positive).
+/// * `production` — each device's production default rate (only
+///   [`Uniform`] uses them).
+/// * `capacity` — total grantable rate (Hz); `f64::INFINITY` disables the
+///   budget.
+///
+/// `grants` is cleared and refilled (recycled across epochs). Every policy
+/// guarantees `Σ grants ≤ max(capacity, Σ requests)` and, except
+/// [`Uniform`] (which ignores requests by design), `grants[i] ≤
+/// requests[i]` whenever the budget binds.
+///
+/// [`Uniform`]: SchedulerPolicy::Uniform
+/// [`WaterFill`]: SchedulerPolicy::WaterFill
+pub fn allocate(
+    policy: SchedulerPolicy,
+    requests: &[f64],
+    weights: &[f64],
+    production: &[f64],
+    capacity: f64,
+    grants: &mut Vec<f64>,
+) {
+    assert_eq!(requests.len(), weights.len(), "one weight per device");
+    assert_eq!(requests.len(), production.len(), "one production rate per device");
+    assert!(capacity >= 0.0, "capacity must be non-negative");
+    assert!(
+        requests.iter().all(|r| r.is_finite() && *r >= 0.0),
+        "requests must be finite and non-negative"
+    );
+    assert!(
+        weights.iter().all(|w| w.is_finite() && *w > 0.0),
+        "weights must be finite and positive"
+    );
+    grants.clear();
+    let demand: f64 = requests.iter().sum();
+    match policy {
+        SchedulerPolicy::Uncapped => grants.extend_from_slice(requests),
+        SchedulerPolicy::Uniform => {
+            // One fleet-wide fraction of production polling; never exceeds
+            // the production default (an operator cutting cost does not
+            // poll *faster* than today).
+            let prod_total: f64 = production.iter().sum();
+            let fraction = if prod_total > 0.0 {
+                (capacity / prod_total).min(1.0)
+            } else {
+                0.0
+            };
+            grants.extend(production.iter().map(|p| p * fraction));
+        }
+        SchedulerPolicy::Fair => {
+            if demand <= capacity {
+                grants.extend_from_slice(requests);
+            } else {
+                let scale = if demand > 0.0 { capacity / demand } else { 0.0 };
+                grants.extend(requests.iter().map(|r| r * scale));
+            }
+        }
+        SchedulerPolicy::WaterFill => {
+            if demand <= capacity {
+                grants.extend_from_slice(requests);
+            } else {
+                water_fill(requests, weights, capacity, grants);
+            }
+        }
+    }
+}
+
+/// Weighted max-min water-filling: find the level `L` such that
+/// `Σ min(requests[i], L·weights[i]) = capacity`; each device is granted
+/// `min(request, L·weight)`. Devices whose (weight-normalized) request sits
+/// below the water level are fully satisfied; the rest share the remainder
+/// level with the surplus of the satisfied redistributed — the max-min
+/// fair allocation.
+fn water_fill(requests: &[f64], weights: &[f64], capacity: f64, grants: &mut Vec<f64>) {
+    let n = requests.len();
+    // Sort device indices by normalized request (the order the water level
+    // passes them). Ties break by index: fully deterministic.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        let ra = requests[a] / weights[a];
+        let rb = requests[b] / weights[b];
+        ra.partial_cmp(&rb)
+            .expect("requests and weights must be finite and positive")
+            .then(a.cmp(&b))
+    });
+
+    let mut level = 0.0f64; // current water level (normalized rate)
+    let mut remaining = capacity;
+    let mut weight_left: f64 = weights.iter().sum();
+    grants.resize(n, 0.0);
+    let mut cursor = 0;
+    while cursor < n {
+        let i = order[cursor];
+        let target = requests[i] / weights[i];
+        let lift = (target - level) * weight_left;
+        if lift > remaining {
+            break;
+        }
+        // The level reaches this device's request: fully satisfied.
+        remaining -= lift;
+        level = target;
+        weight_left -= weights[i];
+        grants[i] = requests[i];
+        cursor += 1;
+    }
+    if cursor < n && weight_left > 0.0 {
+        // Budget exhausted mid-lift: everyone still unsatisfied shares the
+        // final level.
+        level += remaining / weight_left;
+        for &i in &order[cursor..] {
+            grants[i] = (level * weights[i]).min(requests[i]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn total(grants: &[f64]) -> f64 {
+        grants.iter().sum()
+    }
+
+    fn alloc(policy: SchedulerPolicy, requests: &[f64], capacity: f64) -> Vec<f64> {
+        let ones = vec![1.0; requests.len()];
+        let mut grants = Vec::new();
+        allocate(policy, requests, &ones, &ones, capacity, &mut grants);
+        grants
+    }
+
+    #[test]
+    fn uncapped_grants_everything() {
+        let r = [3.0, 1.0, 0.5];
+        let g = alloc(SchedulerPolicy::Uncapped, &r, 0.1);
+        assert_eq!(g, r.to_vec());
+    }
+
+    #[test]
+    fn fair_scales_proportionally_when_binding() {
+        let r = [4.0, 2.0, 2.0];
+        let g = alloc(SchedulerPolicy::Fair, &r, 4.0);
+        assert!((total(&g) - 4.0).abs() < 1e-12);
+        assert!((g[0] - 2.0).abs() < 1e-12);
+        assert!((g[1] - 1.0).abs() < 1e-12);
+        // Non-binding budget: grants pass through.
+        let g = alloc(SchedulerPolicy::Fair, &r, 100.0);
+        assert_eq!(g, r.to_vec());
+    }
+
+    #[test]
+    fn waterfill_satisfies_small_requests_first() {
+        let r = [10.0, 1.0, 1.0];
+        let g = alloc(SchedulerPolicy::WaterFill, &r, 6.0);
+        assert!((total(&g) - 6.0).abs() < 1e-12);
+        // Small requesters are made whole; the big one gets the remainder.
+        assert!((g[1] - 1.0).abs() < 1e-12);
+        assert!((g[2] - 1.0).abs() < 1e-12);
+        assert!((g[0] - 4.0).abs() < 1e-12);
+        // Fair, by contrast, would cut the small requesters to 0.5 each.
+    }
+
+    #[test]
+    fn waterfill_is_max_min_fair() {
+        // No device can gain without taking from a device with an equal or
+        // smaller grant: all unsatisfied devices sit at the same level.
+        let r = [8.0, 5.0, 3.0, 0.5];
+        let g = alloc(SchedulerPolicy::WaterFill, &r, 7.5);
+        assert!((total(&g) - 7.5).abs() < 1e-12);
+        assert!((g[3] - 0.5).abs() < 1e-12, "cheap request fully met");
+        // 7.0 left across three devices, level 7/3 < 3: all capped equally.
+        for (i, grant) in g.iter().enumerate().take(3) {
+            assert!((grant - 7.0 / 3.0).abs() < 1e-9, "device {i}: {grant}");
+        }
+    }
+
+    #[test]
+    fn waterfill_weights_tilt_the_level() {
+        let r = [10.0, 10.0];
+        let w = [2.0, 1.0];
+        let p = [1.0, 1.0];
+        let mut g = Vec::new();
+        allocate(SchedulerPolicy::WaterFill, &r, &w, &p, 6.0, &mut g);
+        assert!((total(&g) - 6.0).abs() < 1e-12);
+        // Weight 2 gets twice the grant of weight 1 while both are capped.
+        assert!((g[0] - 4.0).abs() < 1e-9, "{g:?}");
+        assert!((g[1] - 2.0).abs() < 1e-9, "{g:?}");
+    }
+
+    #[test]
+    fn uniform_ignores_requests_and_scales_production() {
+        let r = [0.001, 0.001, 0.001]; // tiny adaptive demand
+        let w = [1.0; 3];
+        let p = [1.0, 2.0, 1.0]; // production defaults
+        let mut g = Vec::new();
+        allocate(SchedulerPolicy::Uniform, &r, &w, &p, 2.0, &mut g);
+        // Budget = half the production total: every device at half its
+        // production rate, demand be damned.
+        assert_eq!(g, vec![0.5, 1.0, 0.5]);
+        // Never above production even with slack budget.
+        allocate(SchedulerPolicy::Uniform, &r, &w, &p, 100.0, &mut g);
+        assert_eq!(g, vec![1.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn binding_budget_is_conserved_by_every_policy() {
+        let r = [5.0, 0.25, 1.5, 3.0, 0.75];
+        for policy in [
+            SchedulerPolicy::Uniform,
+            SchedulerPolicy::Fair,
+            SchedulerPolicy::WaterFill,
+        ] {
+            let g = alloc(policy, &r, 2.0);
+            assert!(
+                total(&g) <= 2.0 + 1e-9,
+                "{policy} overspent: {}",
+                total(&g)
+            );
+            assert!(total(&g) >= 2.0 * 0.999, "{policy} left budget unused");
+        }
+    }
+
+    #[test]
+    fn grants_never_exceed_requests_except_uniform() {
+        let r = [5.0, 0.25, 1.5];
+        for policy in [SchedulerPolicy::Fair, SchedulerPolicy::WaterFill] {
+            for capacity in [0.5, 2.0, 100.0] {
+                let g = alloc(policy, &r, capacity);
+                for (gi, ri) in g.iter().zip(&r) {
+                    assert!(gi <= &(ri + 1e-12), "{policy}@{capacity}: {gi} > {ri}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_capacity_grants_nothing() {
+        let r = [1.0, 2.0];
+        for policy in [
+            SchedulerPolicy::Uniform,
+            SchedulerPolicy::Fair,
+            SchedulerPolicy::WaterFill,
+        ] {
+            let g = alloc(policy, &r, 0.0);
+            assert!(total(&g).abs() < 1e-12, "{policy}: {g:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "weights must be finite and positive")]
+    fn zero_weight_fails_fast() {
+        let mut g = Vec::new();
+        allocate(
+            SchedulerPolicy::WaterFill,
+            &[1.0, 2.0],
+            &[1.0, 0.0],
+            &[1.0, 1.0],
+            1.0,
+            &mut g,
+        );
+    }
+
+    #[test]
+    fn parse_round_trips_names() {
+        for policy in SchedulerPolicy::ALL {
+            assert_eq!(SchedulerPolicy::parse(policy.name()), Some(policy));
+            assert_eq!(
+                SchedulerPolicy::parse(&policy.name().to_uppercase()),
+                Some(policy)
+            );
+        }
+        assert_eq!(SchedulerPolicy::parse("bogus"), None);
+    }
+}

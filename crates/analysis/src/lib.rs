@@ -8,6 +8,10 @@
 //! * [`report`] — plain-text rendering of bar charts, CDFs, box plots and
 //!   tables (every figure is reproduced as text so the harness has no
 //!   plotting dependencies).
+//! * [`fleetsim`] — the fleet-level adaptive simulation: every device's
+//!   §4.2 controller under one shared budget, with pluggable cross-device
+//!   schedulers and a ground-truth quality model, producing the
+//!   cost-vs-quality frontier per policy.
 //! * [`experiments`] — one driver per paper artifact:
 //!   [`experiments::fig1`] … [`experiments::fig7`],
 //!   [`experiments::headline`], [`experiments::sweetspot`] (the title
@@ -20,7 +24,10 @@
 #![deny(unsafe_code)]
 
 pub mod experiments;
+pub mod fleetsim;
 pub mod report;
+mod shard;
 pub mod study;
 
+pub use fleetsim::{FleetFrontier, FleetSimConfig, PolicyOutcome};
 pub use study::{FleetStudy, PairResult, StudyConfig};

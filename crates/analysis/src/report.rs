@@ -121,9 +121,165 @@ pub fn boxplot_table(title: &str, rows: &[(String, FiveNumber)]) -> String {
     out
 }
 
+/// A small hand-rolled JSON writer.
+///
+/// The vendored `serde` is a no-op stub (its derives generate nothing), so
+/// machine-readable output is built with these two push-style builders
+/// instead. Scope is deliberately tiny: objects, arrays, strings, finite
+/// numbers, booleans and null — exactly what `--json` output needs.
+/// Numbers are formatted with Rust's shortest-roundtrip `{}` so output is
+/// stable and parseable; non-finite numbers serialize as `null` (JSON has
+/// no `inf`/`nan`).
+pub mod json {
+    /// Escapes a string for a JSON string literal (quotes included).
+    pub fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+        out
+    }
+
+    /// Formats a number as a JSON value (`null` when not finite).
+    pub fn number(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v}")
+        } else {
+            "null".to_string()
+        }
+    }
+
+    /// Builds one JSON object, field by field.
+    #[derive(Debug, Default)]
+    pub struct JsonObject {
+        parts: Vec<String>,
+    }
+
+    impl JsonObject {
+        /// Empty object.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Adds a string field.
+        pub fn field_str(&mut self, key: &str, value: &str) -> &mut Self {
+            self.parts.push(format!("{}:{}", escape(key), escape(value)));
+            self
+        }
+
+        /// Adds a numeric field (`null` when not finite).
+        pub fn field_num(&mut self, key: &str, value: f64) -> &mut Self {
+            self.parts.push(format!("{}:{}", escape(key), number(value)));
+            self
+        }
+
+        /// Adds a boolean field.
+        pub fn field_bool(&mut self, key: &str, value: bool) -> &mut Self {
+            self.parts.push(format!("{}:{value}", escape(key)));
+            self
+        }
+
+        /// Adds an explicit `null` field.
+        pub fn field_null(&mut self, key: &str) -> &mut Self {
+            self.parts.push(format!("{}:null", escape(key)));
+            self
+        }
+
+        /// Adds a pre-serialized JSON value (nested object or array).
+        pub fn field_raw(&mut self, key: &str, raw: &str) -> &mut Self {
+            self.parts.push(format!("{}:{raw}", escape(key)));
+            self
+        }
+
+        /// Serializes the object.
+        pub fn finish(&self) -> String {
+            format!("{{{}}}", self.parts.join(","))
+        }
+    }
+
+    /// Builds one JSON array, element by element.
+    #[derive(Debug, Default)]
+    pub struct JsonArray {
+        parts: Vec<String>,
+    }
+
+    impl JsonArray {
+        /// Empty array.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        /// Appends a string element.
+        pub fn push_str(&mut self, value: &str) -> &mut Self {
+            self.parts.push(escape(value));
+            self
+        }
+
+        /// Appends a numeric element (`null` when not finite).
+        pub fn push_num(&mut self, value: f64) -> &mut Self {
+            self.parts.push(number(value));
+            self
+        }
+
+        /// Appends a pre-serialized JSON value.
+        pub fn push_raw(&mut self, raw: &str) -> &mut Self {
+            self.parts.push(raw.to_string());
+            self
+        }
+
+        /// Serializes the array.
+        pub fn finish(&self) -> String {
+            format!("[{}]", self.parts.join(","))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn json_object_builds_all_field_kinds() {
+        let mut inner = json::JsonArray::new();
+        inner.push_num(1.0).push_num(2.5).push_str("x");
+        let mut obj = json::JsonObject::new();
+        obj.field_str("name", "fleet \"a\"\n")
+            .field_num("count", 3.0)
+            .field_num("bad", f64::INFINITY)
+            .field_bool("ok", true)
+            .field_null("none")
+            .field_raw("items", &inner.finish());
+        assert_eq!(
+            obj.finish(),
+            "{\"name\":\"fleet \\\"a\\\"\\n\",\"count\":3,\"bad\":null,\
+             \"ok\":true,\"none\":null,\"items\":[1,2.5,\"x\"]}"
+        );
+    }
+
+    #[test]
+    fn json_numbers_round_trip() {
+        assert_eq!(json::number(0.1), "0.1");
+        assert_eq!(json::number(-3.0), "-3");
+        assert_eq!(json::number(f64::NAN), "null");
+        let v: f64 = json::number(1.0 / 3.0).parse().unwrap();
+        assert_eq!(v, 1.0 / 3.0, "shortest-roundtrip formatting");
+    }
+
+    #[test]
+    fn json_escape_handles_control_chars() {
+        assert_eq!(json::escape("a\u{1}b"), "\"a\\u0001b\"");
+        assert_eq!(json::escape("tab\tnl\n"), "\"tab\\tnl\\n\"");
+    }
 
     #[test]
     fn bar_chart_renders_all_rows() {

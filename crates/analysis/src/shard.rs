@@ -1,0 +1,84 @@
+//! Shared sharding math for the deterministic fan-out engines
+//! ([`study`](crate::study) and [`fleetsim`](crate::fleetsim)).
+//!
+//! Both engines split a work-index space into contiguous per-worker spans
+//! and merge results back in index order — the byte-identical-across-
+//! `--threads N` guarantee rests on this arithmetic, so there is exactly
+//! one copy of it.
+
+use std::thread;
+
+/// Resolves a requested thread count: `0` means the machine's available
+/// parallelism; the result is clamped to `[1, work_items]` (no point
+/// spawning idle workers).
+pub(crate) fn resolve_threads(requested: usize, work_items: usize) -> usize {
+    let requested = if requested == 0 {
+        thread::available_parallelism().map_or(4, |n| n.get())
+    } else {
+        requested
+    };
+    requested.clamp(1, work_items.max(1))
+}
+
+/// Per-worker contiguous chunk length for `total` work items over at most
+/// `workers` workers. `slice.chunks(chunk_size(..))` and
+/// [`shard_spans`] cut on identical boundaries.
+pub(crate) fn chunk_size(total: usize, workers: usize) -> usize {
+    total.div_ceil(workers.max(1)).max(1)
+}
+
+/// Splits `total` work items into at most `workers` contiguous spans.
+pub(crate) fn shard_spans(total: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
+    let chunk = chunk_size(total, workers);
+    (0..total)
+        .step_by(chunk)
+        .map(|start| start..(start + chunk).min(total))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_spans_cover_everything_exactly_once() {
+        for total in [0usize, 1, 5, 12, 100] {
+            for workers in [1usize, 2, 3, 7, 16] {
+                let spans = shard_spans(total, workers);
+                let mut covered = 0;
+                let mut expected_start = 0;
+                for span in &spans {
+                    assert_eq!(span.start, expected_start, "spans must be contiguous");
+                    covered += span.len();
+                    expected_start = span.end;
+                }
+                assert_eq!(covered, total, "total={total} workers={workers}");
+                assert!(spans.len() <= workers.max(1));
+            }
+        }
+    }
+
+    #[test]
+    fn chunks_match_span_boundaries() {
+        for total in [1usize, 5, 12, 100] {
+            for workers in [1usize, 2, 3, 7, 16] {
+                let chunk = chunk_size(total, workers);
+                let items: Vec<usize> = (0..total).collect();
+                let spans = shard_spans(total, workers);
+                assert_eq!(items.chunks(chunk).count(), spans.len());
+                for (c, span) in items.chunks(chunk).zip(&spans) {
+                    assert_eq!(c.len(), span.len(), "total={total} workers={workers}");
+                    assert_eq!(c[0], span.start);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_threads_clamps_to_work() {
+        assert_eq!(resolve_threads(8, 3), 3);
+        assert_eq!(resolve_threads(2, 100), 2);
+        assert_eq!(resolve_threads(5, 0), 1);
+        assert!(resolve_threads(0, 64) >= 1);
+    }
+}

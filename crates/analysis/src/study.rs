@@ -49,12 +49,7 @@ impl StudyConfig {
     /// Resolves `threads: 0` to the machine's available parallelism and caps
     /// the worker count at `work_items` (no point spawning idle workers).
     fn resolve_threads(&self, work_items: usize) -> usize {
-        let requested = if self.threads == 0 {
-            thread::available_parallelism().map_or(4, |n| n.get())
-        } else {
-            self.threads
-        };
-        requested.clamp(1, work_items.max(1))
+        crate::shard::resolve_threads(self.threads, work_items)
     }
 }
 
@@ -155,34 +150,7 @@ fn merge_shards(mut shards: Vec<Shard>, expected: usize) -> (Vec<PairResult>, Ph
     (pairs, timings)
 }
 
-/// Splits `total` work items into at most `workers` contiguous spans.
-fn shard_spans(total: usize, workers: usize) -> Vec<std::ops::Range<usize>> {
-    let chunk = total.div_ceil(workers.max(1)).max(1);
-    (0..total)
-        .step_by(chunk)
-        .map(|start| start..(start + chunk).min(total))
-        .collect()
-}
-
-/// The work list `FleetStudy::run` synthesizes inside its workers, mirroring
-/// `Fleet::build`'s ordering: all devices of metric 0, then metric 1, ...
-fn standard_work(devices_per_metric: usize) -> Vec<(MetricProfile, usize)> {
-    MetricProfile::all()
-        .into_iter()
-        .flat_map(|profile| (0..devices_per_metric).map(move |d| (profile, d)))
-        .collect()
-}
-
-/// The paper's §3.2 population in `Fleet::paper_scale` order: 115 devices
-/// for each of the 14 metrics, plus one extra device for the first three
-/// metrics appended at the end (`14 × 115 + 3 = 1613`).
-fn paper_scale_work() -> Vec<(MetricProfile, usize)> {
-    let mut work = standard_work(115);
-    for (i, profile) in MetricProfile::all().into_iter().enumerate().take(3) {
-        work.push((profile, 115 + i));
-    }
-    work
-}
+use crate::shard::shard_spans;
 
 /// The completed study.
 #[derive(Debug, Clone)]
@@ -203,7 +171,7 @@ impl FleetStudy {
     /// analysis both scale across cores while peak memory stays one trace
     /// per worker.
     pub fn run(cfg: StudyConfig) -> FleetStudy {
-        Self::run_work(&standard_work(cfg.fleet.devices_per_metric), cfg)
+        Self::run_work(&cfg.fleet.work_list(), cfg)
     }
 
     /// Runs the study at the paper's scale — the full 1613 metric-device
@@ -220,7 +188,7 @@ impl FleetStudy {
             estimator,
             threads,
         };
-        Self::run_work(&paper_scale_work(), cfg)
+        Self::run_work(&sweetspot_telemetry::paper_scale_work(), cfg)
     }
 
     /// Shared synthesize-in-worker driver over an explicit work list.
@@ -554,31 +522,13 @@ mod tests {
     }
 
     #[test]
-    fn shard_spans_cover_everything_exactly_once() {
-        for total in [0usize, 1, 5, 12, 100] {
-            for workers in [1usize, 2, 3, 7, 16] {
-                let spans = shard_spans(total, workers);
-                let mut covered = 0;
-                let mut expected_start = 0;
-                for span in &spans {
-                    assert_eq!(span.start, expected_start, "spans must be contiguous");
-                    covered += span.len();
-                    expected_start = span.end;
-                }
-                assert_eq!(covered, total, "total={total} workers={workers}");
-                assert!(spans.len() <= workers.max(1));
-            }
-        }
-    }
-
-    #[test]
     fn paper_scale_work_list_mirrors_fleet_paper_scale() {
         // Pin the pair count and the exact (profile, device, seed) ordering
         // against Fleet::paper_scale without paying for 1613 estimations:
         // synthesizing the traces is cheap, analyzing them is not.
         let seed = 0xFEED_BEEF;
         let fleet = Fleet::paper_scale(seed);
-        let work = paper_scale_work();
+        let work = sweetspot_telemetry::paper_scale_work();
         assert_eq!(work.len(), fleet.len());
         assert_eq!(work.len(), 1613);
         for (&(profile, device_idx), trace) in work.iter().zip(fleet.traces()) {

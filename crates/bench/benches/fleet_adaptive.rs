@@ -1,0 +1,66 @@
+//! Fleet-level adaptive simulation benchmarks: what one shared-budget
+//! scheduling run costs, per policy, on a small fleet.
+//!
+//! Two rows bracket the engine: the uncapped baseline (pure controller
+//! stepping, no arbitration) and weighted water-filling under a binding
+//! budget (scheduling + deferral bookkeeping on top). Both run single
+//! threaded so the numbers track engine work, not thread scaling.
+
+use criterion::{criterion_group, Criterion};
+use std::hint::black_box;
+use sweetspot_analysis::fleetsim::{self, scheduler::SchedulerPolicy, FleetSimConfig};
+use sweetspot_telemetry::FleetConfig;
+use sweetspot_timeseries::Seconds;
+
+fn config() -> FleetSimConfig {
+    FleetSimConfig {
+        fleet: FleetConfig {
+            seed: 0xBE7C4,
+            devices_per_metric: 2,
+            trace_duration: Seconds::from_days(1.0),
+        },
+        days: 3.0,
+        threads: 1,
+        ..FleetSimConfig::default()
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = config();
+
+    // Print the headline once so the bench doubles as a reproduction run.
+    let uncapped = fleetsim::run_policy(&cfg, SchedulerPolicy::Uncapped, f64::INFINITY);
+    let steady = uncapped.ledger.accounts().last().map_or(0.0, |a| a.spent);
+    println!(
+        "fleet_adaptive: {} devices x {} epochs, uncapped coverage {:.4}, steady demand {:.0}/ep",
+        uncapped.devices, uncapped.epochs, uncapped.quality.mean_coverage, steady
+    );
+
+    c.bench_function("fleet_adaptive/uncapped_28dev_3ep", |b| {
+        b.iter(|| {
+            let out = fleetsim::run_policy(&cfg, SchedulerPolicy::Uncapped, f64::INFINITY);
+            black_box(out.quality.mean_coverage)
+        })
+    });
+
+    let budget = steady * 0.25;
+    c.bench_function("fleet_adaptive/waterfill_28dev_3ep_quarter_budget", |b| {
+        b.iter(|| {
+            let out = fleetsim::run_policy(&cfg, SchedulerPolicy::WaterFill, budget);
+            black_box(out.quality.mean_coverage)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = sweetspot_bench::experiment_criterion();
+    targets = bench
+}
+
+fn main() {
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

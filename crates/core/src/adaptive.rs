@@ -18,6 +18,38 @@
 //!   ramp up more quickly in the future": on re-entering probe mode the
 //!   controller jumps straight to the remembered maximum.
 //!
+//! ### Budget grants
+//!
+//! A fleet-level scheduler (see `analysis::fleetsim`) may not be able to
+//! afford the rate a controller asks for. [`AdaptiveSampler::step_granted`]
+//! runs one epoch at an externally *granted* rate over an externally fixed
+//! window (fleet epochs are lockstep — every device shares the scheduling
+//! quantum). When the grant is below the request the epoch is **throttled**:
+//!
+//! * the controller records the deferral ([`AdaptiveSampler::deferred_epochs`],
+//!   [`AdaptiveSampler::deferred_samples`]);
+//! * an **aliased** throttled epoch can only *raise* the next request
+//!   (re-ramping through the §4.2 memory), never lower it — the cut is the
+//!   evidence, not falling demand;
+//! * a throttled epoch the §4.1 dual-rate detector *verified clean* is
+//!   trusted like any other: the detector's whole job is to certify that
+//!   the current (here: granted) rate suffices, so the request adapts down
+//!   to `headroom × estimate` with the usual hysteresis — this is how a
+//!   budget-bound fleet sheds demand it never actually needed;
+//! * grants are clamped into `[min_rate, max_rate]`, and streams too short
+//!   for the §4.1 detector (fewer than 16 samples in the window) skip
+//!   verification rather than panic — the companion stream is then not
+//!   acquired (the epoch is not billed for it), and because nothing was
+//!   verified the request is **held**, not lowered: a folded spectrum can
+//!   look deceptively clean, and only the detector can tell;
+//! * likewise, a window with fewer than 64 primary samples is too short for
+//!   the §3.2 estimator to be meaningful (its flat-spectrum guard would cry
+//!   "aliased" on every noisy short window and ratchet the fleet to its
+//!   rate ceiling) — such epochs are **evidence-free**: the controller
+//!   samples at the granted rate, bills the cost, and holds its state. A
+//!   device that settles to a rate slower than the lockstep window can
+//!   resolve simply stops re-estimating until budget or demand move it.
+//!
 //! ### Headroom floor
 //!
 //! Steady-state verification samples a companion stream at `rate/φ`
@@ -40,6 +72,10 @@ pub const MIN_VERIFY_HEADROOM: f64 = 1.65;
 /// Minimum samples per epoch window for the detector/estimator to be
 /// meaningful; shorter windows are auto-extended.
 const MIN_EPOCH_SAMPLES: usize = 64;
+
+/// Minimum samples per stream for the §4.1 dual-rate detector (its hard
+/// precondition). Lockstep epochs below this skip verification.
+const MIN_DETECT_SAMPLES: usize = 16;
 
 /// Controller mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -109,6 +145,11 @@ pub struct EpochReport {
     pub duration: Seconds,
     /// Mode during this epoch.
     pub mode: Mode,
+    /// Rate the controller *asked* for (equals `primary_rate` unless a
+    /// scheduler throttled the epoch).
+    pub requested_rate: Hertz,
+    /// `true` when the granted rate was below the requested rate.
+    pub throttled: bool,
     /// Primary sampling rate used.
     pub primary_rate: Hertz,
     /// Companion (verification) rate used.
@@ -133,6 +174,8 @@ pub struct AdaptiveSampler {
     remembered_max: Option<Hertz>,
     low_streak: usize,
     epoch_index: usize,
+    deferred_epochs: usize,
+    deferred_samples: usize,
 }
 
 impl AdaptiveSampler {
@@ -169,6 +212,8 @@ impl AdaptiveSampler {
             remembered_max: None,
             low_streak: 0,
             epoch_index: 0,
+            deferred_epochs: 0,
+            deferred_samples: 0,
         }
     }
 
@@ -177,8 +222,15 @@ impl AdaptiveSampler {
         self.mode
     }
 
-    /// Rate the next epoch will use.
+    /// Rate the next epoch will use — equivalently, the rate the controller
+    /// *requests* from a fleet scheduler for its next epoch.
     pub fn current_rate(&self) -> Hertz {
+        self.rate
+    }
+
+    /// Alias of [`AdaptiveSampler::current_rate`] with scheduler vocabulary:
+    /// the rate this controller asks the shared budget for.
+    pub fn requested_rate(&self) -> Hertz {
         self.rate
     }
 
@@ -187,24 +239,117 @@ impl AdaptiveSampler {
         self.remembered_max
     }
 
+    /// Number of epochs whose grant was below the requested rate.
+    pub fn deferred_epochs(&self) -> usize {
+        self.deferred_epochs
+    }
+
+    /// Total primary samples the scheduler's cuts cost so far (requested
+    /// minus granted, summed over throttled epochs).
+    pub fn deferred_samples(&self) -> usize {
+        self.deferred_samples
+    }
+
     /// Runs one adaptation epoch starting at `start` and returns the report.
     pub fn step<S: SignalSource>(&mut self, source: &mut S, start: Seconds) -> EpochReport {
-        let primary = self.rate;
-        let secondary = companion_rate(primary);
+        let secondary = companion_rate(self.rate);
         // Extend the window until the *slower* stream holds enough samples.
         let min_duration = MIN_EPOCH_SAMPLES as f64 / secondary.value();
         let duration = Seconds(self.config.epoch.value().max(min_duration));
+        self.step_at(source, start, self.rate, duration)
+    }
+
+    /// Runs one epoch at an externally `granted` rate over a fixed lockstep
+    /// `window` (see the module docs on budget grants).
+    ///
+    /// `granted` is clamped into `[min_rate, max_rate]`; the window is used
+    /// as-is (no auto-extension — fleet epochs must stay aligned). With
+    /// `granted == requested_rate()` and a window at least as long as
+    /// [`AdaptiveSampler::step`] would pick, this is exactly `step`.
+    pub fn step_granted<S: SignalSource>(
+        &mut self,
+        source: &mut S,
+        start: Seconds,
+        granted: Hertz,
+        window: Seconds,
+    ) -> EpochReport {
+        assert!(window.value() > 0.0, "window must be positive");
+        let clamped = Hertz(
+            granted
+                .value()
+                .clamp(self.config.min_rate.value(), self.config.max_rate.value()),
+        );
+        self.step_at(source, start, clamped, window)
+    }
+
+    /// Shared epoch body: sample at `primary` over `duration`, verify and
+    /// estimate, then update the request for the next epoch.
+    fn step_at<S: SignalSource>(
+        &mut self,
+        source: &mut S,
+        start: Seconds,
+        primary: Hertz,
+        duration: Seconds,
+    ) -> EpochReport {
+        let requested = self.rate;
+        let throttled = primary.value() < requested.value() * (1.0 - 1e-9);
+        let secondary = companion_rate(primary);
+
+        let expected = |rate: Hertz| (duration.value() * rate.value()).round().max(1.0) as usize;
+        // The §4.1 detector needs 16+ samples in *both* streams; when the
+        // window cannot even nominally hold them the companion stream buys
+        // nothing, so it is not acquired at all.
+        let worth_verifying =
+            expected(primary) >= MIN_DETECT_SAMPLES && expected(secondary) >= MIN_DETECT_SAMPLES;
 
         let fast = source.sample(start, primary, duration);
-        let slow = source.sample(start, secondary, duration);
-        let samples_taken = fast.len() + slow.len();
-
+        let mut samples_taken = fast.len();
         // Share the estimator's planner so the detector reuses the same
-        // cached twiddle and window tables every epoch.
-        let verdict =
-            detect_aliasing_with(self.estimator.planner_mut(), &fast, &slow, self.config.detector);
-        let estimate = self.estimator.estimate_series(&fast);
-        let aliased = verdict.aliased || estimate.is_aliased();
+        // cached twiddle and window tables every epoch. The detector's
+        // preconditions are re-checked on the *actual* series lengths: a
+        // source that cleans/re-grids (e.g. a simulated device with sample
+        // loss) can return slightly fewer samples than the window promised.
+        let mut verified = false;
+        let mut verdict_aliased = false;
+        if worth_verifying {
+            let slow = source.sample(start, secondary, duration);
+            samples_taken += slow.len();
+            if fast.len() >= MIN_DETECT_SAMPLES && slow.len() >= MIN_DETECT_SAMPLES {
+                verified = true;
+                verdict_aliased = detect_aliasing_with(
+                    self.estimator.planner_mut(),
+                    &fast,
+                    &slow,
+                    self.config.detector,
+                )
+                .aliased;
+            }
+        }
+        // The estimator is only meaningful with a full window's worth of
+        // samples (see module docs); a short window contributes no evidence.
+        let estimator_trusted = fast.len() >= MIN_EPOCH_SAMPLES;
+        let mut estimate = if estimator_trusted {
+            self.estimator.estimate_series(&fast)
+        } else {
+            NyquistEstimate::Aliased
+        };
+        if verified && !verdict_aliased && estimator_trusted && estimate.is_aliased() {
+            // The flat-spectrum guard says "aliased" but an actual dual-rate
+            // verification ran and found the two spectra consistent: the
+            // flatness is noise, not folding (§4.1 is the arbiter of
+            // aliasing — that is its whole job). The signal has no
+            // structured content above the window's resolution, so floor
+            // the estimate at one FFT bin (§3.2's own resolution floor)
+            // instead of probing a noise floor all the way to `max_rate`.
+            estimate = NyquistEstimate::Rate(Hertz(2.0 * primary.value() / fast.len() as f64));
+        }
+        let aliased = verdict_aliased || (estimator_trusted && estimate.is_aliased());
+
+        if throttled {
+            self.deferred_epochs += 1;
+            self.deferred_samples +=
+                ((requested.value() - primary.value()) * duration.value()).round() as usize;
+        }
 
         let mode_now = self.mode;
         if let NyquistEstimate::Rate(r) = estimate {
@@ -230,6 +375,10 @@ impl AdaptiveSampler {
                 escalated
             };
             Hertz(target.clamp(self.config.min_rate.value(), self.config.max_rate.value()))
+        } else if !estimator_trusted {
+            // Evidence-free epoch (window too short at this rate): hold the
+            // request and every piece of controller state.
+            requested
         } else {
             let nyq = estimate.rate().expect("not aliased").value();
             let target = (nyq * self.config.headroom)
@@ -247,6 +396,11 @@ impl AdaptiveSampler {
                         // its job): follow it up immediately.
                         self.low_streak = 0;
                         Hertz(target)
+                    } else if throttled && !verified {
+                        // Unverifiable cut epoch: a folded spectrum can look
+                        // clean, so hold the request and freeze the decrease
+                        // hysteresis until the detector can run again.
+                        requested
                     } else if target < primary.value() * self.config.decrease_threshold {
                         self.low_streak += 1;
                         if self.low_streak >= self.config.decrease_patience {
@@ -262,12 +416,23 @@ impl AdaptiveSampler {
                 }
             }
         };
+        // A throttled epoch that aliased — or could not run the detector at
+        // all — may raise the request but never lowers it. A *verified*
+        // throttled epoch is trusted (the detector certified the cut rate),
+        // so its `next` stands as computed.
+        let next = if throttled && (aliased || !verified) {
+            Hertz(next.value().max(requested.value()))
+        } else {
+            next
+        };
 
         let report = EpochReport {
             index: self.epoch_index,
             start,
             duration,
             mode: mode_now,
+            requested_rate: requested,
+            throttled,
             primary_rate: primary,
             secondary_rate: secondary,
             aliased,
@@ -530,5 +695,179 @@ mod tests {
             probe_multiplier: 1.0,
             ..AdaptiveConfig::default()
         });
+    }
+
+    #[test]
+    fn step_granted_full_grant_matches_step_exactly() {
+        // With grant == request and the lockstep window equal to what step()
+        // would pick, the budget-aware path must be bit-identical to the
+        // classic controller (the fleetsim uncapped-policy guarantee).
+        let edge = 0.5;
+        let mut src_a = FunctionSource::new(band_signal(edge));
+        let mut src_b = FunctionSource::new(band_signal(edge));
+        let mut classic = AdaptiveSampler::new(config(0.3, 2000.0));
+        let mut granted = AdaptiveSampler::new(config(0.3, 2000.0));
+        let mut t = Seconds::ZERO;
+        for _ in 0..12 {
+            let a = classic.step(&mut src_a, t);
+            let window = a.duration;
+            let b = granted.step_granted(&mut src_b, t, granted.requested_rate(), window);
+            assert_eq!(a, b);
+            t = t + a.duration;
+        }
+        assert_eq!(classic.deferred_epochs(), 0);
+        assert_eq!(granted.deferred_epochs(), 0);
+    }
+
+    #[test]
+    fn remembered_max_reramps_after_forced_cut() {
+        // Settle on a signal, force a deep cut for a few epochs, then restore
+        // the grant: the remembered maximum must carry the request straight
+        // back up instead of re-climbing the probe ladder from the cut rate.
+        let edge = 0.5; // true Nyquist sampling rate = 1.0 Hz
+        let mut source = FunctionSource::new(band_signal(edge));
+        let mut ctl = AdaptiveSampler::new(config(0.3, 2000.0));
+        let mut t = Seconds::ZERO;
+        // Reach steady state.
+        for _ in 0..12 {
+            let r = ctl.step(&mut source, t);
+            t = t + r.duration;
+        }
+        assert_eq!(ctl.mode(), Mode::Steady);
+        let settled = ctl.requested_rate();
+        let remembered = ctl.remembered_max().expect("steady implies an estimate");
+        let window = Seconds(2000.0);
+
+        // Forced cut: grant an eighth of the request.
+        let cut = Hertz(settled.value() / 8.0);
+        let before = ctl.deferred_epochs();
+        for _ in 0..3 {
+            let r = ctl.step_granted(&mut source, t, cut, window);
+            assert!(r.throttled, "grant below request must be recorded");
+            assert!(
+                r.next_rate.value() >= settled.value() * (1.0 - 1e-9),
+                "throttled epoch must not lower the request: {} < {}",
+                r.next_rate,
+                settled
+            );
+            t = t + window;
+        }
+        assert_eq!(ctl.deferred_epochs(), before + 3);
+        assert!(ctl.deferred_samples() > 0);
+
+        // Budget restored: the very next fully-granted epoch runs at (or
+        // above) the remembered requirement — no probe ladder.
+        let r = ctl.step_granted(&mut source, t, ctl.requested_rate(), window);
+        assert!(!r.throttled);
+        assert!(
+            r.primary_rate.value() >= remembered.value(),
+            "re-ramp must reuse the Nyquist memory: {} < {}",
+            r.primary_rate,
+            remembered
+        );
+    }
+
+    #[test]
+    fn oscillating_estimates_never_defeat_decrease_patience() {
+        // Estimates that alternate low/high must keep resetting the patience
+        // counter: the rate only drops after `decrease_patience` *consecutive*
+        // low epochs, so an oscillating signal holds the settled rate.
+        let patience = 3;
+        // Alternate the high tone on/off every 4000 s epoch: epochs see
+        // demand flip between ~0.1 Hz and ~1.65 Hz targets.
+        let mut source = FunctionSource::new(|t: f64| {
+            let base = (2.0 * PI * 0.01 * t).sin();
+            let epoch = (t / 4000.0).floor() as i64;
+            if epoch % 2 == 0 {
+                base + 0.8 * (2.0 * PI * 0.45 * t).sin()
+            } else {
+                base
+            }
+        });
+        let mut ctl = AdaptiveSampler::new(AdaptiveConfig {
+            initial_rate: Hertz(2.0),
+            min_rate: Hertz(1e-4),
+            max_rate: Hertz(64.0),
+            epoch: Seconds(4000.0),
+            decrease_patience: patience,
+            ..AdaptiveConfig::default()
+        });
+        let reports = ctl.run(&mut source, Seconds(120_000.0));
+        let steady: Vec<&EpochReport> =
+            reports.iter().filter(|r| r.mode == Mode::Steady).collect();
+        assert!(steady.len() >= 8, "need a settled stretch, got {}", steady.len());
+        // No steady epoch may cut the rate by more than the hysteresis
+        // threshold in one step without `patience` low epochs before it.
+        for w in steady.windows(patience) {
+            let dropped = w
+                .last()
+                .unwrap()
+                .next_rate
+                .value()
+                < w[0].primary_rate.value() * 0.7;
+            if dropped {
+                // A drop is only legitimate if every epoch in the window saw
+                // a low estimate — oscillation must have prevented that.
+                let all_low = w.iter().all(|r| {
+                    r.estimate
+                        .is_some_and(|e| e.value() * MIN_VERIFY_HEADROOM < r.primary_rate.value() * 0.7)
+                });
+                assert!(
+                    all_low,
+                    "rate dropped without {patience} consecutive low epochs"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grant_clamps_to_min_and_max_rate() {
+        let edge = 0.05;
+        let mut source = FunctionSource::new(band_signal(edge));
+        let mut ctl = AdaptiveSampler::new(AdaptiveConfig {
+            initial_rate: Hertz(1.0),
+            min_rate: Hertz(0.02),
+            max_rate: Hertz(8.0),
+            epoch: Seconds(5000.0),
+            ..AdaptiveConfig::default()
+        });
+        let window = Seconds(5000.0);
+        // Settle first so there is an estimate to undercut.
+        let mut t = Seconds::ZERO;
+        for _ in 0..4 {
+            let r = ctl.step_granted(&mut source, t, ctl.requested_rate(), window);
+            t = t + r.duration;
+        }
+        let estimate = ctl.remembered_max().expect("settled");
+
+        // A grant far below MIN_VERIFY_HEADROOM × estimate — and below
+        // min_rate — must clamp up to min_rate, not run at the raw grant.
+        let starve = Hertz((estimate.value() * MIN_VERIFY_HEADROOM) / 1e6);
+        assert!(starve.value() < 0.02);
+        let r = ctl.step_granted(&mut source, t, starve, window);
+        assert_eq!(r.primary_rate, Hertz(0.02), "grant must clamp to min_rate");
+        assert!(r.throttled);
+        t = t + window;
+
+        // An absurdly high grant clamps to max_rate and is not throttling.
+        let r = ctl.step_granted(&mut source, t, Hertz(1e9), window);
+        assert_eq!(r.primary_rate, Hertz(8.0), "grant must clamp to max_rate");
+        assert!(!r.throttled, "a grant above the request is not a cut");
+    }
+
+    #[test]
+    fn unverifiable_epoch_skips_companion_stream() {
+        // A window too short for 16 detector samples must not panic, must
+        // not bill for a companion stream, and must stay conservative.
+        let mut source = FunctionSource::new(band_signal(0.5));
+        let mut ctl = AdaptiveSampler::new(config(0.3, 2000.0));
+        // 0.02 Hz over 600 s = 12 primary samples < 16.
+        let r = ctl.step_granted(&mut source, Seconds::ZERO, Hertz(0.02), Seconds(600.0));
+        assert_eq!(r.samples_taken, 12, "companion must not be acquired");
+        assert!(r.throttled);
+        assert!(
+            r.next_rate.value() >= 0.3 * (1.0 - 1e-9),
+            "request must survive the unverifiable epoch"
+        );
     }
 }

@@ -192,9 +192,14 @@ pub fn detect_aliasing_with(
 /// non-integer ratio: `primary / φ` where φ ≈ 1.618 (the most irrational
 /// ratio, maximizing fold separation).
 pub fn companion_rate(primary: Hertz) -> Hertz {
-    const GOLDEN: f64 = 1.618_033_988_749_895;
-    Hertz(primary.value() / GOLDEN)
+    Hertz(primary.value() / COMPANION_RATIO)
 }
+
+/// The primary-to-companion rate ratio φ (golden ratio — the "most
+/// irrational" choice, maximizing fold separation). Exported so cost models
+/// can price the verification stream consistently: continuous dual-rate
+/// verification costs `1 + 1/φ` samples per primary-stream sample.
+pub const COMPANION_RATIO: f64 = 1.618_033_988_749_895;
 
 #[cfg(test)]
 mod tests {

@@ -7,6 +7,7 @@
 //! [`CostReport`] aggregates a run.
 
 use serde::{Deserialize, Serialize};
+use sweetspot_timeseries::{Hertz, Seconds};
 
 /// Per-unit prices of the four cost aspects. Units are abstract "cost units"
 /// — only ratios matter for the sweet-spot analysis.
@@ -25,6 +26,26 @@ pub struct CostModel {
     pub analysis_per_sample: f64,
     /// Retention period in days (how long stored bytes accrue cost).
     pub retention_days: f64,
+}
+
+impl CostModel {
+    /// Marginal cost of one sample that is collected, shipped, stored for
+    /// the full retention period, and analyzed — the unit price a fleet
+    /// scheduler converts its shared budget with.
+    pub fn cost_per_sample(&self) -> f64 {
+        self.collection_per_sample
+            + self.bytes_per_sample * self.network_per_byte
+            + self.bytes_per_sample * self.retention_days * self.storage_per_byte_day
+            + self.analysis_per_sample
+    }
+
+    /// Cost units of polling one stream at `rate` over `window` (collect +
+    /// ship + store + analyze every sample). Fractional on purpose: the
+    /// scheduler prices *rates*; the ledger later records the integral
+    /// sample counts actually taken.
+    pub fn rate_cost(&self, rate: Hertz, window: Seconds) -> f64 {
+        rate.value() * window.value() * self.cost_per_sample()
+    }
 }
 
 impl Default for CostModel {
@@ -133,6 +154,27 @@ mod tests {
         assert_eq!(full.network_cost, thin.network_cost);
         assert!(thin.storage_cost < full.storage_cost / 50.0);
         assert!(thin.analysis_cost < full.analysis_cost / 50.0);
+    }
+
+    #[test]
+    fn cost_per_sample_sums_all_four_aspects() {
+        let m = CostModel::default();
+        // 1 collection + 32 B × 0.01 network + 32 B × 90 d × 0.001 storage
+        // + 0.1 analysis.
+        let expected = 1.0 + 0.32 + 2.88 + 0.1;
+        assert!((m.cost_per_sample() - expected).abs() < 1e-12);
+        // Consistency with the report path: N samples collected and stored.
+        let r = CostReport::from_counts(&m, 500, 500);
+        assert!((r.total() - 500.0 * m.cost_per_sample()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_cost_scales_with_rate_and_window() {
+        let m = CostModel::default();
+        let base = m.rate_cost(Hertz(0.01), Seconds(3600.0));
+        assert!((base - 36.0 * m.cost_per_sample()).abs() < 1e-9);
+        assert!((m.rate_cost(Hertz(0.02), Seconds(3600.0)) - 2.0 * base).abs() < 1e-9);
+        assert!((m.rate_cost(Hertz(0.01), Seconds(7200.0)) - 2.0 * base).abs() < 1e-9);
     }
 
     #[test]

@@ -33,7 +33,9 @@ pub mod storage;
 pub mod sweep;
 pub mod system;
 
+pub use collector::{EpochAccount, EpochLedger};
 pub use cost::{CostModel, CostReport};
+pub use poller::FleetMember;
 pub use quality::QualityReport;
 pub use system::{MonitoringSystem, Policy, RunOutcome};
 

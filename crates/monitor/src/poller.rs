@@ -12,9 +12,14 @@
 //!   drop.
 //! * [`AdaptivePlan`] — §4.2's dynamic sampler: acquisition itself runs at
 //!   the adapted rate (plus the §4.1 verification stream).
+//!
+//! [`FleetMember`] packages the adaptive controller with its device for
+//! *lockstep* fleet simulation: an external scheduler grants each member a
+//! rate per shared epoch (see `analysis::fleetsim`).
 
 use crate::device::{DeviceSource, SimDevice};
 use sweetspot_core::adaptive::{AdaptiveConfig, AdaptiveSampler, EpochReport};
+use sweetspot_telemetry::{DeviceTrace, MetricKind};
 use sweetspot_core::estimator::{NyquistConfig, NyquistEstimator};
 use sweetspot_core::reconstruct::{decimation_factor, downsample};
 use sweetspot_timeseries::{Hertz, Seconds};
@@ -121,10 +126,74 @@ impl AdaptivePlan {
     }
 }
 
+/// One device of a budget-scheduled fleet: the §4.2 controller paired with
+/// its simulated device plus per-device accounting, stepped one shared
+/// epoch at a time by an external scheduler.
+///
+/// The member's controller *requests* a rate
+/// ([`FleetMember::requested_rate`]); the scheduler decides the grant and
+/// calls [`FleetMember::step_epoch`]. Everything a member does is a pure
+/// function of its trace, its config and the grant sequence, so a sharded
+/// fleet simulation stays byte-identical for any thread count.
+pub struct FleetMember {
+    device: SimDevice,
+    sampler: AdaptiveSampler,
+    /// Fleet-unique index (position in the fleet work list).
+    index: usize,
+}
+
+impl FleetMember {
+    /// Wraps `trace` with a fresh controller.
+    pub fn new(index: usize, trace: DeviceTrace, config: AdaptiveConfig) -> Self {
+        FleetMember {
+            device: SimDevice::new(trace),
+            sampler: AdaptiveSampler::new(config),
+            index,
+        }
+    }
+
+    /// Position in the fleet work list.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The metric this member reports.
+    pub fn kind(&self) -> MetricKind {
+        self.device.trace().profile().kind
+    }
+
+    /// Rate the controller wants for the next epoch.
+    pub fn requested_rate(&self) -> Hertz {
+        self.sampler.requested_rate()
+    }
+
+    /// True Nyquist sampling rate of the underlying signal (ground truth,
+    /// for quality scoring only — no controller ever sees it).
+    pub fn true_nyquist_rate(&self) -> Hertz {
+        self.device.trace().true_nyquist_rate()
+    }
+
+    /// The controller (deferral counters, mode, memory).
+    pub fn sampler(&self) -> &AdaptiveSampler {
+        &self.sampler
+    }
+
+    /// The simulated device.
+    pub fn device(&self) -> &SimDevice {
+        &self.device
+    }
+
+    /// Runs one lockstep epoch at the scheduler's `granted` rate.
+    pub fn step_epoch(&mut self, start: Seconds, granted: Hertz, window: Seconds) -> EpochReport {
+        let mut source = DeviceSource(&mut self.device);
+        self.sampler.step_granted(&mut source, start, granted, window)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sweetspot_telemetry::{DeviceTrace, MetricKind, MetricProfile};
+    use sweetspot_telemetry::MetricProfile;
 
     fn device() -> SimDevice {
         SimDevice::new(DeviceTrace::synthesize(
@@ -184,5 +253,61 @@ mod tests {
         // Stored samples must be time-ordered enough to form a series later.
         let collected_sum: usize = epochs.iter().map(|e| e.samples_taken).sum();
         assert_eq!(run.collected, collected_sum);
+    }
+
+    #[test]
+    fn fleet_member_full_grants_reproduce_adaptive_plan() {
+        // A member granted exactly what it requests, over windows at least
+        // as long as the classic controller would pick, must walk the same
+        // rate trajectory as AdaptivePlan's standalone sampler.
+        let config = AdaptiveConfig {
+            initial_rate: Hertz(1.0 / 300.0),
+            min_rate: Hertz(1e-6),
+            max_rate: Hertz(1.0),
+            epoch: Seconds::from_hours(12.0),
+            ..AdaptiveConfig::default()
+        };
+        let trace = || {
+            DeviceTrace::synthesize(MetricProfile::for_kind(MetricKind::Temperature), 1, 7)
+        };
+        let reference = AdaptivePlan { config }
+            .run(&mut SimDevice::new(trace()), Seconds::from_days(4.0));
+        let mut member = FleetMember::new(0, trace(), config);
+        let mut t = Seconds::ZERO;
+        let mut epochs = Vec::new();
+        while t.value() < Seconds::from_days(4.0).value() {
+            let ref_epoch = &reference.epochs.as_ref().unwrap()[epochs.len()];
+            let r = member.step_epoch(t, member.requested_rate(), ref_epoch.duration);
+            t = t + r.duration;
+            epochs.push(r);
+        }
+        assert_eq!(reference.epochs.as_ref().unwrap(), &epochs);
+        assert_eq!(member.sampler().deferred_epochs(), 0);
+    }
+
+    #[test]
+    fn fleet_member_records_deferrals_under_cuts() {
+        let config = AdaptiveConfig {
+            initial_rate: Hertz(1.0 / 300.0),
+            min_rate: Hertz(1e-6),
+            max_rate: Hertz(1.0),
+            epoch: Seconds::from_hours(12.0),
+            ..AdaptiveConfig::default()
+        };
+        let trace =
+            DeviceTrace::synthesize(MetricProfile::for_kind(MetricKind::Temperature), 1, 7);
+        let nyquist = trace.true_nyquist_rate();
+        let mut member = FleetMember::new(3, trace, config);
+        assert_eq!(member.index(), 3);
+        assert_eq!(member.true_nyquist_rate(), nyquist);
+        let window = Seconds::from_hours(12.0);
+        let grant = Hertz(member.requested_rate().value() / 4.0);
+        let r = member.step_epoch(Seconds::ZERO, grant, window);
+        assert!(r.throttled);
+        assert_eq!(member.sampler().deferred_epochs(), 1);
+        assert!(
+            member.requested_rate().value() >= r.requested_rate.value() * (1.0 - 1e-9),
+            "request must survive the cut"
+        );
     }
 }

@@ -34,6 +34,37 @@ impl Default for FleetConfig {
     }
 }
 
+impl FleetConfig {
+    /// The fleet's work list — `(profile, device_idx)` pairs in
+    /// [`Fleet::build`] order (all devices of metric 0, then metric 1, …).
+    /// Engines that synthesize devices inside their workers iterate this
+    /// instead of materializing the whole [`Fleet`].
+    pub fn work_list(&self) -> Vec<(MetricProfile, usize)> {
+        standard_work(self.devices_per_metric)
+    }
+}
+
+/// `(profile, device_idx)` pairs for `devices_per_metric` devices of each of
+/// the 14 metrics, in [`Fleet::build`] order.
+fn standard_work(devices_per_metric: usize) -> Vec<(MetricProfile, usize)> {
+    MetricProfile::all()
+        .into_iter()
+        .flat_map(|profile| (0..devices_per_metric).map(move |d| (profile, d)))
+        .collect()
+}
+
+/// The paper's §3.2 population in [`Fleet::paper_scale`] order: 115 devices
+/// for each of the 14 metrics, plus one extra device for the first three
+/// metrics appended at the end (`14 × 115 + 3 = 1613`).
+pub fn paper_scale_work() -> Vec<(MetricProfile, usize)> {
+    let mut work = standard_work(115);
+    for (i, profile) in MetricProfile::all().into_iter().enumerate().take(3) {
+        work.push((profile, 115 + i));
+    }
+    debug_assert_eq!(work.len(), PAPER_PAIR_COUNT);
+    work
+}
+
 /// A population of synthetic `(metric, device)` traces.
 #[derive(Debug, Clone)]
 pub struct Fleet {
@@ -178,6 +209,26 @@ mod tests {
         names.sort();
         names.dedup();
         assert_eq!(names.len(), fleet.len());
+    }
+
+    #[test]
+    fn work_lists_mirror_fleet_construction() {
+        let config = FleetConfig {
+            seed: 17,
+            devices_per_metric: 4,
+            trace_duration: Seconds::from_days(1.0),
+        };
+        let fleet = Fleet::build(config);
+        let work = config.work_list();
+        assert_eq!(work.len(), fleet.len());
+        for (&(profile, idx), trace) in work.iter().zip(fleet.traces()) {
+            assert_eq!(
+                &DeviceTrace::synthesize(profile, idx, config.seed),
+                trace,
+                "work list diverges from Fleet::build at {profile:?}/{idx}"
+            );
+        }
+        assert_eq!(paper_scale_work().len(), PAPER_PAIR_COUNT);
     }
 
     #[test]

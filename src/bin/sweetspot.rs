@@ -8,13 +8,26 @@
 //! sweetspot track <trace.csv> [--window SECONDS] [--step SECONDS]
 //!     Moving-window Nyquist tracking (the paper's Figure 7) over a trace.
 //!
-//! sweetspot study [--devices N] [--seed S] [--threads T] [--paper-scale] [--timing]
+//! sweetspot study [--devices N] [--seed S] [--threads T] [--paper-scale] [--timing] [--json]
 //!     Run the §3.2 fleet study on the synthetic fleet and print Figure 1
 //!     plus the headline statistics. `--threads 0` (the default) uses all
 //!     available cores; any thread count produces byte-identical output.
 //!     `--paper-scale` analyzes the paper's full 1613 metric-device pairs
 //!     (115 devices/metric + 3 extras; overrides `--devices`). `--timing`
 //!     prints the synthesis/clean/estimate wall-clock split to stderr.
+//!     `--json` emits the results as JSON on stdout instead of tables.
+//!
+//! sweetspot fleetsim [--budget X] [--policy P] [--days D] [--devices N] [--seed S]
+//!                    [--threads T] [--paper-scale] [--timing] [--json]
+//!     Fleet-level adaptive simulation: every device's §4.2 controller under
+//!     one shared collection budget, with a cross-device scheduler deciding
+//!     epoch-by-epoch poll rates. Defaults to the paper-scale 1613-pair
+//!     fleet (`--paper-scale` says so explicitly; `--devices N` simulates N
+//!     devices/metric instead — combining the two is an error). Without
+//!     `--budget` it sweeps a budget ladder and prints the cost-vs-quality
+//!     frontier per policy; with `--budget X` (cost units/epoch) it runs one
+//!     point. `--policy` picks one of uncapped|uniform|fair|waterfill
+//!     (default: all). Output is byte-identical for any `--threads T`.
 //!
 //! sweetspot demo [--metric NAME] [--days D] [--seed S]
 //!     Emit a synthetic production trace as CSV on stdout (pipe it back
@@ -22,10 +35,13 @@
 //! ```
 //!
 //! Argument parsing is deliberately dependency-free: flags are
-//! `--name value` pairs after the positional arguments.
+//! `--name value` pairs after the positional arguments. Unknown flags are
+//! rejected with a diagnostic and a nonzero exit.
 
 use std::process::ExitCode;
 use sweetspot::analysis::experiments::{fig1, headline};
+use sweetspot::analysis::fleetsim::{self, scheduler::SchedulerPolicy, FleetSimConfig};
+use sweetspot::analysis::report::json::{JsonArray, JsonObject};
 use sweetspot::analysis::study::{FleetStudy, StudyConfig};
 use sweetspot::core::recommend::{recommend, Action, RecommendConfig};
 use sweetspot::core::tracker::{summarize, track, TrackerConfig};
@@ -43,6 +59,7 @@ fn main() -> ExitCode {
         "analyze" => cmd_analyze(&args[1..]),
         "track" => cmd_track(&args[1..]),
         "study" => cmd_study(&args[1..]),
+        "fleetsim" => cmd_fleetsim(&args[1..]),
         "demo" => cmd_demo(&args[1..]),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -63,11 +80,33 @@ const USAGE: &str = "\
 sweetspot — Nyquist-guided monitoring-rate analysis (HotNets'21 reproduction)
 
 USAGE:
-  sweetspot analyze <trace.csv> [--cutoff F] [--headroom F] [--interval SECONDS]
-  sweetspot track   <trace.csv> [--window SECONDS] [--step SECONDS]
-  sweetspot study   [--devices N] [--seed S] [--threads T] [--paper-scale] [--timing]
-  sweetspot demo    [--metric NAME] [--days D] [--seed S]
+  sweetspot analyze  <trace.csv> [--cutoff F] [--headroom F] [--interval SECONDS]
+  sweetspot track    <trace.csv> [--window SECONDS] [--step SECONDS]
+  sweetspot study    [--devices N] [--seed S] [--threads T] [--paper-scale] [--timing] [--json]
+  sweetspot fleetsim [--budget X] [--policy uncapped|uniform|fair|waterfill] [--days D]
+                     [--devices N] [--seed S] [--threads T] [--paper-scale] [--timing] [--json]
+  sweetspot demo     [--metric NAME] [--days D] [--seed S]
   sweetspot help";
+
+/// Rejects flags no command knows about: a typo must fail loudly, not
+/// silently fall back to a default.
+fn reject_unknown_flags(
+    flags: &[(String, String)],
+    known: &[&str],
+    command: &str,
+) -> Result<(), String> {
+    for (name, _) in flags {
+        if !known.contains(&name.as_str()) {
+            let mut valid: Vec<String> = known.iter().map(|k| format!("--{k}")).collect();
+            valid.sort();
+            return Err(format!(
+                "unknown flag --{name} for `sweetspot {command}` (valid: {})",
+                valid.join(", ")
+            ));
+        }
+    }
+    Ok(())
+}
 
 /// Parses `--name value` flag pairs after `positional` leading arguments.
 fn flags(args: &[String], positional: usize) -> Result<Vec<(String, String)>, String> {
@@ -99,6 +138,23 @@ fn flag_u64(flags: &[(String, String)], name: &str, default: u64) -> Result<u64,
     }
 }
 
+/// Parses an *optional* `--name value` flag (no default): `Ok(None)` when
+/// absent, a parse diagnostic mentioning `what` when malformed.
+fn flag_opt<T: std::str::FromStr>(
+    flags: &[(String, String)],
+    name: &str,
+    what: &str,
+) -> Result<Option<T>, String> {
+    flags
+        .iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| {
+            v.parse::<T>()
+                .map_err(|_| format!("--{name} wants {what}, got {v:?}"))
+        })
+        .transpose()
+}
+
 fn load_trace(path: &str, interval: Option<f64>) -> Result<RegularSeries, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let raw = ingest::parse_csv(&text).map_err(|e| format!("{path}: {e}"))?;
@@ -118,6 +174,7 @@ fn load_trace(path: &str, interval: Option<f64>) -> Result<RegularSeries, String
 fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("analyze needs a trace path")?;
     let flags = flags(args, 1)?;
+    reject_unknown_flags(&flags, &["cutoff", "headroom", "interval"], "analyze")?;
     let cutoff = flag_f64(&flags, "cutoff", 0.99)?;
     let headroom = flag_f64(&flags, "headroom", 1.25)?;
     let interval = flags
@@ -170,6 +227,7 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
 fn cmd_track(args: &[String]) -> Result<(), String> {
     let path = args.first().ok_or("track needs a trace path")?;
     let flags = flags(args, 1)?;
+    reject_unknown_flags(&flags, &["window", "step"], "track")?;
     let window = flag_f64(&flags, "window", 6.0 * 3600.0)?;
     let step = flag_f64(&flags, "step", 300.0)?;
     let series = load_trace(path, None)?;
@@ -221,7 +279,9 @@ fn take_switch(args: &[String], name: &str) -> (bool, Vec<String>) {
 fn cmd_study(args: &[String]) -> Result<(), String> {
     let (paper_scale, rest) = take_switch(args, "--paper-scale");
     let (timing, rest) = take_switch(&rest, "--timing");
+    let (json, rest) = take_switch(&rest, "--json");
     let flags = flags(&rest, 0)?;
+    reject_unknown_flags(&flags, &["devices", "seed", "threads"], "study")?;
     let devices = flag_u64(&flags, "devices", 40)? as usize;
     let seed = flag_u64(&flags, "seed", 0x5EED_CAFE)?;
     let threads = flag_u64(&flags, "threads", 0)? as usize;
@@ -239,8 +299,12 @@ fn cmd_study(args: &[String]) -> Result<(), String> {
         };
         FleetStudy::run(cfg)
     };
-    println!("{}", fig1::from_study(&study).render());
-    println!("{}", headline::from_study(&study).render());
+    if json {
+        println!("{}", study_json(&study));
+    } else {
+        println!("{}", fig1::from_study(&study).render());
+        println!("{}", headline::from_study(&study).render());
+    }
     if timing {
         // stderr, not stdout: timing varies run to run, and stdout must stay
         // byte-identical across thread counts (CI compares it verbatim).
@@ -263,8 +327,125 @@ fn cmd_study(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// The `--json` rendering of a fleet study: headline statistics plus the
+/// per-metric Figure 1 fractions.
+fn study_json(study: &FleetStudy) -> String {
+    let f1 = fig1::from_study(study);
+    let h = headline::from_study(study);
+    let s = &h.summary;
+    let mut per_metric = JsonArray::new();
+    for (kind, fraction) in &f1.rows {
+        let mut row = JsonObject::new();
+        row.field_str("metric", kind.name());
+        row.field_num("oversampled_fraction", *fraction);
+        per_metric.push_raw(&row.finish());
+    }
+    let mut root = JsonObject::new();
+    root.field_num("pairs", s.pairs as f64);
+    root.field_num("oversampled_fraction", s.oversampled_fraction);
+    root.field_num("undersampled_fraction", s.undersampled_fraction);
+    root.field_num("reducible_10x", s.reducible_10x);
+    root.field_num("reducible_100x", s.reducible_100x);
+    root.field_num("reducible_1000x", s.reducible_1000x);
+    match h.temperature_range {
+        Some((lo, hi)) => {
+            let mut range = JsonArray::new();
+            range.push_num(lo).push_num(hi);
+            root.field_raw("temperature_nyquist_range_hz", &range.finish());
+        }
+        None => {
+            root.field_null("temperature_nyquist_range_hz");
+        }
+    }
+    root.field_raw("per_metric", &per_metric.finish());
+    root.finish()
+}
+
+fn cmd_fleetsim(args: &[String]) -> Result<(), String> {
+    let (paper_scale, rest) = take_switch(args, "--paper-scale");
+    let (timing, rest) = take_switch(&rest, "--timing");
+    let (json, rest) = take_switch(&rest, "--json");
+    let flags = flags(&rest, 0)?;
+    reject_unknown_flags(
+        &flags,
+        &["budget", "policy", "days", "devices", "seed", "threads"],
+        "fleetsim",
+    )?;
+    let days = flag_f64(&flags, "days", 10.0)?;
+    if days <= 0.0 {
+        return Err("--days must be positive".into());
+    }
+    let seed = flag_u64(&flags, "seed", 0x5EED_CAFE)?;
+    let threads = flag_u64(&flags, "threads", 0)? as usize;
+    let devices = flag_opt::<usize>(&flags, "devices", "an integer")?;
+    let budget = flag_opt::<f64>(&flags, "budget", "a non-negative number")?;
+    if budget.is_some_and(|b| b.is_nan() || b < 0.0) {
+        return Err("--budget wants a non-negative number".into());
+    }
+    let policy = flag_opt::<String>(&flags, "policy", "a policy name")?
+        .map(|v| {
+            SchedulerPolicy::parse(&v).ok_or_else(|| {
+                format!(
+                    "unknown policy {v:?}; valid: {}",
+                    SchedulerPolicy::ALL.map(|p| p.name()).join("|")
+                )
+            })
+        })
+        .transpose()?;
+
+    if paper_scale && devices.is_some() {
+        return Err("--paper-scale and --devices conflict: the paper-scale fleet \
+                    is exactly 1613 pairs (115/metric + 3 extras)"
+            .into());
+    }
+    let cfg = FleetSimConfig {
+        fleet: FleetConfig {
+            seed,
+            devices_per_metric: devices.unwrap_or(115),
+            trace_duration: Seconds::from_days(1.0),
+        },
+        // The paper-scale 1613-pair fleet is the default; --devices N
+        // switches to a standard N-per-metric fleet.
+        paper_scale: devices.is_none(),
+        days,
+        threads,
+        ..FleetSimConfig::default()
+    };
+    let frontier = match (budget, policy) {
+        (Some(b), p) => fleetsim::run_point(&cfg, b, p),
+        (None, Some(p)) => fleetsim::run_frontier_for(&cfg, &[p]),
+        (None, None) => fleetsim::run_frontier(&cfg),
+    };
+    if json {
+        println!("{}", frontier.to_json());
+    } else {
+        print!("{}", frontier.render());
+    }
+    if timing {
+        // stderr, not stdout: timing varies run to run, and stdout must stay
+        // byte-identical across thread counts (CI compares it verbatim).
+        let t = frontier.timing();
+        let total = t.total().as_secs_f64().max(f64::MIN_POSITIVE);
+        let pct = |d: std::time::Duration| 100.0 * d.as_secs_f64() / total;
+        eprintln!(
+            "timing: build {:.3}s ({:.0}%) | step {:.3}s ({:.0}%) | schedule {:.3}s ({:.0}%) \
+             | total {:.3}s across workers over {} policy points",
+            t.build.as_secs_f64(),
+            pct(t.build),
+            t.step.as_secs_f64(),
+            pct(t.step),
+            t.schedule.as_secs_f64(),
+            pct(t.schedule),
+            t.total().as_secs_f64(),
+            frontier.points.len()
+        );
+    }
+    Ok(())
+}
+
 fn cmd_demo(args: &[String]) -> Result<(), String> {
     let flags = flags(args, 0)?;
+    reject_unknown_flags(&flags, &["metric", "days", "seed"], "demo")?;
     let days = flag_f64(&flags, "days", 2.0)?;
     let seed = flag_u64(&flags, "seed", 7)?;
     let metric_name = flags

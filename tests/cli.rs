@@ -250,6 +250,160 @@ fn study_paper_scale_output_is_byte_identical_across_thread_counts() {
 }
 
 #[test]
+fn unknown_flags_are_rejected_with_diagnostics() {
+    for args in [
+        vec!["study", "--bogus", "1"],
+        vec!["fleetsim", "--nope", "2"],
+        vec!["track", "/tmp/x.csv", "--cutoff", "0.9"],
+        vec!["demo", "--threads", "4"],
+    ] {
+        let out = bin().args(&args).output().unwrap();
+        assert!(!out.status.success(), "{args:?} must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("unknown flag") && stderr.contains("valid:"),
+            "{args:?}: {stderr}"
+        );
+    }
+    // analyze with an unknown flag fails before touching the file system.
+    let path = write_temp("unknown-flag", &oversampled_csv());
+    let out = bin()
+        .args(["analyze"])
+        .arg(&path)
+        .args(["--bogus", "7"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag --bogus"));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn study_json_emits_machine_readable_output() {
+    let out = bin()
+        .args(["study", "--devices", "2", "--seed", "9", "--json"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout.trim();
+    assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    assert!(line.contains("\"pairs\":28"));
+    assert!(line.contains("\"oversampled_fraction\":"));
+    assert!(line.contains("\"per_metric\":["));
+    assert!(!stdout.contains("Figure 1"), "--json must replace the tables");
+
+    // Without --json the table output is unchanged.
+    let plain = bin()
+        .args(["study", "--devices", "2", "--seed", "9"])
+        .output()
+        .unwrap();
+    let plain_stdout = String::from_utf8_lossy(&plain.stdout);
+    assert!(plain_stdout.contains("Figure 1"));
+    assert!(!plain_stdout.contains("\"pairs\""));
+}
+
+#[test]
+fn fleetsim_prints_frontier_for_all_policies() {
+    let out = bin()
+        .args(["fleetsim", "--devices", "2", "--days", "3", "--seed", "5"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Fleet simulation: 28 devices"));
+    for policy in ["uncapped", "uniform", "fair", "waterfill"] {
+        assert!(stdout.contains(policy), "missing {policy}: {stdout}");
+    }
+    assert!(stdout.contains("cov/kcost"));
+    assert!(stdout.contains("steady uncapped demand"));
+}
+
+#[test]
+fn fleetsim_single_point_policy_and_json() {
+    let out = bin()
+        .args([
+            "fleetsim", "--devices", "2", "--days", "2", "--seed", "5", "--budget", "9000",
+            "--policy", "waterfill", "--json",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout.trim();
+    assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+    assert!(line.contains("\"policy\":\"waterfill\""));
+    assert!(line.contains("\"budget_per_epoch\":9000"));
+    assert!(line.contains("\"mean_coverage\":"));
+}
+
+#[test]
+fn fleetsim_rejects_bad_policy() {
+    let out = bin()
+        .args(["fleetsim", "--devices", "2", "--policy", "roulette"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown policy") && stderr.contains("waterfill"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn fleetsim_output_is_byte_identical_across_thread_counts() {
+    let run = |threads: &str| {
+        let out = bin()
+            .args([
+                "fleetsim", "--devices", "3", "--days", "3", "--seed", "11", "--budget", "20000",
+                "--threads", threads,
+            ])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "threads={threads} stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let serial = run("1");
+    assert_eq!(serial, run("4"), "--threads 4 diverged from --threads 1");
+    assert_eq!(serial, run("3"), "--threads 3 diverged from --threads 1");
+}
+
+#[test]
+fn fleetsim_timing_is_stderr_only() {
+    let timed = bin()
+        .args(["fleetsim", "--devices", "2", "--days", "2", "--seed", "3", "--timing"])
+        .output()
+        .unwrap();
+    assert!(timed.status.success());
+    let stderr = String::from_utf8_lossy(&timed.stderr);
+    let timing_line = stderr
+        .lines()
+        .find(|l| l.starts_with("timing:"))
+        .unwrap_or_else(|| panic!("no timing line in: {stderr}"));
+    for phase in ["build", "step", "schedule", "total"] {
+        assert!(timing_line.contains(phase), "missing {phase}: {timing_line}");
+    }
+    let plain = bin()
+        .args(["fleetsim", "--devices", "2", "--days", "2", "--seed", "3"])
+        .output()
+        .unwrap();
+    assert_eq!(timed.stdout, plain.stdout, "--timing must not alter stdout");
+}
+
+#[test]
 fn analyze_reports_diagnostic_for_all_nan_trace() {
     // A fully-NaN trace must exit with a cleaning diagnostic, not a panic.
     let mut csv = String::from("time_seconds,value\n");
