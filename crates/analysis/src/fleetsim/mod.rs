@@ -39,7 +39,7 @@ use std::time::{Duration, Instant};
 use sweetspot_core::adaptive::AdaptiveConfig;
 use sweetspot_monitor::poller::FleetMember;
 use sweetspot_monitor::{CostModel, EpochAccount, EpochLedger};
-use sweetspot_telemetry::{paper_scale_work, FleetConfig, MetricProfile};
+use sweetspot_telemetry::{paper_scale_work, scaled_work, FleetConfig, MetricProfile};
 use sweetspot_timeseries::{Hertz, Seconds};
 
 use quality::{DeviceQuality, FleetQuality};
@@ -59,6 +59,11 @@ pub struct FleetSimConfig {
     /// Simulate the paper's full 1613-pair population (overrides
     /// `fleet.devices_per_metric`).
     pub paper_scale: bool,
+    /// Simulate exactly this many metric-device pairs, tiling the 14-metric
+    /// population round-robin ([`scaled_work`]) — the scale-out knob for
+    /// fleets beyond 1613 (takes precedence over `fleet.devices_per_metric`;
+    /// mutually exclusive with `paper_scale`).
+    pub devices: Option<usize>,
     /// Simulation horizon in days.
     pub days: f64,
     /// Lockstep scheduling epoch. It must be long enough for production-rate
@@ -87,6 +92,7 @@ impl Default for FleetSimConfig {
                 trace_duration: Seconds::from_days(1.0),
             },
             paper_scale: false,
+            devices: None,
             days: 10.0,
             window: Seconds::from_days(1.0),
             threads: 0,
@@ -98,8 +104,14 @@ impl Default for FleetSimConfig {
 
 impl FleetSimConfig {
     fn work(&self) -> Vec<(MetricProfile, usize)> {
+        assert!(
+            !(self.paper_scale && self.devices.is_some()),
+            "paper_scale and devices are mutually exclusive"
+        );
         if self.paper_scale {
             paper_scale_work()
+        } else if let Some(pairs) = self.devices {
+            scaled_work(pairs)
         } else {
             self.fleet.work_list()
         }
@@ -229,17 +241,26 @@ pub fn run_policy(
     let mut timing = FleetTimings::default();
 
     // Build members (deterministic per (profile, idx, seed); build order is
-    // the fleet order regardless of sharding).
+    // the fleet order regardless of sharding). Every member on a shard gets
+    // a clone of one per-shard FFT planner, so the shard holds each
+    // twiddle/chirp/window table once — at 10⁵ devices, per-member caches
+    // would otherwise dominate memory by orders of magnitude.
     let t0 = Instant::now();
     let seed = cfg.fleet.seed;
     let window = cfg.window;
-    let mut members: Vec<FleetMember> = build_sharded(&work, threads, |index, profile, device| {
-        FleetMember::new(
-            index,
-            sweetspot_telemetry::DeviceTrace::synthesize(profile, device, seed),
-            member_config(&profile, window),
-        )
-    });
+    let mut members: Vec<FleetMember> = build_sharded(
+        &work,
+        threads,
+        sweetspot_dsp::fft::FftPlanner::new,
+        |planner, index, profile, device| {
+            FleetMember::with_planner(
+                index,
+                sweetspot_telemetry::DeviceTrace::synthesize(profile, device, seed),
+                member_config(&profile, window),
+                planner.clone(),
+            )
+        },
+    );
     // Quality requirement per device. A quiescent device's signal never
     // moves a full quantum, so *any* rate fully captures what is observable:
     // its requirement is zero (coverage 1.0 by definition in `quality`).
@@ -268,7 +289,11 @@ pub fn run_policy(
     let epoch_unit = unit_cost * window.value() * VERIFY_OVERHEAD;
     let capacity_rate = budget_per_epoch / epoch_unit; // INF stays INF
 
-    let mut ledger = EpochLedger::new();
+    // One stateful scheduler per run: recycled buffers plus (for
+    // water-filling) the incrementally maintained sorted order. Grants are
+    // bit-identical to the stateless `scheduler::allocate` reference.
+    let mut sched = policy.scheduler(&weights, &production);
+    let mut ledger = EpochLedger::with_capacity(epochs);
     let mut requests = vec![0.0f64; n];
     let mut grants: Vec<f64> = Vec::with_capacity(n);
     let mut coverage_sum = vec![0.0f64; n];
@@ -280,14 +305,7 @@ pub fn run_policy(
         for (r, m) in requests.iter_mut().zip(&members) {
             *r = m.requested_rate().value();
         }
-        scheduler::allocate(
-            policy,
-            &requests,
-            &weights,
-            &production,
-            capacity_rate,
-            &mut grants,
-        );
+        sched.allocate(&requests, capacity_rate, &mut grants);
         timing.schedule += t_sched.elapsed();
 
         let start = Seconds(epoch as f64 * window.value());
@@ -382,30 +400,41 @@ pub fn run_policy(
 }
 
 /// Builds per-device state in parallel shards, merged back in fleet order.
-fn build_sharded<T, F>(work: &[(MetricProfile, usize)], threads: usize, build: F) -> Vec<T>
+/// Each shard owns one context built by `mk_ctx` (e.g. a shared FFT
+/// planner), handed to every `build` call on that shard.
+fn build_sharded<T, C, M, F>(
+    work: &[(MetricProfile, usize)],
+    threads: usize,
+    mk_ctx: M,
+    build: F,
+) -> Vec<T>
 where
     T: Send,
-    F: Fn(usize, MetricProfile, usize) -> T + Sync,
+    M: Fn() -> C + Sync,
+    F: Fn(&mut C, usize, MetricProfile, usize) -> T + Sync,
 {
     let n = work.len();
     if threads <= 1 || n < 2 {
+        let mut ctx = mk_ctx();
         return work
             .iter()
             .enumerate()
-            .map(|(i, &(p, d))| build(i, p, d))
+            .map(|(i, &(p, d))| build(&mut ctx, i, p, d))
             .collect();
     }
     let chunk = crate::shard::chunk_size(n, threads);
     thread::scope(|s| {
         let build = &build;
+        let mk_ctx = &mk_ctx;
         let handles: Vec<_> = work
             .chunks(chunk)
             .enumerate()
             .map(|(shard, span)| {
                 s.spawn(move || {
+                    let mut ctx = mk_ctx();
                     span.iter()
                         .enumerate()
-                        .map(|(j, &(p, d))| build(shard * chunk + j, p, d))
+                        .map(|(j, &(p, d))| build(&mut ctx, shard * chunk + j, p, d))
                         .collect::<Vec<T>>()
                 })
             })
@@ -880,6 +909,39 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"frontier\":["));
         assert!(json.contains("\"policy\":\"waterfill\""));
+    }
+
+    #[test]
+    fn scaled_fleet_runs_and_is_thread_deterministic() {
+        // The --devices N path: a 50-pair round-robin fleet under a binding
+        // water-fill budget must produce byte-identical results for any
+        // worker count (the 10⁵-device guarantee, exercised small).
+        let cfg = |threads| FleetSimConfig {
+            devices: Some(50),
+            days: 3.0,
+            threads,
+            ..FleetSimConfig::default()
+        };
+        let serial = run_policy(&cfg(1), SchedulerPolicy::WaterFill, 60.0);
+        assert_eq!(serial.devices, 50);
+        assert_eq!(serial.epochs, 3);
+        for threads in [3, 4] {
+            let parallel = run_policy(&cfg(threads), SchedulerPolicy::WaterFill, 60.0);
+            assert_eq!(serial.ledger.accounts(), parallel.ledger.accounts());
+            assert_eq!(serial.device_quality, parallel.device_quality);
+            assert_eq!(serial.quality, parallel.quality);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mutually exclusive")]
+    fn paper_scale_and_devices_conflict() {
+        let cfg = FleetSimConfig {
+            paper_scale: true,
+            devices: Some(10),
+            ..FleetSimConfig::default()
+        };
+        cfg.work();
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Allocation accounting for the fleet-simulation epoch loop.
+//!
+//! Extends the `crates/telemetry/tests/alloc_steady_state.rs` pattern to the
+//! whole lockstep epoch: request gathering, scheduling (incremental
+//! water-fill), and every member's controller epoch — polling through the
+//! oscillator bank and impairment chain, pre-cleaning, §4.1 dual-rate
+//! verification and §3.2 estimation. Once the per-member [`PollScratch`]
+//! buffers, the controller's recycled series buffers, the scheduler's order
+//! and the planner's cached tables are warm, a steady-state epoch must not
+//! touch the heap at all.
+//!
+//! The counter is **per-thread** (see the telemetry test for why), so the
+//! fleet is stepped serially — which is exactly the per-worker view of the
+//! sharded engine: each worker owns its members and steps them in a plain
+//! loop.
+//!
+//! [`PollScratch`]: sweetspot_monitor::device::PollScratch
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use sweetspot_analysis::fleetsim::{member_config, scheduler::SchedulerPolicy};
+use sweetspot_monitor::poller::FleetMember;
+use sweetspot_telemetry::{scaled_work, DeviceTrace};
+use sweetspot_timeseries::{Hertz, Seconds};
+
+std::thread_local! {
+    // const-init + no Drop ⇒ accessing this inside the allocator hooks
+    // never itself allocates or registers a TLS destructor.
+    static ALLOCATIONS: Cell<usize> = const { Cell::new(0) };
+}
+
+struct CountingAllocator;
+
+// SAFETY: delegates every operation to `System`; the counter is a plain
+// thread-local side effect (`try_with` so teardown-time allocations on
+// foreign threads are simply not counted rather than panicking).
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Number of allocations *this thread* performed while running `f`.
+fn allocations_during(f: impl FnOnce()) -> usize {
+    let before = ALLOCATIONS.with(Cell::get);
+    f();
+    ALLOCATIONS.with(Cell::get) - before
+}
+
+#[test]
+fn fleetsim_steady_state_epoch_is_allocation_free() {
+    // A 28-pair round-robin fleet (two devices of every metric) under a
+    // binding water-fill budget: scheduling and throttling both active.
+    // Seed chosen so the fleet settles early: by epoch 10 every controller
+    // holds its rate (steady, evidence-free or at a clamp) and every
+    // realized trace length has passed through the planner once. Devices
+    // still *probing* legitimately allocate (new rate ⇒ new FFT plan), so a
+    // fleet that never settles would never go quiet — that is a property of
+    // the workload, not the engine.
+    let seed: u64 = 2;
+    let window = Seconds::from_days(1.0);
+    let work = scaled_work(28);
+    let n = work.len();
+
+    let mut members: Vec<FleetMember> = work
+        .iter()
+        .enumerate()
+        .map(|(i, &(profile, device))| {
+            FleetMember::new(
+                i,
+                DeviceTrace::synthesize(profile, device, seed),
+                member_config(&profile, window),
+            )
+        })
+        .collect();
+    let production: Vec<f64> = work.iter().map(|(p, _)| p.production_rate().value()).collect();
+    let weights = vec![1.0; n];
+    // Half the fleet's production rate: binding, but not starving everyone
+    // to the min-rate floor.
+    let capacity: f64 = production.iter().sum::<f64>() * 0.5;
+
+    let mut sched = SchedulerPolicy::WaterFill.scheduler(&weights, &production);
+    let mut requests = vec![0.0f64; n];
+    let mut grants: Vec<f64> = Vec::with_capacity(n);
+
+    let mut epoch_body = |epoch: usize| {
+        let start = Seconds(epoch as f64 * window.value());
+        for (r, m) in requests.iter_mut().zip(members.iter()) {
+            *r = m.requested_rate().value();
+        }
+        sched.allocate(&requests, capacity, &mut grants);
+        for (m, &g) in members.iter_mut().zip(grants.iter()) {
+            let report = m.step_epoch(start, Hertz(g), window);
+            std::hint::black_box(report.samples_taken);
+        }
+    };
+
+    // Warm-up: controllers probe/settle, scratch buffers and the planner's
+    // per-length FFT/window tables grow. Sample counts jitter by ±1 with the
+    // 0.2% drop impairment, so several epochs are needed before every
+    // realized trace length has been planned once.
+    for epoch in 0..10 {
+        epoch_body(epoch);
+    }
+
+    // Steady state: entire lockstep epochs — request gathering, water-fill
+    // scheduling, every member's controller epoch — must not allocate.
+    for epoch in 10..16 {
+        let count = allocations_during(|| epoch_body(epoch));
+        assert_eq!(
+            count, 0,
+            "steady-state fleet epoch {epoch} must not allocate"
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! Property tests pinning the stateful [`Scheduler`] implementations —
+//! incremental water-fill order maintenance included — **bit-identical** to
+//! the stateless from-scratch [`allocate`] reference over randomized
+//! multi-epoch request sequences.
+//!
+//! The sequences model what a real fleet feeds the scheduler: most
+//! controllers hold their rate between epochs (settled steady state,
+//! evidence-free holds), a random minority moves, and capacity swings
+//! between slack and starvation. Every epoch's grants from the persistent
+//! scheduler must equal the reference computed from scratch — not "close",
+//! *equal*: scheduler state is a performance device and must never leak
+//! into results (the byte-identical `--threads N` guarantee depends on it).
+//!
+//! [`Scheduler`]: sweetspot_analysis::fleetsim::scheduler::Scheduler
+//! [`allocate`]: sweetspot_analysis::fleetsim::scheduler::allocate
+
+use proptest::prelude::*;
+use sweetspot_analysis::fleetsim::scheduler::{allocate, SchedulerPolicy};
+
+/// One epoch's churn: which devices move, to what, and the epoch capacity.
+#[derive(Debug, Clone)]
+struct EpochChurn {
+    /// `(device index seed, new request)` — index is reduced modulo n.
+    moves: Vec<(usize, f64)>,
+    /// Capacity as a fraction of a nominal fleet demand; huge values model
+    /// a non-binding budget.
+    capacity: f64,
+}
+
+fn churn_strategy() -> impl Strategy<Value = Vec<EpochChurn>> {
+    prop::collection::vec(
+        (
+            prop::collection::vec((0usize..10_000, 0.0f64..20.0), 0..12),
+            0.0f64..400.0,
+        ),
+        1..30,
+    )
+    .prop_map(|epochs| {
+        epochs
+            .into_iter()
+            .map(|(moves, capacity)| EpochChurn { moves, capacity })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn stateful_matches_reference_over_request_sequences(
+        n in 1usize..80,
+        init in prop::collection::vec(0.0f64..20.0, 80..81),
+        weight_seed in prop::collection::vec(0.1f64..4.0, 80..81),
+        production_seed in prop::collection::vec(0.01f64..10.0, 80..81),
+        churn in churn_strategy(),
+    ) {
+        let weights = &weight_seed[..n];
+        let production = &production_seed[..n];
+        let requests: Vec<f64> = init[..n].to_vec();
+        for policy in SchedulerPolicy::ALL {
+            let mut sched = policy.scheduler(weights, production);
+            let mut requests = requests.clone();
+            let mut grants = Vec::new();
+            let mut reference = Vec::new();
+            for (epoch, step) in churn.iter().enumerate() {
+                sched.allocate(&requests, step.capacity, &mut grants);
+                allocate(policy, &requests, weights, production, step.capacity, &mut reference);
+                prop_assert_eq!(
+                    &grants,
+                    &reference,
+                    "{} diverged from the reference at epoch {} (capacity {})",
+                    policy,
+                    epoch,
+                    step.capacity
+                );
+                // Apply this epoch's churn; untouched requests stay
+                // bit-identical, exactly like holding controllers.
+                for &(i, value) in &step.moves {
+                    requests[i % n] = value;
+                }
+            }
+        }
+    }
+}

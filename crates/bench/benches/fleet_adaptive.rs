@@ -1,14 +1,19 @@
 //! Fleet-level adaptive simulation benchmarks: what one shared-budget
-//! scheduling run costs, per policy, on a small fleet.
+//! scheduling run costs, per policy, on a small fleet — plus the
+//! large-fleet rows this engine is scaled by.
 //!
 //! Two rows bracket the engine: the uncapped baseline (pure controller
 //! stepping, no arbitration) and weighted water-filling under a binding
 //! budget (scheduling + deferral bookkeeping on top). Both run single
-//! threaded so the numbers track engine work, not thread scaling.
+//! threaded so the numbers track engine work, not thread scaling. The
+//! `waterfill_20k_2ep` row exercises the scaled 2×10⁴-pair fleet end to
+//! end, and the `sched_100k_*` rows isolate the scheduler at 10⁵ requests:
+//! incremental order maintenance (steady fleet, ~1% churn) against the
+//! from-scratch re-sort reference.
 
 use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
-use sweetspot_analysis::fleetsim::{self, scheduler::SchedulerPolicy, FleetSimConfig};
+use sweetspot_analysis::fleetsim::{self, scheduler, scheduler::SchedulerPolicy, FleetSimConfig};
 use sweetspot_telemetry::FleetConfig;
 use sweetspot_timeseries::Seconds;
 
@@ -50,6 +55,84 @@ fn bench(c: &mut Criterion) {
             black_box(out.quality.mean_coverage)
         })
     });
+
+    // Large-fleet variant: a 2×10⁴-pair round-robin fleet, two lockstep
+    // epochs under a binding budget — the zero-allocation epoch loop and the
+    // incremental scheduler together, at scale.
+    let large = FleetSimConfig {
+        devices: Some(20_000),
+        days: 2.0,
+        threads: 1,
+        ..FleetSimConfig::default()
+    };
+    c.bench_function("fleet_adaptive/waterfill_20k_2ep", |b| {
+        b.iter(|| {
+            let out = fleetsim::run_policy(&large, SchedulerPolicy::WaterFill, 200_000.0);
+            black_box(out.quality.mean_coverage)
+        })
+    });
+
+    // Scheduler isolation at 10⁵ requests: steady-fleet churn (~1% of
+    // requests move per epoch) through the persistent incremental scheduler
+    // vs. the stateless from-scratch reference (full re-sort per epoch).
+    // Both rows churn from the same post-base RNG state, so per-iteration
+    // workloads are identical and the comparison is apples to apples.
+    let n = 100_000usize;
+    let weights = vec![1.0f64; n];
+    let production = vec![1.0f64; n];
+    let mut state = 0x5EEDu64;
+    let base: Vec<f64> = (0..n)
+        .map(|_| (xorshift(&mut state) % 10_000) as f64 / 700.0)
+        .collect();
+    let churn_start = state;
+    let capacity = base.iter().sum::<f64>() * 0.5;
+    let churn = |requests: &mut Vec<f64>, state: &mut u64| {
+        for _ in 0..n / 100 {
+            let i = (xorshift(state) as usize) % n;
+            requests[i] = (xorshift(state) % 10_000) as f64 / 700.0;
+        }
+    };
+
+    c.bench_function("fleet_adaptive/sched_100k_incremental", |b| {
+        let mut sched = SchedulerPolicy::WaterFill.scheduler(&weights, &production);
+        let mut requests = base.clone();
+        let mut grants = Vec::with_capacity(n);
+        let mut state = churn_start;
+        // Prime the persistent order once; iterations then model epochs.
+        sched.allocate(&requests, capacity, &mut grants);
+        b.iter(|| {
+            churn(&mut requests, &mut state);
+            sched.allocate(&requests, capacity, &mut grants);
+            black_box(grants.len())
+        })
+    });
+
+    c.bench_function("fleet_adaptive/sched_100k_fullsort", |b| {
+        let mut requests = base.clone();
+        let mut grants = Vec::with_capacity(n);
+        let mut state = churn_start;
+        b.iter(|| {
+            churn(&mut requests, &mut state);
+            scheduler::allocate(
+                SchedulerPolicy::WaterFill,
+                &requests,
+                &weights,
+                &production,
+                capacity,
+                &mut grants,
+            );
+            black_box(grants.len())
+        })
+    });
+}
+
+/// Deterministic xorshift64 for request-churn sequences (no rand dep in the
+/// bench crate).
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
 }
 
 criterion_group! {

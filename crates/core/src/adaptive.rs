@@ -60,7 +60,7 @@
 //! [`MIN_VERIFY_HEADROOM`]; this is itself a finding about the *real* cost
 //! of the paper's always-on detector.
 
-use crate::aliasing::{companion_rate, detect_aliasing_with, DualRateConfig};
+use crate::aliasing::{companion_rate, detect_aliasing_scratch, DetectScratch, DualRateConfig};
 use crate::estimator::{NyquistConfig, NyquistEstimate, NyquistEstimator};
 use crate::source::SignalSource;
 use sweetspot_timeseries::{Hertz, Seconds};
@@ -176,6 +176,14 @@ pub struct AdaptiveSampler {
     epoch_index: usize,
     deferred_epochs: usize,
     deferred_samples: usize,
+    /// §4.1 detector working storage, persistent across epochs.
+    detect: DetectScratch,
+    /// Recycled value buffers for the primary/companion streams: each epoch
+    /// hands them to the source via `sample_recycled` and reclaims them from
+    /// the returned series, so a source with a zero-allocation path (e.g.
+    /// `monitor::ScratchSource`) makes the whole epoch allocation-free.
+    fast_spare: Vec<f64>,
+    slow_spare: Vec<f64>,
 }
 
 impl AdaptiveSampler {
@@ -184,7 +192,18 @@ impl AdaptiveSampler {
     /// # Panics
     /// Panics on inconsistent configuration (non-positive rates,
     /// `min > max`, `probe_multiplier <= 1`, non-positive epoch).
-    pub fn new(mut config: AdaptiveConfig) -> Self {
+    pub fn new(config: AdaptiveConfig) -> Self {
+        Self::with_planner(config, sweetspot_dsp::fft::FftPlanner::new())
+    }
+
+    /// [`AdaptiveSampler::new`] with a caller-supplied FFT planner — pass a
+    /// clone of a shared planner so a fleet of controllers holds every plan
+    /// table once (see [`NyquistEstimator::with_planner`]). Tables never
+    /// influence results.
+    ///
+    /// # Panics
+    /// Exactly as [`AdaptiveSampler::new`].
+    pub fn with_planner(mut config: AdaptiveConfig, planner: sweetspot_dsp::fft::FftPlanner) -> Self {
         assert!(config.initial_rate.value() > 0.0, "initial_rate must be positive");
         assert!(config.min_rate.value() > 0.0, "min_rate must be positive");
         assert!(
@@ -205,7 +224,7 @@ impl AdaptiveSampler {
                 .clamp(config.min_rate.value(), config.max_rate.value()),
         );
         AdaptiveSampler {
-            estimator: NyquistEstimator::new(config.estimator),
+            estimator: NyquistEstimator::with_planner(config.estimator, planner),
             config,
             mode: Mode::Probe,
             rate,
@@ -214,6 +233,9 @@ impl AdaptiveSampler {
             epoch_index: 0,
             deferred_epochs: 0,
             deferred_samples: 0,
+            detect: DetectScratch::new(),
+            fast_spare: Vec::new(),
+            slow_spare: Vec::new(),
         }
     }
 
@@ -302,7 +324,8 @@ impl AdaptiveSampler {
         let worth_verifying =
             expected(primary) >= MIN_DETECT_SAMPLES && expected(secondary) >= MIN_DETECT_SAMPLES;
 
-        let fast = source.sample(start, primary, duration);
+        let fast =
+            source.sample_recycled(start, primary, duration, std::mem::take(&mut self.fast_spare));
         let mut samples_taken = fast.len();
         // Share the estimator's planner so the detector reuses the same
         // cached twiddle and window tables every epoch. The detector's
@@ -312,18 +335,25 @@ impl AdaptiveSampler {
         let mut verified = false;
         let mut verdict_aliased = false;
         if worth_verifying {
-            let slow = source.sample(start, secondary, duration);
+            let slow = source.sample_recycled(
+                start,
+                secondary,
+                duration,
+                std::mem::take(&mut self.slow_spare),
+            );
             samples_taken += slow.len();
             if fast.len() >= MIN_DETECT_SAMPLES && slow.len() >= MIN_DETECT_SAMPLES {
                 verified = true;
-                verdict_aliased = detect_aliasing_with(
+                verdict_aliased = detect_aliasing_scratch(
                     self.estimator.planner_mut(),
+                    &mut self.detect,
                     &fast,
                     &slow,
                     self.config.detector,
                 )
                 .aliased;
             }
+            self.slow_spare = slow.into_values();
         }
         // The estimator is only meaningful with a full window's worth of
         // samples (see module docs); a short window contributes no evidence.
@@ -344,6 +374,7 @@ impl AdaptiveSampler {
             estimate = NyquistEstimate::Rate(Hertz(2.0 * primary.value() / fast.len() as f64));
         }
         let aliased = verdict_aliased || (estimator_trusted && estimate.is_aliased());
+        self.fast_spare = fast.into_values();
 
         if throttled {
             self.deferred_epochs += 1;

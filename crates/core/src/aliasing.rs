@@ -25,7 +25,8 @@
 //!   1 of the paper), so it still shows up as a band-power mismatch.
 
 use sweetspot_dsp::fft::FftPlanner;
-use sweetspot_dsp::psd::{periodogram, PsdConfig};
+use sweetspot_dsp::psd::{periodogram_into, PsdConfig, PsdScratch};
+use sweetspot_dsp::spectrum::Spectrum;
 use sweetspot_dsp::window::Window;
 use sweetspot_timeseries::{Hertz, RegularSeries};
 
@@ -110,6 +111,41 @@ pub fn detect_aliasing_with(
     slow: &RegularSeries,
     cfg: DualRateConfig,
 ) -> AliasingVerdict {
+    detect_aliasing_scratch(planner, &mut DetectScratch::default(), fast, slow, cfg)
+}
+
+/// Reusable working storage for [`detect_aliasing_scratch`]: the PSD
+/// scratch, the two one-sided power buffers and the two band-power tables.
+/// Keep one per long-lived detector (the §4.2 adaptive controller owns one)
+/// so steady-state verification performs no heap allocations.
+#[derive(Debug, Default)]
+pub struct DetectScratch {
+    psd: PsdScratch,
+    fast_power: Vec<f64>,
+    slow_power: Vec<f64>,
+    fast_bands: Vec<f64>,
+    slow_bands: Vec<f64>,
+}
+
+impl DetectScratch {
+    /// Empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// [`detect_aliasing_with`] with caller-owned scratch: identical verdicts,
+/// zero steady-state heap allocations.
+///
+/// # Panics
+/// Exactly as [`detect_aliasing_with`].
+pub fn detect_aliasing_scratch(
+    planner: &mut FftPlanner,
+    scratch: &mut DetectScratch,
+    fast: &RegularSeries,
+    slow: &RegularSeries,
+    cfg: DualRateConfig,
+) -> AliasingVerdict {
     let f1 = fast.sample_rate();
     let f2 = slow.sample_rate();
     assert!(
@@ -133,22 +169,32 @@ pub fn detect_aliasing_with(
         window: Window::Hann,
         detrend: true,
     };
-    let spec_fast = periodogram(planner, fast.values(), f1.value(), psd_cfg);
-    let spec_slow = periodogram(planner, slow.values(), f2.value(), psd_cfg);
+    // Both periodograms run through the shared scratch; the power buffers
+    // cycle through `Spectrum` and back so nothing is reallocated per call.
+    let mut fast_power = std::mem::take(&mut scratch.fast_power);
+    periodogram_into(planner, &mut scratch.psd, fast.values(), psd_cfg, &mut fast_power);
+    let spec_fast = Spectrum::from_psd(fast_power, f1.value(), fast.len());
+    let mut slow_power = std::mem::take(&mut scratch.slow_power);
+    periodogram_into(planner, &mut scratch.psd, slow.values(), psd_cfg, &mut slow_power);
+    let spec_slow = Spectrum::from_psd(slow_power, f2.value(), slow.len());
 
     let half = f2.value() / 2.0;
     let band_width = half / cfg.bands as f64;
     // Skip the lowest band boundary region near DC? No: detrend removed DC,
     // and both windows smear residual low-frequency energy identically
     // enough at the band granularity.
-    let mut fast_bands = Vec::with_capacity(cfg.bands);
-    let mut slow_bands = Vec::with_capacity(cfg.bands);
+    let fast_bands = &mut scratch.fast_bands;
+    let slow_bands = &mut scratch.slow_bands;
+    fast_bands.clear();
+    slow_bands.clear();
     for k in 0..cfg.bands {
         let lo = k as f64 * band_width;
         let hi = (k + 1) as f64 * band_width;
         fast_bands.push(spec_fast.power_in_band(lo, hi * (1.0 - 1e-12)));
         slow_bands.push(spec_slow.power_in_band(lo, hi * (1.0 - 1e-12)));
     }
+    scratch.fast_power = spec_fast.into_power();
+    scratch.slow_power = spec_slow.into_power();
     let total: f64 = fast_bands
         .iter()
         .sum::<f64>()

@@ -136,6 +136,17 @@ impl NyquistEstimator {
     /// # Panics
     /// Panics unless `0 < energy_cutoff <= 1`.
     pub fn new(config: NyquistConfig) -> Self {
+        Self::with_planner(config, FftPlanner::new())
+    }
+
+    /// [`NyquistEstimator::new`] around a caller-supplied planner — pass a
+    /// clone of a shared planner so a fleet of per-device estimators holds
+    /// every FFT/window table once instead of once per device (plan tables
+    /// are pure data; sharing never changes results).
+    ///
+    /// # Panics
+    /// Panics unless `0 < energy_cutoff <= 1`.
+    pub fn with_planner(config: NyquistConfig, planner: FftPlanner) -> Self {
         assert!(
             config.energy_cutoff > 0.0 && config.energy_cutoff <= 1.0,
             "energy_cutoff must be in (0, 1], got {}",
@@ -143,7 +154,7 @@ impl NyquistEstimator {
         );
         NyquistEstimator {
             config,
-            planner: FftPlanner::new(),
+            planner,
             scratch: PsdScratch::new(),
             power: Vec::new(),
         }

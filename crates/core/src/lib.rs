@@ -45,6 +45,9 @@ pub mod source;
 pub mod tracker;
 
 pub use adaptive::{AdaptiveConfig, AdaptiveSampler, EpochReport};
-pub use aliasing::{detect_aliasing, detect_aliasing_with, AliasingVerdict, DualRateConfig};
+pub use aliasing::{
+    detect_aliasing, detect_aliasing_scratch, detect_aliasing_with, AliasingVerdict,
+    DetectScratch, DualRateConfig,
+};
 pub use estimator::{NyquistConfig, NyquistEstimate, NyquistEstimator};
 pub use source::SignalSource;

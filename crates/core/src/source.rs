@@ -16,6 +16,26 @@ pub trait SignalSource {
     /// `start` and whose interval is `1/rate`. The number of samples is
     /// `round(duration · rate)`, at least 1.
     fn sample(&mut self, start: Seconds, rate: Hertz, duration: Seconds) -> RegularSeries;
+
+    /// [`SignalSource::sample`] with a recycled value buffer: the caller
+    /// hands back storage from a previous series (via
+    /// [`RegularSeries::into_values`]) and the source *may* build the result
+    /// in it, making the steady-state sampling loop allocation-free.
+    ///
+    /// Must return exactly what [`SignalSource::sample`] would. The default
+    /// implementation discards the buffer and delegates, so sources only
+    /// opt in when they have a zero-allocation path (e.g.
+    /// `monitor::ScratchSource`).
+    fn sample_recycled(
+        &mut self,
+        start: Seconds,
+        rate: Hertz,
+        duration: Seconds,
+        recycled: Vec<f64>,
+    ) -> RegularSeries {
+        drop(recycled);
+        self.sample(start, rate, duration)
+    }
 }
 
 /// Adapter implementing [`SignalSource`] from a closure — handy in tests and

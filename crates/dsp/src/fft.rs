@@ -15,9 +15,12 @@
 //! [`FftPlanner`] caches twiddle tables, Bluestein chirps, real-transform
 //! untangle twiddles and window-coefficient tables per length, so repeated
 //! transforms of the same size (the common case when scanning a fleet of
-//! equally-long traces) pay the setup cost once. Plan tables are held behind
-//! [`Arc`], so a planner is `Send` and [`FftPlanner::clone`] shares the
-//! cached tables with another thread while giving it fresh scratch space.
+//! equally-long traces) pay the setup cost once. The whole table cache lives
+//! behind `Arc<Mutex<…>>`: a planner is `Send`, and [`FftPlanner::clone`]
+//! shares **one mutable cache** between the clones (each with fresh scratch
+//! space), so a fleet of 10⁵ per-device analyzers on one worker holds every
+//! distinct plan once instead of once per device — tables are pure data and
+//! never influence results, only memory and setup time.
 //!
 //! The `*_into` methods write into caller-owned buffers and reuse the
 //! planner's [`FftScratch`]; once the buffers have warmed up, steady-state
@@ -32,7 +35,7 @@ use crate::complex::Complex64;
 use crate::window::{Window, WindowTable};
 use std::collections::HashMap;
 use std::f64::consts::PI;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Returns `true` if `n` is a power of two (and nonzero).
 #[inline]
@@ -331,45 +334,24 @@ impl RealPlan {
 /// assert!((buf[0].re - 12.0).abs() < 1e-9); // DC bin = Σ x_n
 /// ```
 pub struct FftPlanner {
+    /// The shared, lazily grown table cache. One lock acquisition per plan
+    /// lookup — uncontended in the per-worker usage pattern (clones that
+    /// share a cache are stepped by one thread at a time), and a rounding
+    /// error next to the transform it precedes.
+    tables: Arc<Mutex<PlanTables>>,
+    scratch: FftScratch,
+}
+
+/// Every cached table, grouped so one lock guards them all.
+#[derive(Default)]
+struct PlanTables {
     pow2: HashMap<usize, Arc<Pow2Plan>>,
     bluestein: HashMap<usize, Arc<BluesteinPlan>>,
     real: HashMap<usize, Arc<RealPlan>>,
     windows: HashMap<(Window, usize), Arc<WindowTable>>,
-    scratch: FftScratch,
 }
 
-impl Default for FftPlanner {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-impl Clone for FftPlanner {
-    /// Shares the cached plan and window tables; the clone gets fresh
-    /// scratch buffers (scratch is working state, not a table).
-    fn clone(&self) -> Self {
-        FftPlanner {
-            pow2: self.pow2.clone(),
-            bluestein: self.bluestein.clone(),
-            real: self.real.clone(),
-            windows: self.windows.clone(),
-            scratch: FftScratch::default(),
-        }
-    }
-}
-
-impl FftPlanner {
-    /// Creates an empty planner.
-    pub fn new() -> Self {
-        FftPlanner {
-            pow2: HashMap::new(),
-            bluestein: HashMap::new(),
-            real: HashMap::new(),
-            windows: HashMap::new(),
-            scratch: FftScratch::default(),
-        }
-    }
-
+impl PlanTables {
     fn pow2_plan(&mut self, len: usize) -> Arc<Pow2Plan> {
         self.pow2
             .entry(len)
@@ -402,13 +384,57 @@ impl FftPlanner {
         self.real.insert(n, p.clone());
         p
     }
+}
+
+impl Default for FftPlanner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clone for FftPlanner {
+    /// Shares the table cache — past *and future* plans — with the clone;
+    /// the clone gets fresh scratch buffers (scratch is working state, not a
+    /// table). A fleet of per-device analyzers built from clones of one
+    /// planner therefore holds every distinct plan exactly once.
+    fn clone(&self) -> Self {
+        FftPlanner {
+            tables: Arc::clone(&self.tables),
+            scratch: FftScratch::default(),
+        }
+    }
+}
+
+impl FftPlanner {
+    /// Creates an empty planner (with its own fresh table cache — use
+    /// [`Clone`] to share a cache).
+    pub fn new() -> Self {
+        FftPlanner {
+            tables: Arc::new(Mutex::new(PlanTables::default())),
+            scratch: FftScratch::default(),
+        }
+    }
+
+    fn plan(&mut self, len: usize) -> Plan {
+        self.tables.lock().expect("fft plan cache poisoned").plan(len)
+    }
+
+    fn real_plan(&mut self, n: usize) -> Arc<RealPlan> {
+        self.tables
+            .lock()
+            .expect("fft plan cache poisoned")
+            .real_plan(n)
+    }
 
     /// The cached coefficient table for `window` at length `n`.
     ///
     /// Built once per `(window, n)`; spectral estimators multiply by the
     /// table instead of re-evaluating trig per sample per segment.
     pub fn window_table(&mut self, window: Window, n: usize) -> Arc<WindowTable> {
-        self.windows
+        self.tables
+            .lock()
+            .expect("fft plan cache poisoned")
+            .windows
             .entry((window, n))
             .or_insert_with(|| Arc::new(WindowTable::new(window, n)))
             .clone()

@@ -84,6 +84,14 @@ impl EpochLedger {
         Self::default()
     }
 
+    /// Empty ledger with room for `epochs` accounts, so a simulation of
+    /// known length records every epoch without reallocating.
+    pub fn with_capacity(epochs: usize) -> Self {
+        EpochLedger {
+            accounts: Vec::with_capacity(epochs),
+        }
+    }
+
     /// Appends one epoch's account.
     ///
     /// # Panics

@@ -8,9 +8,38 @@
 
 use sweetspot_core::source::SignalSource;
 use sweetspot_telemetry::{DeviceTrace, ToneBank};
-use sweetspot_timeseries::clean::{clean, CleanConfig};
+use sweetspot_timeseries::clean::{clean_slices_into, CleanConfig, CleanScratch};
 use sweetspot_timeseries::ingest::TraceMeta;
 use sweetspot_timeseries::{Hertz, IrregularSeries, RegularSeries, Seconds};
+
+/// Reusable working storage for the polling chain: the ground-truth grid,
+/// the measured `(time, value)` buffers, and the cleaning scratch. One per
+/// fleet member (see `poller::FleetMember`) makes steady-state polling —
+/// synthesis, impairments, pre-cleaning — allocation-free.
+#[derive(Debug, Default)]
+pub struct PollScratch {
+    /// Ground-truth sample grid (oscillator-bank output).
+    truth: Vec<f64>,
+    /// Measured timestamps surviving the impairment chain.
+    times: Vec<Seconds>,
+    /// Measured values (parallel to `times`).
+    values: Vec<f64>,
+    /// Re-gridding scratch; also holds the lent output buffer.
+    clean: CleanScratch,
+}
+
+impl PollScratch {
+    /// Empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hands a spare value buffer to the next [`SimDevice::poll_clean_into`]
+    /// call, which moves it into the returned series' storage.
+    pub fn lend(&mut self, buf: Vec<f64>) {
+        self.clean.lend(buf);
+    }
+}
 
 /// A device under monitoring.
 #[derive(Debug, Clone)]
@@ -46,17 +75,37 @@ impl SimDevice {
     /// Polls the device over `[start, start+duration)` at `rate` through the
     /// measurement chain; returns what the collector would record.
     pub fn poll(&mut self, start: Seconds, rate: Hertz, duration: Seconds) -> IrregularSeries {
+        let mut scratch = PollScratch::new();
+        self.poll_into(start, rate, duration, &mut scratch);
+        IrregularSeries::from_recycled(scratch.times, scratch.values)
+    }
+
+    /// [`SimDevice::poll`] into recycled buffers: the measured samples land
+    /// in `scratch.times`/`scratch.values` (cleared, then filled). Identical
+    /// samples and RNG stream; zero steady-state heap allocations.
+    pub fn poll_into(
+        &mut self,
+        start: Seconds,
+        rate: Hertz,
+        duration: Seconds,
+        scratch: &mut PollScratch,
+    ) {
         let stream = self.next_stream;
         self.next_stream += 1;
         // Ground truth over the requested window, streamed through the
         // oscillator bank (which handles arbitrary window starts).
-        let mut values = Vec::new();
         self.trace
             .model()
-            .sample_into(&mut self.bank, start, rate, duration, &mut values);
-        let truth = RegularSeries::new(start, rate.period(), values);
+            .sample_into(&mut self.bank, start, rate, duration, &mut scratch.truth);
         let mut rng = stream_rng(&self.trace, stream);
-        self.trace.impairments().apply(&mut rng, &truth)
+        self.trace.impairments().apply_grid_into(
+            &mut rng,
+            start,
+            rate.period(),
+            &scratch.truth,
+            &mut scratch.times,
+            &mut scratch.values,
+        );
     }
 
     /// Polls and pre-cleans (the §3.2 pipeline): re-grids onto the nominal
@@ -67,13 +116,35 @@ impl SimDevice {
         rate: Hertz,
         duration: Seconds,
     ) -> Option<RegularSeries> {
-        let raw = self.poll(start, rate, duration);
-        clean(
-            &raw,
+        self.poll_clean_into(start, rate, duration, &mut PollScratch::new())
+    }
+
+    /// [`SimDevice::poll_clean`] through caller-owned scratch: the returned
+    /// series' value buffer comes from the scratch's lent storage (hand a
+    /// spare back with [`PollScratch::lend`]), so the steady-state
+    /// poll-and-clean loop performs no heap allocations.
+    pub fn poll_clean_into(
+        &mut self,
+        start: Seconds,
+        rate: Hertz,
+        duration: Seconds,
+        scratch: &mut PollScratch,
+    ) -> Option<RegularSeries> {
+        self.poll_into(start, rate, duration, scratch);
+        let PollScratch {
+            times,
+            values,
+            clean,
+            ..
+        } = scratch;
+        clean_slices_into(
+            times,
+            values,
             CleanConfig {
                 interval: Some(rate.period()),
                 outlier_mads: None,
             },
+            clean,
         )
         .ok()
     }
@@ -87,6 +158,23 @@ impl SimDevice {
             .model()
             .sample_into(&mut bank, start, rate, duration, &mut values);
         RegularSeries::new(start, rate.period(), values)
+    }
+
+    /// [`SimDevice::ground_truth`] into a recycled value buffer, reusing the
+    /// device's oscillator bank (the bank is pure scratch — output is
+    /// identical to [`SimDevice::ground_truth`]). The cold fallback of the
+    /// zero-allocation polling path.
+    pub fn ground_truth_recycled(
+        &mut self,
+        start: Seconds,
+        rate: Hertz,
+        duration: Seconds,
+        mut buf: Vec<f64>,
+    ) -> RegularSeries {
+        self.trace
+            .model()
+            .sample_into(&mut self.bank, start, rate, duration, &mut buf);
+        RegularSeries::new(start, rate.period(), buf)
     }
 }
 
@@ -113,6 +201,41 @@ impl SignalSource for DeviceSource<'_> {
             // truth re-polled once more; in practice drop probability is
             // 0.2% so this path is cold.
             None => self.0.ground_truth(start, rate, duration),
+        }
+    }
+}
+
+/// [`DeviceSource`] with per-member scratch: the zero-allocation polling
+/// path a [`FleetMember`](crate::poller::FleetMember) runs its lockstep
+/// epochs through. Output is identical to [`DeviceSource`] sample for
+/// sample — only the storage strategy differs.
+pub struct ScratchSource<'a> {
+    /// The device being polled.
+    pub device: &'a mut SimDevice,
+    /// The member's persistent polling scratch.
+    pub scratch: &'a mut PollScratch,
+}
+
+impl SignalSource for ScratchSource<'_> {
+    fn sample(&mut self, start: Seconds, rate: Hertz, duration: Seconds) -> RegularSeries {
+        self.sample_recycled(start, rate, duration, Vec::new())
+    }
+
+    fn sample_recycled(
+        &mut self,
+        start: Seconds,
+        rate: Hertz,
+        duration: Seconds,
+        recycled: Vec<f64>,
+    ) -> RegularSeries {
+        self.scratch.lend(recycled);
+        match self.device.poll_clean_into(start, rate, duration, self.scratch) {
+            Some(series) => series,
+            // Same cold fallback as `DeviceSource`, reusing the lent buffer.
+            None => {
+                let buf = self.scratch.clean.take_lent();
+                self.device.ground_truth_recycled(start, rate, duration, buf)
+            }
         }
     }
 }

@@ -17,7 +17,7 @@
 //! *lockstep* fleet simulation: an external scheduler grants each member a
 //! rate per shared epoch (see `analysis::fleetsim`).
 
-use crate::device::{DeviceSource, SimDevice};
+use crate::device::{DeviceSource, PollScratch, ScratchSource, SimDevice};
 use sweetspot_core::adaptive::{AdaptiveConfig, AdaptiveSampler, EpochReport};
 use sweetspot_telemetry::{DeviceTrace, MetricKind};
 use sweetspot_core::estimator::{NyquistConfig, NyquistEstimator};
@@ -83,7 +83,9 @@ impl PosterioriPlan {
                 let factor = decimation_factor(cleaned.sample_rate(), target);
                 downsample(&cleaned, factor)
             }
-            None => cleaned.clone(),
+            // Aliased: there is no safe rate to thin to, so everything
+            // collected moves straight into storage.
+            None => cleaned,
         };
         PolicyRun {
             collected,
@@ -138,6 +140,9 @@ impl AdaptivePlan {
 pub struct FleetMember {
     device: SimDevice,
     sampler: AdaptiveSampler,
+    /// Per-member polling scratch: epochs poll through it so the
+    /// steady-state fleet loop never touches the heap.
+    scratch: PollScratch,
     /// Fleet-unique index (position in the fleet work list).
     index: usize,
 }
@@ -148,6 +153,27 @@ impl FleetMember {
         FleetMember {
             device: SimDevice::new(trace),
             sampler: AdaptiveSampler::new(config),
+            scratch: PollScratch::new(),
+            index,
+        }
+    }
+
+    /// [`FleetMember::new`] with a caller-supplied FFT planner. Fleet
+    /// engines pass each member a clone of one per-worker planner, so 10⁵
+    /// members on a shard share one table cache instead of holding ~10⁵
+    /// copies of identical twiddle/chirp/window tables — at large-fleet
+    /// scale this is the difference between gigabytes and megabytes. Plan
+    /// tables never influence results.
+    pub fn with_planner(
+        index: usize,
+        trace: DeviceTrace,
+        config: AdaptiveConfig,
+        planner: sweetspot_dsp::fft::FftPlanner,
+    ) -> Self {
+        FleetMember {
+            device: SimDevice::new(trace),
+            sampler: AdaptiveSampler::with_planner(config, planner),
+            scratch: PollScratch::new(),
             index,
         }
     }
@@ -185,7 +211,10 @@ impl FleetMember {
 
     /// Runs one lockstep epoch at the scheduler's `granted` rate.
     pub fn step_epoch(&mut self, start: Seconds, granted: Hertz, window: Seconds) -> EpochReport {
-        let mut source = DeviceSource(&mut self.device);
+        let mut source = ScratchSource {
+            device: &mut self.device,
+            scratch: &mut self.scratch,
+        };
         self.sampler.step_granted(&mut source, start, granted, window)
     }
 }

@@ -65,6 +65,27 @@ pub fn paper_scale_work() -> Vec<(MetricProfile, usize)> {
     work
 }
 
+/// A deterministic work list of exactly `pairs` metric-device pairs, for
+/// fleets beyond the paper's 1613: the 14-metric population is tiled
+/// round-robin (pair `i` is metric `i % 14` at device index `i / 14`), so
+///
+/// * any prefix stays metric-balanced — `scaled_work(n)` is a prefix of
+///   `scaled_work(m)` for `n ≤ m`, and growing a fleet never re-labels
+///   existing devices;
+/// * every pair draws a distinct per-device seed downstream
+///   ([`DeviceTrace::synthesize`] mixes the device index into its RNG), so a
+///   10⁵-pair fleet holds 10⁵ *different* devices, not copies.
+///
+/// At `pairs == 1613` this is the same population as [`paper_scale_work`]
+/// up to ordering and the three extras' device indices.
+pub fn scaled_work(pairs: usize) -> Vec<(MetricProfile, usize)> {
+    let profiles = MetricProfile::all();
+    let metrics = profiles.len();
+    (0..pairs)
+        .map(|i| (profiles[i % metrics], i / metrics))
+        .collect()
+}
+
 /// A population of synthetic `(metric, device)` traces.
 #[derive(Debug, Clone)]
 pub struct Fleet {
@@ -229,6 +250,42 @@ mod tests {
             );
         }
         assert_eq!(paper_scale_work().len(), PAPER_PAIR_COUNT);
+    }
+
+    #[test]
+    fn scaled_work_is_balanced_and_prefix_stable() {
+        let work = scaled_work(100);
+        assert_eq!(work.len(), 100);
+        // Balanced: each of the 14 metrics appears ⌊100/14⌋ or ⌈100/14⌉ times.
+        for kind in MetricKind::ALL {
+            let count = work.iter().filter(|(p, _)| p.kind == kind).count();
+            assert!((7..=8).contains(&count), "{kind:?}: {count}");
+        }
+        // Prefix stability: growing the fleet never re-labels a device.
+        let bigger = scaled_work(250);
+        assert_eq!(&bigger[..100], &work[..]);
+        // Device indices are distinct per metric (distinct seeds downstream).
+        let mut seen: Vec<(usize, usize)> = work
+            .iter()
+            .map(|(p, d)| (p.kind.index(), *d))
+            .collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), work.len());
+    }
+
+    #[test]
+    fn scaled_work_at_paper_count_matches_paper_population() {
+        let scaled = scaled_work(PAPER_PAIR_COUNT);
+        assert_eq!(scaled.len(), PAPER_PAIR_COUNT);
+        for kind in MetricKind::ALL {
+            let scaled_count = scaled.iter().filter(|(p, _)| p.kind == kind).count();
+            let paper_count = paper_scale_work()
+                .iter()
+                .filter(|(p, _)| p.kind == kind)
+                .count();
+            assert_eq!(scaled_count, paper_count, "{kind:?}");
+        }
     }
 
     #[test]

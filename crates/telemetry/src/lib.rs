@@ -35,7 +35,7 @@ pub mod model;
 pub mod noise;
 pub mod profile;
 
-pub use fleet::{paper_scale_work, Fleet, FleetConfig};
+pub use fleet::{paper_scale_work, scaled_work, Fleet, FleetConfig};
 pub use generator::{DeviceTrace, TraceSynth};
 pub use metric::MetricKind;
 pub use model::ToneBank;

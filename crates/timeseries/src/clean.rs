@@ -232,6 +232,18 @@ impl CleanScratch {
     pub fn reclaim(&mut self, series: RegularSeries) {
         self.grid = series.into_values();
     }
+
+    /// [`CleanScratch::reclaim`] for callers holding a bare buffer instead
+    /// of a series: the next [`clean_into`] moves `buf` into its output.
+    pub fn lend(&mut self, buf: Vec<f64>) {
+        self.grid = buf;
+    }
+
+    /// Takes back the currently lent output buffer (empty if none) — for
+    /// fallback paths that need the storage after a failed clean.
+    pub fn take_lent(&mut self) -> Vec<f64> {
+        std::mem::take(&mut self.grid)
+    }
 }
 
 /// [`clean`] with caller-owned scratch: identical results, but all working
@@ -246,6 +258,33 @@ pub fn clean_into(
     cfg: CleanConfig,
     scratch: &mut CleanScratch,
 ) -> Result<RegularSeries, CleanError> {
+    clean_slices_into(series.times(), series.values(), cfg, scratch)
+}
+
+/// The slice-level primitive behind [`clean_into`]: the trace arrives as
+/// parallel `times`/`values` slices so a poller that already holds its
+/// samples in recycled buffers (e.g. `monitor::SimDevice::poll_into`) can
+/// clean them without wrapping an [`IrregularSeries`] first.
+///
+/// # Errors
+/// Exactly as [`clean`].
+///
+/// # Panics
+/// Panics if the slices disagree in length or `times` is not strictly
+/// increasing (the [`IrregularSeries`] invariant — enforced here too, so
+/// the slice path fails as loudly as the series constructors; the scan is
+/// a single pass, cheap next to the re-gridding walk it precedes).
+pub fn clean_slices_into(
+    times: &[Seconds],
+    values: &[f64],
+    cfg: CleanConfig,
+    scratch: &mut CleanScratch,
+) -> Result<RegularSeries, CleanError> {
+    assert_eq!(times.len(), values.len(), "times and values must pair up");
+    assert!(
+        times.windows(2).all(|w| w[0].value() < w[1].value()),
+        "timestamps must be strictly increasing"
+    );
     if let Some(interval) = cfg.interval {
         if !(interval.value() > 0.0 && interval.value().is_finite()) {
             return Err(CleanError::BadInterval(interval.value()));
@@ -262,7 +301,7 @@ pub fn clean_into(
     // filtering preserves the ordering invariant).
     scratch.times.clear();
     scratch.values.clear();
-    for (t, v) in series.iter() {
+    for (&t, &v) in times.iter().zip(values) {
         if v.is_finite() {
             scratch.times.push(t);
             scratch.values.push(v);

@@ -22,12 +22,14 @@
 //!     Fleet-level adaptive simulation: every device's §4.2 controller under
 //!     one shared collection budget, with a cross-device scheduler deciding
 //!     epoch-by-epoch poll rates. Defaults to the paper-scale 1613-pair
-//!     fleet (`--paper-scale` says so explicitly; `--devices N` simulates N
-//!     devices/metric instead — combining the two is an error). Without
-//!     `--budget` it sweeps a budget ladder and prints the cost-vs-quality
-//!     frontier per policy; with `--budget X` (cost units/epoch) it runs one
-//!     point. `--policy` picks one of uncapped|uniform|fair|waterfill
-//!     (default: all). Output is byte-identical for any `--threads T`.
+//!     fleet (`--paper-scale` says so explicitly; `--devices N` simulates a
+//!     fleet of exactly N metric-device pairs instead, tiling the 14-metric
+//!     population round-robin — any N from a handful to 10⁵+; combining the
+//!     two is an error). Without `--budget` it sweeps a budget ladder and
+//!     prints the cost-vs-quality frontier per policy; with `--budget X`
+//!     (cost units/epoch) it runs one point. `--policy` picks one of
+//!     uncapped|uniform|fair|waterfill (default: all). Output is
+//!     byte-identical for any `--threads T`.
 //!
 //! sweetspot demo [--metric NAME] [--days D] [--seed S]
 //!     Emit a synthetic production trace as CSV on stdout (pipe it back
@@ -398,15 +400,19 @@ fn cmd_fleetsim(args: &[String]) -> Result<(), String> {
                     is exactly 1613 pairs (115/metric + 3 extras)"
             .into());
     }
+    if devices == Some(0) {
+        return Err("--devices wants a positive fleet size".into());
+    }
     let cfg = FleetSimConfig {
         fleet: FleetConfig {
             seed,
-            devices_per_metric: devices.unwrap_or(115),
+            devices_per_metric: 115,
             trace_duration: Seconds::from_days(1.0),
         },
         // The paper-scale 1613-pair fleet is the default; --devices N
-        // switches to a standard N-per-metric fleet.
+        // switches to an N-pair round-robin fleet (beyond 1613 included).
         paper_scale: devices.is_none(),
+        devices,
         days,
         threads,
         ..FleetSimConfig::default()

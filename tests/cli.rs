@@ -306,7 +306,7 @@ fn study_json_emits_machine_readable_output() {
 #[test]
 fn fleetsim_prints_frontier_for_all_policies() {
     let out = bin()
-        .args(["fleetsim", "--devices", "2", "--days", "3", "--seed", "5"])
+        .args(["fleetsim", "--devices", "28", "--days", "3", "--seed", "5"])
         .output()
         .unwrap();
     assert!(
@@ -327,7 +327,7 @@ fn fleetsim_prints_frontier_for_all_policies() {
 fn fleetsim_single_point_policy_and_json() {
     let out = bin()
         .args([
-            "fleetsim", "--devices", "2", "--days", "2", "--seed", "5", "--budget", "9000",
+            "fleetsim", "--devices", "28", "--days", "2", "--seed", "5", "--budget", "9000",
             "--policy", "waterfill", "--json",
         ])
         .output()
@@ -346,9 +346,40 @@ fn fleetsim_single_point_policy_and_json() {
 }
 
 #[test]
+fn fleetsim_rejects_zero_devices() {
+    let out = bin()
+        .args(["fleetsim", "--devices", "0", "--days", "1"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("positive fleet size"), "{stderr}");
+}
+
+#[test]
+fn fleetsim_scaled_fleet_is_balanced_beyond_per_metric_counts() {
+    // 30 pairs round-robin: not a multiple of 14, still runs and reports
+    // exactly the requested fleet size.
+    let out = bin()
+        .args([
+            "fleetsim", "--devices", "30", "--days", "1", "--seed", "5", "--budget", "9000",
+            "--policy", "fair",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("Fleet simulation: 30 devices"), "{stdout}");
+}
+
+#[test]
 fn fleetsim_rejects_bad_policy() {
     let out = bin()
-        .args(["fleetsim", "--devices", "2", "--policy", "roulette"])
+        .args(["fleetsim", "--devices", "28", "--policy", "roulette"])
         .output()
         .unwrap();
     assert!(!out.status.success());
@@ -364,7 +395,7 @@ fn fleetsim_output_is_byte_identical_across_thread_counts() {
     let run = |threads: &str| {
         let out = bin()
             .args([
-                "fleetsim", "--devices", "3", "--days", "3", "--seed", "11", "--budget", "20000",
+                "fleetsim", "--devices", "42", "--days", "3", "--seed", "11", "--budget", "20000",
                 "--threads", threads,
             ])
             .output()
@@ -384,7 +415,7 @@ fn fleetsim_output_is_byte_identical_across_thread_counts() {
 #[test]
 fn fleetsim_timing_is_stderr_only() {
     let timed = bin()
-        .args(["fleetsim", "--devices", "2", "--days", "2", "--seed", "3", "--timing"])
+        .args(["fleetsim", "--devices", "28", "--days", "2", "--seed", "3", "--timing"])
         .output()
         .unwrap();
     assert!(timed.status.success());
@@ -397,7 +428,7 @@ fn fleetsim_timing_is_stderr_only() {
         assert!(timing_line.contains(phase), "missing {phase}: {timing_line}");
     }
     let plain = bin()
-        .args(["fleetsim", "--devices", "2", "--days", "2", "--seed", "3"])
+        .args(["fleetsim", "--devices", "28", "--days", "2", "--seed", "3"])
         .output()
         .unwrap();
     assert_eq!(timed.stdout, plain.stdout, "--timing must not alter stdout");
