@@ -30,14 +30,27 @@
 //! the merged request vector, and all aggregation sums run in device index
 //! order — so output is **byte-identical for any `--threads N`** (pinned by
 //! tests and the CI smoke).
+//!
+//! # The memory wall
+//!
+//! Members hold only durable control state; each shard keeps its member
+//! records in one contiguous [`Slab`] and owns a single [`EpochScratch`]
+//! (oscillator bank, impairment buffers, detector/estimator scratch,
+//! recycled series storage) lent to members one step at a time. Every
+//! scratch buffer is overwritten before use, so sharing it is
+//! byte-identical to per-member copies — but the working set scales with
+//! *workers*, not *devices*, which at 10⁵ devices is the difference
+//! between tens of gigabytes and tens of megabytes (see
+//! [`MemoryStats`]).
 
 pub mod quality;
 pub mod scheduler;
 
 use std::thread;
 use std::time::{Duration, Instant};
+use sweetspot_arena::Slab;
 use sweetspot_core::adaptive::AdaptiveConfig;
-use sweetspot_monitor::poller::FleetMember;
+use sweetspot_monitor::poller::{EpochScratch, FleetMember};
 use sweetspot_monitor::{CostModel, EpochAccount, EpochLedger};
 use sweetspot_telemetry::{paper_scale_work, scaled_work, FleetConfig, MetricProfile};
 use sweetspot_timeseries::{Hertz, Seconds};
@@ -81,7 +94,27 @@ pub struct FleetSimConfig {
     /// [`MetricKind::index`](sweetspot_telemetry::MetricKind). Neutral 1.0
     /// by default.
     pub metric_weights: [f64; 14],
+    /// Settled members run §4.1 dual-rate verification every `k`-th epoch
+    /// (probing epochs always verify; anomalies pull verification forward).
+    /// 1 — the default — is continuous verification, today's behavior.
+    pub verify_every: usize,
+    /// Byte cap on the FFT plan-table caches, split evenly across worker
+    /// shards (`None` = unbounded). Tables are pure functions of transform
+    /// length, so the cap **never changes output** — over budget, each
+    /// shard's cache evicts least-recently-used tables and rebuilds them
+    /// bit-identically on demand, trading table-setup time for memory. The
+    /// default ([`FFT_TABLE_BUDGET_DEFAULT`]) only binds when a fleet sweeps
+    /// many distinct stream lengths — ~10⁵ adaptive controllers each polling
+    /// at its own rate; smaller fleets never evict.
+    pub fft_table_budget: Option<usize>,
 }
+
+/// Default total FFT plan-cache budget: 6 GiB across all shards. An
+/// uncapped 10⁵-device run sweeps enough distinct stream lengths to grow
+/// unbounded caches past 19 GB (every rate a controller ever probes is a
+/// new transform length); 6 GiB keeps the hot set resident while stale
+/// ramp-era lengths are evicted.
+pub const FFT_TABLE_BUDGET_DEFAULT: usize = 6 << 30;
 
 impl Default for FleetSimConfig {
     fn default() -> Self {
@@ -98,6 +131,8 @@ impl Default for FleetSimConfig {
             threads: 0,
             cost: CostModel::default(),
             metric_weights: [1.0; 14],
+            verify_every: 1,
+            fft_table_budget: Some(FFT_TABLE_BUDGET_DEFAULT),
         }
     }
 }
@@ -184,6 +219,55 @@ impl FleetTimings {
     }
 }
 
+/// One worker's shard: member records in one contiguous slab plus the
+/// single working set every member on the shard steps through. Durable
+/// state scales with devices; working state scales with workers.
+struct ShardState {
+    /// Member records, contiguous, in fleet order within the shard.
+    members: Slab<FleetMember>,
+    /// The shard's working set, lent to each member in turn.
+    scratch: EpochScratch,
+    /// A handle on the shard's shared FFT plan cache (every member holds a
+    /// clone) — kept for the post-run `fft_table_bytes` accounting.
+    planner: sweetspot_dsp::fft::FftPlanner,
+}
+
+impl ShardState {
+    /// Durable bytes: the slab block plus each member's owned heap.
+    fn member_bytes(&self) -> usize {
+        self.members.resident_bytes()
+            + self.members.iter().map(FleetMember::heap_bytes).sum::<usize>()
+    }
+}
+
+/// Resident-heap accounting of a finished run (high-water: scratch buffers
+/// only grow). The memory-wall invariant is `scratch_bytes` scaling with
+/// `workers` while `member_bytes / devices` stays flat.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MemoryStats {
+    /// Durable per-member state: slab blocks, trace identity, signal model.
+    pub member_bytes: usize,
+    /// Worker scratch high-water, summed over all shards.
+    pub scratch_bytes: usize,
+    /// Post-run residency of the per-shard FFT plan-table caches, summed —
+    /// capped by [`FleetSimConfig::fft_table_budget`] when one is set.
+    pub fft_table_bytes: usize,
+    /// Shards (= worker scratch instances).
+    pub workers: usize,
+}
+
+impl MemoryStats {
+    /// Durable bytes per device — the number that must stay flat as the
+    /// fleet scales.
+    pub fn bytes_per_member(&self, devices: usize) -> f64 {
+        if devices == 0 {
+            0.0
+        } else {
+            self.member_bytes as f64 / devices as f64
+        }
+    }
+}
+
 /// One policy's complete simulation outcome.
 #[derive(Debug, Clone)]
 pub struct PolicyOutcome {
@@ -205,6 +289,8 @@ pub struct PolicyOutcome {
     pub quality: FleetQuality,
     /// Phase timings (observability only).
     pub timing: FleetTimings,
+    /// Resident-heap accounting (observability only).
+    pub memory: MemoryStats,
 }
 
 impl PolicyOutcome {
@@ -244,28 +330,48 @@ pub fn run_policy(
     // the fleet order regardless of sharding). Every member on a shard gets
     // a clone of one per-shard FFT planner, so the shard holds each
     // twiddle/chirp/window table once — at 10⁵ devices, per-member caches
-    // would otherwise dominate memory by orders of magnitude.
+    // would otherwise dominate memory by orders of magnitude. Members land
+    // directly in per-shard slabs; each shard also gets the one EpochScratch
+    // its members will step through for the whole run.
     let t0 = Instant::now();
     let seed = cfg.fleet.seed;
     let window = cfg.window;
-    let mut members: Vec<FleetMember> = build_sharded(
+    let verify_every = cfg.verify_every.max(1);
+    // Split the plan-cache budget across shards. Eviction rebuilds tables
+    // bit-identically, so neither the budget nor the split affects output.
+    let shard_fft_budget = cfg.fft_table_budget.map(|total| total / threads.max(1));
+    let mut shards: Vec<ShardState> = build_shards(
         &work,
         threads,
-        sweetspot_dsp::fft::FftPlanner::new,
+        || {
+            let planner = sweetspot_dsp::fft::FftPlanner::new();
+            planner.set_table_budget(shard_fft_budget);
+            planner
+        },
         |planner, index, profile, device| {
+            let mut config = member_config(&profile, window);
+            config.verify_every = verify_every;
             FleetMember::with_planner(
                 index,
                 sweetspot_telemetry::DeviceTrace::synthesize(profile, device, seed),
-                member_config(&profile, window),
+                config,
                 planner.clone(),
             )
         },
-    );
+    )
+    .into_iter()
+    .map(|(planner, members)| ShardState {
+        members,
+        scratch: EpochScratch::new(),
+        planner,
+    })
+    .collect();
     // Quality requirement per device. A quiescent device's signal never
     // moves a full quantum, so *any* rate fully captures what is observable:
     // its requirement is zero (coverage 1.0 by definition in `quality`).
-    let nyquist: Vec<f64> = members
+    let nyquist: Vec<f64> = shards
         .iter()
+        .flat_map(|s| s.members.iter())
         .map(|m| {
             if m.device().trace().is_quiet() {
                 0.0
@@ -302,7 +408,10 @@ pub fn run_policy(
 
     for epoch in 0..epochs {
         let t_sched = Instant::now();
-        for (r, m) in requests.iter_mut().zip(&members) {
+        for (r, m) in requests
+            .iter_mut()
+            .zip(shards.iter().flat_map(|s| s.members.iter()))
+        {
             *r = m.requested_rate().value();
         }
         sched.allocate(&requests, capacity_rate, &mut grants);
@@ -312,8 +421,9 @@ pub fn run_policy(
         let chunk = crate::shard::chunk_size(n, threads);
         if threads == 1 {
             let t_step = Instant::now();
+            let ShardState { members, scratch, .. } = &mut shards[0];
             for (i, member) in members.iter_mut().enumerate() {
-                let report = member.step_epoch(start, Hertz(grants[i]), window);
+                let report = member.step_epoch(scratch, start, Hertz(grants[i]), window);
                 coverage_sum[i] += quality::coverage(report.primary_rate, Hertz(nyquist[i]));
                 epoch_samples[i] = report.samples_taken;
                 epoch_throttled[i] = report.throttled;
@@ -321,8 +431,8 @@ pub fn run_policy(
             timing.step += t_step.elapsed();
         } else {
             let step_time: Duration = thread::scope(|s| {
-                let handles: Vec<_> = members
-                    .chunks_mut(chunk)
+                let handles: Vec<_> = shards
+                    .iter_mut()
                     .zip(grants.chunks(chunk))
                     .zip(nyquist.chunks(chunk))
                     .zip(
@@ -331,12 +441,13 @@ pub fn run_policy(
                             .zip(epoch_samples.chunks_mut(chunk))
                             .zip(epoch_throttled.chunks_mut(chunk)),
                     )
-                    .map(|(((members, grants), nyquist), ((coverage, samples), throttled))| {
+                    .map(|(((shard, grants), nyquist), ((coverage, samples), throttled))| {
                         s.spawn(move || {
                             let t = Instant::now();
-                            for i in 0..members.len() {
+                            let ShardState { members, scratch, .. } = shard;
+                            for (i, member) in members.iter_mut().enumerate() {
                                 let report =
-                                    members[i].step_epoch(start, Hertz(grants[i]), window);
+                                    member.step_epoch(scratch, start, Hertz(grants[i]), window);
                                 coverage[i] +=
                                     quality::coverage(report.primary_rate, Hertz(nyquist[i]));
                                 samples[i] = report.samples_taken;
@@ -373,8 +484,9 @@ pub fn run_policy(
     }
 
     let t_quality = Instant::now();
-    let device_quality: Vec<DeviceQuality> = members
+    let device_quality: Vec<DeviceQuality> = shards
         .iter()
+        .flat_map(|s| s.members.iter())
         .enumerate()
         .map(|(i, m)| DeviceQuality {
             index: i,
@@ -386,6 +498,14 @@ pub fn run_policy(
     let quality = FleetQuality::from_devices(&device_quality);
     timing.schedule += t_quality.elapsed();
 
+    // Scratch buffers only grow, so post-run capacities are the high-water.
+    let memory = MemoryStats {
+        member_bytes: shards.iter().map(ShardState::member_bytes).sum(),
+        scratch_bytes: shards.iter().map(|s| s.scratch.resident_bytes()).sum(),
+        fft_table_bytes: shards.iter().map(|s| s.planner.table_bytes()).sum(),
+        workers: shards.len(),
+    };
+
     PolicyOutcome {
         policy,
         budget_per_epoch,
@@ -396,31 +516,36 @@ pub fn run_policy(
         device_quality,
         quality,
         timing,
+        memory,
     }
 }
 
-/// Builds per-device state in parallel shards, merged back in fleet order.
-/// Each shard owns one context built by `mk_ctx` (e.g. a shared FFT
-/// planner), handed to every `build` call on that shard.
-fn build_sharded<T, C, M, F>(
+/// Builds per-device state in parallel shards, one contiguous [`Slab`] per
+/// shard, in fleet order. Each shard owns one context built by `mk_ctx`
+/// (e.g. a shared FFT planner), handed to every `build` call on that shard
+/// and returned alongside the slab. Shard boundaries follow
+/// [`crate::shard::chunk_size`], matching the epoch loop's chunking of the
+/// global grant/quality arrays.
+fn build_shards<T, C, M, F>(
     work: &[(MetricProfile, usize)],
     threads: usize,
     mk_ctx: M,
     build: F,
-) -> Vec<T>
+) -> Vec<(C, Slab<T>)>
 where
     T: Send,
+    C: Send,
     M: Fn() -> C + Sync,
     F: Fn(&mut C, usize, MetricProfile, usize) -> T + Sync,
 {
     let n = work.len();
     if threads <= 1 || n < 2 {
         let mut ctx = mk_ctx();
-        return work
-            .iter()
-            .enumerate()
-            .map(|(i, &(p, d))| build(&mut ctx, i, p, d))
-            .collect();
+        let mut slab = Slab::with_capacity(n);
+        for (i, &(p, d)) in work.iter().enumerate() {
+            slab.push(build(&mut ctx, i, p, d));
+        }
+        return vec![(ctx, slab)];
     }
     let chunk = crate::shard::chunk_size(n, threads);
     thread::scope(|s| {
@@ -432,16 +557,17 @@ where
             .map(|(shard, span)| {
                 s.spawn(move || {
                     let mut ctx = mk_ctx();
-                    span.iter()
-                        .enumerate()
-                        .map(|(j, &(p, d))| build(&mut ctx, shard * chunk + j, p, d))
-                        .collect::<Vec<T>>()
+                    let mut slab = Slab::with_capacity(span.len());
+                    for (j, &(p, d)) in span.iter().enumerate() {
+                        slab.push(build(&mut ctx, shard * chunk + j, p, d));
+                    }
+                    (ctx, slab)
                 })
             })
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("fleetsim build worker panicked"))
+            .map(|h| h.join().expect("fleetsim build worker panicked"))
             .collect()
     })
 }
@@ -796,9 +922,10 @@ mod tests {
                 member.true_nyquist_rate()
             };
             let mut coverage = 0.0;
+            let mut scratch = EpochScratch::new();
             for epoch in 0..out.epochs {
                 let start = Seconds(epoch as f64 * cfg.window.value());
-                let r = member.step_epoch(start, member.requested_rate(), cfg.window);
+                let r = member.step_epoch(&mut scratch, start, member.requested_rate(), cfg.window);
                 coverage += quality::coverage(r.primary_rate, requirement);
             }
             let expected = coverage / out.epochs as f64;
@@ -931,6 +1058,82 @@ mod tests {
             assert_eq!(serial.device_quality, parallel.device_quality);
             assert_eq!(serial.quality, parallel.quality);
         }
+    }
+
+    #[test]
+    fn batched_verification_cuts_samples_and_stays_deterministic() {
+        // --verify-every k: settled members skip the §4.1 companion stream
+        // on k−1 of every k epochs, so the fleet must spend measurably
+        // fewer samples than continuous verification — without giving up
+        // thread determinism.
+        let cfg = |threads, verify_every| FleetSimConfig {
+            devices: Some(40),
+            days: 8.0,
+            threads,
+            verify_every,
+            ..FleetSimConfig::default()
+        };
+        let continuous = run_policy(&cfg(1, 1), SchedulerPolicy::Uncapped, f64::INFINITY);
+        let batched = run_policy(&cfg(1, 3), SchedulerPolicy::Uncapped, f64::INFINITY);
+        assert!(
+            batched.ledger.total_samples() < continuous.ledger.total_samples(),
+            "k=3 must acquire fewer samples: {} vs {}",
+            batched.ledger.total_samples(),
+            continuous.ledger.total_samples()
+        );
+        // Skipping verification must not wreck quality: rates can only be
+        // held or raised on skipped epochs, never lowered.
+        assert!(
+            batched.quality.mean_coverage >= continuous.quality.mean_coverage * 0.98,
+            "batched coverage {} vs continuous {}",
+            batched.quality.mean_coverage,
+            continuous.quality.mean_coverage
+        );
+        for threads in [2, 4] {
+            let parallel = run_policy(&cfg(threads, 3), SchedulerPolicy::Uncapped, f64::INFINITY);
+            assert_eq!(batched.ledger.accounts(), parallel.ledger.accounts());
+            assert_eq!(batched.device_quality, parallel.device_quality);
+        }
+    }
+
+    #[test]
+    fn memory_stats_report_flat_members_and_worker_scratch() {
+        let out = run_policy(&tiny_config(2), SchedulerPolicy::Uncapped, f64::INFINITY);
+        assert!(out.memory.member_bytes > 0);
+        assert!(out.memory.scratch_bytes > 0);
+        assert!(out.memory.fft_table_bytes > 0);
+        assert_eq!(out.memory.workers, 2);
+        // Durable member state stays far below the legacy ~130 B/sample
+        // working sets; a member is identity + model + controller only.
+        assert!(
+            out.memory.bytes_per_member(out.devices) < 4096.0,
+            "durable bytes/member ballooned: {}",
+            out.memory.bytes_per_member(out.devices)
+        );
+    }
+
+    #[test]
+    fn fft_table_budget_caps_the_cache_without_changing_output() {
+        // A cap tight enough to force eviction churn on even this small
+        // fleet must leave every observable output bit-identical to the
+        // unbounded run — tables are pure data — while actually holding
+        // the post-run cache at or under the per-shard floor.
+        let cfg = |budget| FleetSimConfig {
+            fft_table_budget: budget,
+            ..tiny_config(2)
+        };
+        let unbounded = run_policy(&cfg(None), SchedulerPolicy::Uncapped, f64::INFINITY);
+        let capped = run_policy(&cfg(Some(1)), SchedulerPolicy::Uncapped, f64::INFINITY);
+        assert_eq!(unbounded.ledger.accounts(), capped.ledger.accounts());
+        assert_eq!(unbounded.device_quality, capped.device_quality);
+        assert_eq!(unbounded.quality, capped.quality);
+        // A 1-byte total budget evicts everything but each in-flight table.
+        assert!(
+            capped.memory.fft_table_bytes < unbounded.memory.fft_table_bytes,
+            "capped cache ({} B) did not shrink below unbounded ({} B)",
+            capped.memory.fft_table_bytes,
+            unbounded.memory.fft_table_bytes
+        );
     }
 
     #[test]

@@ -430,11 +430,7 @@ impl WaterFillScheduler {
         if self.changed.is_empty() {
             return;
         }
-        // When most of the fleet moved (probe phases, budget steps), a full
-        // re-sort beats the merge bookkeeping. Both paths yield the same
-        // permutation — the comparator is a strict total order — so the
-        // crossover point is a pure performance knob.
-        if self.changed.len() * 4 > n {
+        if full_resort_due(self.changed.len(), n) {
             let norm = &self.norm;
             self.order
                 .sort_unstable_by(|&a, &b| sort_key(norm[a], a, norm[b], b));
@@ -466,6 +462,30 @@ impl WaterFillScheduler {
         std::mem::swap(&mut self.order, &mut self.merged);
         debug_assert_eq!(self.order.len(), n);
     }
+}
+
+/// Churn divisor for [`full_resort_due`]: the incremental merge wins only
+/// while at most `1/FULL_RESORT_CHURN_DIVISOR` of the fleet re-keyed.
+///
+/// The merge path pays `c·log c` to sort the changed indices plus an `O(n)`
+/// merge walk with stamp bookkeeping; the full path is one
+/// `sort_unstable_by` over an almost-sorted permutation (pdqsort's best
+/// case). The walk's per-element cost is a fraction of the sort's, so the
+/// crossover sits well below one-half — a quarter in practice on fleet
+/// workloads, where epochs are either quiet (a few probing devices) or
+/// stormy (budget steps re-keying most of the fleet), with little in
+/// between. Both paths yield the same permutation — the comparator is a
+/// strict total order — so this is a pure performance knob: a wrong value
+/// costs time, never correctness.
+pub const FULL_RESORT_CHURN_DIVISOR: usize = 4;
+
+/// True when this epoch's churn (`changed` of `n` devices re-keyed) crosses
+/// the [`FULL_RESORT_CHURN_DIVISOR`] threshold and `refresh_order` should
+/// abandon the incremental merge for a full re-sort. The boundary is
+/// *strict*: exactly `n / FULL_RESORT_CHURN_DIVISOR` changed devices (for
+/// divisible `n`) still merge.
+pub fn full_resort_due(changed: usize, n: usize) -> bool {
+    changed * FULL_RESORT_CHURN_DIVISOR > n
 }
 
 fn sort_key(na: f64, a: usize, nb: f64, b: usize) -> std::cmp::Ordering {
@@ -779,5 +799,59 @@ mod tests {
             );
         }
         assert_eq!(SchedulerPolicy::parse("bogus"), None);
+    }
+
+    #[test]
+    fn full_resort_threshold_boundary() {
+        // n divisible by the divisor: exactly n/4 changed still merges; one
+        // more tips into the full re-sort.
+        assert!(!full_resort_due(25, 100));
+        assert!(full_resort_due(26, 100));
+        // Indivisible n: strict `>` means floor(n/4) and even the exact
+        // rational boundary round down to the merge path.
+        assert!(!full_resort_due(25, 101));
+        assert!(full_resort_due(26, 101));
+        // Degenerate fleets: a single changed device of few is a "storm".
+        assert!(full_resort_due(1, 1));
+        assert!(full_resort_due(1, 3));
+        assert!(!full_resort_due(1, 4));
+        // No churn never forces a re-sort (refresh_order returns earlier
+        // anyway, but the predicate must agree).
+        assert!(!full_resort_due(0, 100));
+    }
+
+    #[test]
+    fn merge_and_full_resort_agree_around_the_boundary() {
+        // Walk churn counts across the threshold on one fleet and pin the
+        // stateful scheduler (which switches paths at the boundary) to the
+        // stateless reference (which sorts from scratch every epoch): the
+        // crossover must be invisible in the grants.
+        let n = 40;
+        let weights = vec![1.0; n];
+        let production: Vec<f64> = (0..n).map(|i| 0.5 + (i % 7) as f64).collect();
+        let mut requests: Vec<f64> = (0..n).map(|i| 1.0 + ((i * 13) % 17) as f64).collect();
+        let capacity: f64 = requests.iter().sum::<f64>() * 0.6;
+        let mut sched = SchedulerPolicy::WaterFill.scheduler(&weights, &production);
+        let mut grants = Vec::new();
+        let mut reference = Vec::new();
+        sched.allocate(&requests, capacity, &mut grants);
+        // n/4 = 10: churn 9 and 10 take the merge path, 11 and 12 the full
+        // re-sort.
+        for churn in [9usize, 10, 11, 12] {
+            for i in 0..churn {
+                let j = (i * 5) % n;
+                requests[j] = (requests[j] * 1.7 + j as f64 * 0.11) % 19.0 + 0.25;
+            }
+            sched.allocate(&requests, capacity, &mut grants);
+            allocate(
+                SchedulerPolicy::WaterFill,
+                &requests,
+                &weights,
+                &production,
+                capacity,
+                &mut reference,
+            );
+            assert_eq!(grants, reference, "diverged at churn {churn}");
+        }
     }
 }

@@ -6,6 +6,17 @@
 
 use sweetspot_dsp::stats::{Cdf, FiveNumber};
 
+/// Peak resident set size of this process in kB, from Linux's `VmHWM`
+/// (`/proc/self/status`). `None` where procfs is unavailable (non-Linux) —
+/// callers should silently omit the figure. VmHWM is a kernel-maintained
+/// high-water mark, so reading it once at the end of a run captures the
+/// true peak without sampling.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
 /// Renders a horizontal bar chart. `rows` are `(label, value)` with values
 /// in `[0, 1]` (fractions); `width` is the bar budget in characters.
 pub fn bar_chart(title: &str, rows: &[(String, f64)], width: usize) -> String {

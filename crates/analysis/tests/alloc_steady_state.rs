@@ -4,23 +4,31 @@
 //! whole lockstep epoch: request gathering, scheduling (incremental
 //! water-fill), and every member's controller epoch — polling through the
 //! oscillator bank and impairment chain, pre-cleaning, §4.1 dual-rate
-//! verification and §3.2 estimation. Once the per-member [`PollScratch`]
-//! buffers, the controller's recycled series buffers, the scheduler's order
-//! and the planner's cached tables are warm, a steady-state epoch must not
-//! touch the heap at all.
+//! verification and §3.2 estimation. Once the worker's [`EpochScratch`]
+//! buffers, the scheduler's order and the planner's cached tables are warm,
+//! a steady-state epoch must not touch the heap at all.
+//!
+//! Also pins the memory-wall invariants themselves: durable per-member
+//! bytes stay flat as the fleet scales (the working set lives in the
+//! worker scratch, not the members), and the scratch-sharing engine is
+//! bit-identical to members each stepping through a private scratch.
 //!
 //! The counter is **per-thread** (see the telemetry test for why), so the
 //! fleet is stepped serially — which is exactly the per-worker view of the
 //! sharded engine: each worker owns its members and steps them in a plain
 //! loop.
 //!
-//! [`PollScratch`]: sweetspot_monitor::device::PollScratch
+//! [`EpochScratch`]: sweetspot_monitor::poller::EpochScratch
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
-use sweetspot_analysis::fleetsim::{member_config, scheduler::SchedulerPolicy};
-use sweetspot_monitor::poller::FleetMember;
+use proptest::prelude::*;
+use sweetspot_analysis::fleetsim::{
+    member_config, quality, run_policy, scheduler, scheduler::SchedulerPolicy, FleetSimConfig,
+};
+use sweetspot_monitor::poller::{EpochScratch, FleetMember};
+use sweetspot_monitor::CostModel;
 use sweetspot_telemetry::{scaled_work, DeviceTrace};
 use sweetspot_timeseries::{Hertz, Seconds};
 
@@ -97,6 +105,9 @@ fn fleetsim_steady_state_epoch_is_allocation_free() {
     let mut requests = vec![0.0f64; n];
     let mut grants: Vec<f64> = Vec::with_capacity(n);
 
+    // The worker's single scratch, lent to every member in turn — the
+    // hoisted working set whose reuse this test pins as allocation-free.
+    let mut scratch = EpochScratch::new();
     let mut epoch_body = |epoch: usize| {
         let start = Seconds(epoch as f64 * window.value());
         for (r, m) in requests.iter_mut().zip(members.iter()) {
@@ -104,7 +115,7 @@ fn fleetsim_steady_state_epoch_is_allocation_free() {
         }
         sched.allocate(&requests, capacity, &mut grants);
         for (m, &g) in members.iter_mut().zip(grants.iter()) {
-            let report = m.step_epoch(start, Hertz(g), window);
+            let report = m.step_epoch(&mut scratch, start, Hertz(g), window);
             std::hint::black_box(report.samples_taken);
         }
     };
@@ -125,5 +136,144 @@ fn fleetsim_steady_state_epoch_is_allocation_free() {
             count, 0,
             "steady-state fleet epoch {epoch} must not allocate"
         );
+    }
+}
+
+#[test]
+fn per_member_resident_bytes_flat_under_scale() {
+    // The memory-wall invariant: durable bytes per member must not grow as
+    // the fleet scales 10³ → 10⁴ (the working set lives in the per-worker
+    // scratch, whose size tracks workers, not devices). Short evidence-free
+    // epochs keep this cheap: a 1 h window at production rates holds far
+    // fewer than the estimator's 64-sample minimum, so controllers hold
+    // their rate and the run is pure accounting.
+    let run = |devices: usize| {
+        let cfg = FleetSimConfig {
+            devices: Some(devices),
+            days: 2.0 / 24.0, // two one-hour epochs
+            window: Seconds(3600.0),
+            threads: 1,
+            ..FleetSimConfig::default()
+        };
+        run_policy(&cfg, SchedulerPolicy::Uncapped, f64::INFINITY)
+    };
+    let small = run(1_000);
+    let large = run(10_000);
+    let per_small = small.memory.bytes_per_member(small.devices);
+    let per_large = large.memory.bytes_per_member(large.devices);
+    assert!(per_small > 0.0 && per_large > 0.0);
+    // Flat within round-off: slab growth is exactly linear, so the only
+    // slack needed is for per-device string/model length variation across
+    // the round-robin population.
+    assert!(
+        per_large <= per_small * 1.10,
+        "per-member durable bytes grew with fleet size: {per_small:.1} B @1k vs {per_large:.1} B @10k"
+    );
+    // The working set is per worker: one shard here, same buffers either way.
+    assert_eq!(small.memory.workers, 1);
+    assert_eq!(large.memory.workers, 1);
+    assert!(
+        large.memory.scratch_bytes <= small.memory.scratch_bytes.max(1) * 2,
+        "worker scratch must not scale with devices: {} B @1k vs {} B @10k",
+        small.memory.scratch_bytes,
+        large.memory.scratch_bytes
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The arena-backed, scratch-sharing engine must be **bit-identical**
+    /// to the boxed layout it replaced: every member owning a private
+    /// working set, grants computed by the stateless scheduler reference.
+    #[test]
+    fn arena_engine_matches_boxed_members(
+        devices in 4usize..24,
+        seed in 0u64..1_000,
+        budget_frac in 0.2f64..1.5,
+        verify_every in 1usize..4,
+        policy_pick in 0usize..3,
+    ) {
+        let policy = [
+            SchedulerPolicy::Uniform,
+            SchedulerPolicy::Fair,
+            SchedulerPolicy::WaterFill,
+        ][policy_pick];
+        let mut cfg = FleetSimConfig {
+            devices: Some(devices),
+            days: 3.0,
+            threads: 1,
+            verify_every,
+            ..FleetSimConfig::default()
+        };
+        cfg.fleet.seed = seed;
+        let window = cfg.window;
+        let work = scaled_work(devices);
+        let production: Vec<f64> =
+            work.iter().map(|(p, _)| p.production_rate().value()).collect();
+        let weights = vec![1.0f64; devices];
+
+        // Budget in cost units, scaled off the fleet's production demand so
+        // the ladder spans slack through starvation.
+        let verify_overhead = 1.0 + 1.0 / sweetspot_core::aliasing::COMPANION_RATIO;
+        let epoch_unit = CostModel::default().cost_per_sample() * window.value() * verify_overhead;
+        let budget = budget_frac * production.iter().sum::<f64>() * epoch_unit;
+        let capacity_rate = budget / epoch_unit;
+
+        let engine = run_policy(&cfg, policy, budget);
+
+        // Boxed reference: standalone members, each with a private scratch.
+        let mut members: Vec<FleetMember> = work
+            .iter()
+            .enumerate()
+            .map(|(i, &(p, d))| {
+                let mut config = member_config(&p, window);
+                config.verify_every = verify_every;
+                FleetMember::new(i, DeviceTrace::synthesize(p, d, seed), config)
+            })
+            .collect();
+        let mut scratches: Vec<EpochScratch> =
+            members.iter().map(|_| EpochScratch::new()).collect();
+        let requirement: Vec<Hertz> = members
+            .iter()
+            .map(|m| {
+                if m.device().trace().is_quiet() {
+                    Hertz(0.0)
+                } else {
+                    m.true_nyquist_rate()
+                }
+            })
+            .collect();
+        let epochs = engine.epochs;
+        let mut requests = vec![0.0f64; devices];
+        let mut grants: Vec<f64> = Vec::new();
+        let mut coverage_sum = vec![0.0f64; devices];
+        let mut epoch_sample_sums = Vec::with_capacity(epochs);
+        for epoch in 0..epochs {
+            for (r, m) in requests.iter_mut().zip(members.iter()) {
+                *r = m.requested_rate().value();
+            }
+            scheduler::allocate(policy, &requests, &weights, &production, capacity_rate, &mut grants);
+            let start = Seconds(epoch as f64 * window.value());
+            let mut samples = 0usize;
+            for (i, (m, scratch)) in members.iter_mut().zip(scratches.iter_mut()).enumerate() {
+                let report = m.step_epoch(scratch, start, Hertz(grants[i]), window);
+                coverage_sum[i] += quality::coverage(report.primary_rate, requirement[i]);
+                samples += report.samples_taken;
+            }
+            epoch_sample_sums.push(samples);
+        }
+        for (i, dq) in engine.device_quality.iter().enumerate() {
+            prop_assert_eq!(
+                dq.mean_coverage,
+                coverage_sum[i] / epochs as f64,
+                "device {} coverage diverged from the boxed reference",
+                i
+            );
+            prop_assert_eq!(dq.deferred_epochs, members[i].sampler().deferred_epochs());
+        }
+        let engine_samples: Vec<usize> =
+            engine.ledger.accounts().iter().map(|a| a.samples).collect();
+        prop_assert_eq!(engine_samples, epoch_sample_sums);
     }
 }

@@ -59,9 +59,23 @@
 //! rate. [`AdaptiveSampler::new`] therefore clamps `headroom` up to
 //! [`MIN_VERIFY_HEADROOM`]; this is itself a finding about the *real* cost
 //! of the paper's always-on detector.
+//!
+//! ### Batched verification
+//!
+//! Continuous verification costs `1/φ ≈ 62%` extra samples forever.
+//! [`AdaptiveConfig::verify_every`]` = k` amortizes it: a *settled*
+//! controller acquires the companion stream only every k-th epoch; the
+//! skipped epochs poll just the primary. The skipped epochs are handled
+//! conservatively — they can **raise** the request (following a rising
+//! estimate is safe; the raise is then verified on the pulled-forward next
+//! epoch) but never lower it, and an estimator "aliased" verdict on a
+//! skipped epoch holds the rate and forces verification next epoch instead
+//! of probing (the §4.1 detector, not the flat-spectrum guard, is the
+//! arbiter of aliasing). Probe-mode epochs always verify. `k = 1` is
+//! bit-identical to the classic controller.
 
 use crate::aliasing::{companion_rate, detect_aliasing_scratch, DetectScratch, DualRateConfig};
-use crate::estimator::{NyquistConfig, NyquistEstimate, NyquistEstimator};
+use crate::estimator::{EstimatorScratch, NyquistConfig, NyquistEstimate, NyquistEstimator};
 use crate::source::SignalSource;
 use sweetspot_timeseries::{Hertz, Seconds};
 
@@ -107,6 +121,14 @@ pub struct AdaptiveConfig {
     pub decrease_threshold: f64,
     /// Remember past maxima and re-ramp to them directly.
     pub memory: bool,
+    /// Batched verification cadence: once settled (Steady mode), run the
+    /// §4.1 companion stream only every `verify_every`-th epoch instead of
+    /// every epoch. `1` (the default) is continuous verification — exactly
+    /// the classic behavior. Probe-mode epochs always verify (the verdict
+    /// *is* the probe's exit condition), and any anomaly on a skipped epoch
+    /// pulls the next verification forward (see the module docs). `0` is
+    /// treated as `1`.
+    pub verify_every: usize,
     /// Nominal epoch window (auto-extended at very low rates so the window
     /// holds at least 64 samples).
     pub epoch: Seconds,
@@ -127,6 +149,7 @@ impl Default for AdaptiveConfig {
             decrease_patience: 3,
             decrease_threshold: 0.7,
             memory: true,
+            verify_every: 1,
             epoch: Seconds(600.0),
             estimator: NyquistConfig::default(),
             detector: DualRateConfig::default(),
@@ -165,6 +188,47 @@ pub struct EpochReport {
     pub next_rate: Hertz,
 }
 
+/// The controller's transient working set for one epoch: detector scratch,
+/// estimator scratch, and the recycled value buffers for the primary and
+/// companion streams.
+///
+/// Every [`AdaptiveSampler`] owns one for the classic
+/// [`step`](AdaptiveSampler::step)/[`step_granted`](AdaptiveSampler::step_granted)
+/// API; the fleet engine instead lends one *per worker* through
+/// [`AdaptiveSampler::step_granted_scratch`], so 10⁵ member controllers
+/// share a handful of warmed-up working sets and keep only durable control
+/// state (rates, hysteresis, deferral counters, remembered max) per member.
+/// Scratch contents never influence results — every buffer is cleared or
+/// overwritten before use.
+#[derive(Debug, Default)]
+pub struct SamplerScratch {
+    /// §4.1 detector working storage.
+    detect: DetectScratch,
+    /// §3.2 estimator working storage.
+    estimator: EstimatorScratch,
+    /// Recycled value buffers for the primary/companion streams: each epoch
+    /// hands them to the source via `sample_recycled` and reclaims them from
+    /// the returned series, so a source with a zero-allocation path (e.g.
+    /// `monitor::ScratchSource`) makes the whole epoch allocation-free.
+    fast_spare: Vec<f64>,
+    slow_spare: Vec<f64>,
+}
+
+impl SamplerScratch {
+    /// Empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Heap bytes the scratch currently holds (capacities, not lengths).
+    pub fn resident_bytes(&self) -> usize {
+        self.detect.resident_bytes()
+            + self.estimator.resident_bytes()
+            + (self.fast_spare.capacity() + self.slow_spare.capacity())
+                * std::mem::size_of::<f64>()
+    }
+}
+
 /// The dynamic sampler.
 pub struct AdaptiveSampler {
     config: AdaptiveConfig,
@@ -176,14 +240,12 @@ pub struct AdaptiveSampler {
     epoch_index: usize,
     deferred_epochs: usize,
     deferred_samples: usize,
-    /// §4.1 detector working storage, persistent across epochs.
-    detect: DetectScratch,
-    /// Recycled value buffers for the primary/companion streams: each epoch
-    /// hands them to the source via `sample_recycled` and reclaims them from
-    /// the returned series, so a source with a zero-allocation path (e.g.
-    /// `monitor::ScratchSource`) makes the whole epoch allocation-free.
-    fast_spare: Vec<f64>,
-    slow_spare: Vec<f64>,
+    /// Settled epochs since the §4.1 companion last ran (batched
+    /// verification; stays 0 under the default continuous cadence).
+    since_verify: usize,
+    /// Working storage for the owned-scratch API; stays empty when every
+    /// epoch runs through [`AdaptiveSampler::step_granted_scratch`].
+    scratch: SamplerScratch,
 }
 
 impl AdaptiveSampler {
@@ -233,9 +295,8 @@ impl AdaptiveSampler {
             epoch_index: 0,
             deferred_epochs: 0,
             deferred_samples: 0,
-            detect: DetectScratch::new(),
-            fast_spare: Vec::new(),
-            slow_spare: Vec::new(),
+            since_verify: 0,
+            scratch: SamplerScratch::new(),
         }
     }
 
@@ -272,13 +333,22 @@ impl AdaptiveSampler {
         self.deferred_samples
     }
 
+    /// Heap bytes of the controller's *owned* working storage (its scratch
+    /// plus the estimator's) — zero as long as every epoch runs through
+    /// [`AdaptiveSampler::step_granted_scratch`] with worker-lent scratch
+    /// (the fleet engine's memory-wall invariant).
+    pub fn owned_scratch_bytes(&self) -> usize {
+        self.scratch.resident_bytes() + self.estimator.scratch_resident_bytes()
+    }
+
     /// Runs one adaptation epoch starting at `start` and returns the report.
     pub fn step<S: SignalSource>(&mut self, source: &mut S, start: Seconds) -> EpochReport {
         let secondary = companion_rate(self.rate);
         // Extend the window until the *slower* stream holds enough samples.
         let min_duration = MIN_EPOCH_SAMPLES as f64 / secondary.value();
         let duration = Seconds(self.config.epoch.value().max(min_duration));
-        self.step_at(source, start, self.rate, duration)
+        let rate = self.rate;
+        self.step_owned(source, start, rate, duration)
     }
 
     /// Runs one epoch at an externally `granted` rate over a fixed lockstep
@@ -295,19 +365,53 @@ impl AdaptiveSampler {
         granted: Hertz,
         window: Seconds,
     ) -> EpochReport {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let report = self.step_granted_scratch(&mut scratch, source, start, granted, window);
+        self.scratch = scratch;
+        report
+    }
+
+    /// [`AdaptiveSampler::step_granted`] through caller-owned working
+    /// storage — bit-identical results, but a fleet of controllers can share
+    /// one warmed-up [`SamplerScratch`] per worker instead of each holding
+    /// its own buffers (see [`SamplerScratch`]).
+    pub fn step_granted_scratch<S: SignalSource>(
+        &mut self,
+        scratch: &mut SamplerScratch,
+        source: &mut S,
+        start: Seconds,
+        granted: Hertz,
+        window: Seconds,
+    ) -> EpochReport {
         assert!(window.value() > 0.0, "window must be positive");
         let clamped = Hertz(
             granted
                 .value()
                 .clamp(self.config.min_rate.value(), self.config.max_rate.value()),
         );
-        self.step_at(source, start, clamped, window)
+        self.step_at(scratch, source, start, clamped, window)
+    }
+
+    /// Epoch body through the sampler's own scratch (the borrow dance is
+    /// pointer-sized moves, never an allocation).
+    fn step_owned<S: SignalSource>(
+        &mut self,
+        source: &mut S,
+        start: Seconds,
+        primary: Hertz,
+        duration: Seconds,
+    ) -> EpochReport {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let report = self.step_at(&mut scratch, source, start, primary, duration);
+        self.scratch = scratch;
+        report
     }
 
     /// Shared epoch body: sample at `primary` over `duration`, verify and
     /// estimate, then update the request for the next epoch.
     fn step_at<S: SignalSource>(
         &mut self,
+        scratch: &mut SamplerScratch,
         source: &mut S,
         start: Seconds,
         primary: Hertz,
@@ -321,11 +425,26 @@ impl AdaptiveSampler {
         // The §4.1 detector needs 16+ samples in *both* streams; when the
         // window cannot even nominally hold them the companion stream buys
         // nothing, so it is not acquired at all.
-        let worth_verifying =
+        let detectable =
             expected(primary) >= MIN_DETECT_SAMPLES && expected(secondary) >= MIN_DETECT_SAMPLES;
+        // Batched verification cadence: probing epochs always verify (the
+        // verdict is the probe's exit condition); settled epochs verify
+        // every `verify_every`-th epoch. The default cadence 1 makes
+        // `verify_due` unconditionally true.
+        let cadence = self.config.verify_every.max(1);
+        let verify_due = self.mode == Mode::Probe || self.since_verify + 1 >= cadence;
+        let worth_verifying = detectable && verify_due;
+        // An epoch the *cadence* (not the window) kept unverified: handled
+        // conservatively below — may raise, never lowers, never probes.
+        let skipped_verify = detectable && !verify_due;
+        let mut force_verify_next = false;
 
-        let fast =
-            source.sample_recycled(start, primary, duration, std::mem::take(&mut self.fast_spare));
+        let fast = source.sample_recycled(
+            start,
+            primary,
+            duration,
+            std::mem::take(&mut scratch.fast_spare),
+        );
         let mut samples_taken = fast.len();
         // Share the estimator's planner so the detector reuses the same
         // cached twiddle and window tables every epoch. The detector's
@@ -339,27 +458,28 @@ impl AdaptiveSampler {
                 start,
                 secondary,
                 duration,
-                std::mem::take(&mut self.slow_spare),
+                std::mem::take(&mut scratch.slow_spare),
             );
             samples_taken += slow.len();
             if fast.len() >= MIN_DETECT_SAMPLES && slow.len() >= MIN_DETECT_SAMPLES {
                 verified = true;
                 verdict_aliased = detect_aliasing_scratch(
                     self.estimator.planner_mut(),
-                    &mut self.detect,
+                    &mut scratch.detect,
                     &fast,
                     &slow,
                     self.config.detector,
                 )
                 .aliased;
             }
-            self.slow_spare = slow.into_values();
+            scratch.slow_spare = slow.into_values();
         }
         // The estimator is only meaningful with a full window's worth of
         // samples (see module docs); a short window contributes no evidence.
         let estimator_trusted = fast.len() >= MIN_EPOCH_SAMPLES;
         let mut estimate = if estimator_trusted {
-            self.estimator.estimate_series(&fast)
+            self.estimator
+                .estimate_series_with(&mut scratch.estimator, &fast)
         } else {
             NyquistEstimate::Aliased
         };
@@ -374,7 +494,7 @@ impl AdaptiveSampler {
             estimate = NyquistEstimate::Rate(Hertz(2.0 * primary.value() / fast.len() as f64));
         }
         let aliased = verdict_aliased || (estimator_trusted && estimate.is_aliased());
-        self.fast_spare = fast.into_values();
+        scratch.fast_spare = fast.into_values();
 
         if throttled {
             self.deferred_epochs += 1;
@@ -392,7 +512,15 @@ impl AdaptiveSampler {
             }
         }
 
-        let next = if aliased {
+        let next = if aliased && skipped_verify {
+            // The flat-spectrum guard fired on an epoch whose §4.1 verdict
+            // the cadence skipped. With verification the override above
+            // would usually clear it (§4.1 is the arbiter); without it,
+            // probing on guard evidence alone would wreck the settled rate.
+            // Hold the request and pull verification forward instead.
+            force_verify_next = true;
+            requested
+        } else if aliased {
             self.mode = Mode::Probe;
             self.low_streak = 0;
             let escalated = primary.value() * self.config.probe_multiplier;
@@ -424,12 +552,17 @@ impl AdaptiveSampler {
                 Mode::Steady => {
                     if target > primary.value() {
                         // Content rose but has not aliased yet (headroom did
-                        // its job): follow it up immediately.
+                        // its job): follow it up immediately. Raising on a
+                        // skipped epoch is safe, but confirm it promptly.
                         self.low_streak = 0;
+                        if skipped_verify {
+                            force_verify_next = true;
+                        }
                         Hertz(target)
-                    } else if throttled && !verified {
-                        // Unverifiable cut epoch: a folded spectrum can look
-                        // clean, so hold the request and freeze the decrease
+                    } else if (throttled && !verified) || skipped_verify {
+                        // Unverifiable cut epoch — or one the verification
+                        // cadence skipped: a folded spectrum can look clean,
+                        // so hold the request and freeze the decrease
                         // hysteresis until the detector can run again.
                         requested
                     } else if target < primary.value() * self.config.decrease_threshold {
@@ -471,6 +604,16 @@ impl AdaptiveSampler {
             samples_taken,
             next_rate: next,
         };
+        // Verification-cadence bookkeeping. `force_verify_next` pins the
+        // counter at the cadence so the very next detectable epoch is due.
+        if verified {
+            self.since_verify = 0;
+        } else {
+            self.since_verify = self.since_verify.saturating_add(1);
+        }
+        if force_verify_next {
+            self.since_verify = cadence;
+        }
         self.rate = next;
         self.epoch_index += 1;
         report
@@ -514,6 +657,73 @@ mod tests {
             max_rate: Hertz(64.0),
             epoch: Seconds(epoch),
             ..AdaptiveConfig::default()
+        }
+    }
+
+    #[test]
+    fn batched_verification_cuts_cost_without_losing_the_rate() {
+        let edge = 0.5; // true Nyquist sampling rate = 1.0 Hz
+        let run = |verify_every: usize| {
+            let mut source = FunctionSource::new(band_signal(edge));
+            let mut ctl = AdaptiveSampler::new(AdaptiveConfig {
+                verify_every,
+                ..config(0.3, 2000.0)
+            });
+            ctl.run(&mut source, Seconds(60_000.0))
+        };
+        let continuous = run(1);
+        let batched = run(3);
+        // verify_every: 1 must be exactly the classic controller — the
+        // default constructed in `config()` already says 1, so this pins
+        // the representation too.
+        assert_eq!(continuous, run(1));
+        // Skipping 2 of 3 companion streams on settled epochs must save
+        // samples...
+        assert!(
+            total_samples(&batched) < total_samples(&continuous),
+            "batched {} vs continuous {}",
+            total_samples(&batched),
+            total_samples(&continuous)
+        );
+        // ...without losing the adapted rate: skipped epochs may hold or
+        // raise but never lower, so the settled rate stays in the same
+        // band as continuous verification.
+        let last_c = continuous.last().unwrap().primary_rate.value();
+        let last_b = batched.last().unwrap().primary_rate.value();
+        assert!(
+            last_b >= 1.0 && last_b <= last_c * 2.0 + 1.0,
+            "batched settled at {last_b}, continuous at {last_c}"
+        );
+    }
+
+    #[test]
+    fn skipped_epochs_count_toward_the_next_verification() {
+        let edge = 0.5;
+        let mut source = FunctionSource::new(band_signal(edge));
+        let mut ctl = AdaptiveSampler::new(AdaptiveConfig {
+            verify_every: 4,
+            ..config(2.0, 2000.0)
+        });
+        let reports = ctl.run(&mut source, Seconds(80_000.0));
+        // Once steady, epochs acquiring the companion stream (≈ +60% the
+        // samples of a skipped epoch at the same rate) must appear at the
+        // k=4 cadence: at least one verified epoch in every 4 consecutive
+        // settled epochs at a held rate.
+        let steady: Vec<&EpochReport> = reports
+            .iter()
+            .filter(|r| r.mode == Mode::Steady && !r.aliased)
+            .collect();
+        assert!(steady.len() >= 8, "need a settled tail, got {}", steady.len());
+        let held: Vec<usize> = steady.iter().map(|r| r.samples_taken).collect();
+        // Window of 4: the max (verified) must exceed the min (skipped) —
+        // both populations exist within every cadence period.
+        for w in held.windows(4) {
+            let lo = w.iter().min().unwrap();
+            let hi = w.iter().max().unwrap();
+            assert!(
+                hi > lo,
+                "no verification inside a cadence window: {w:?} of {held:?}"
+            );
         }
     }
 

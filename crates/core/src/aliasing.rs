@@ -132,6 +132,17 @@ impl DetectScratch {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Heap bytes the scratch currently holds (capacities, not lengths) —
+    /// the per-worker memory-footprint accounting of the fleet engine.
+    pub fn resident_bytes(&self) -> usize {
+        self.psd.resident_bytes()
+            + (self.fast_power.capacity()
+                + self.slow_power.capacity()
+                + self.fast_bands.capacity()
+                + self.slow_bands.capacity())
+                * std::mem::size_of::<f64>()
+    }
 }
 
 /// [`detect_aliasing_with`] with caller-owned scratch: identical verdicts,

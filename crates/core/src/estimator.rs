@@ -117,6 +117,33 @@ impl NyquistEstimate {
     }
 }
 
+/// Reusable working storage for [`NyquistEstimator`]: the PSD scratch plus
+/// the recycled one-sided power buffer (handed to `Spectrum` per estimate
+/// and reclaimed with `Spectrum::into_power` afterwards).
+///
+/// Every estimator owns one for the classic API, but the
+/// [`NyquistEstimator::estimate_samples_with`] path accepts an *external*
+/// scratch instead — that is how the fleet engine shares one warmed-up
+/// buffer set per worker across 10⁵ member estimators whose own scratch
+/// then stays empty (ISSUE 6's memory wall).
+#[derive(Debug, Default)]
+pub struct EstimatorScratch {
+    psd: PsdScratch,
+    power: Vec<f64>,
+}
+
+impl EstimatorScratch {
+    /// Empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Heap bytes the scratch currently holds (capacities, not lengths).
+    pub fn resident_bytes(&self) -> usize {
+        self.psd.resident_bytes() + self.power.capacity() * std::mem::size_of::<f64>()
+    }
+}
+
 /// The estimator. Owns an [`FftPlanner`] plus reusable PSD scratch so
 /// repeated estimates over equal-length traces reuse twiddle tables, window
 /// tables and every working buffer — the steady-state fleet-study loop
@@ -124,10 +151,9 @@ impl NyquistEstimate {
 pub struct NyquistEstimator {
     config: NyquistConfig,
     planner: FftPlanner,
-    scratch: PsdScratch,
-    /// Recycled one-sided power buffer (handed to `Spectrum` per estimate
-    /// and reclaimed with `Spectrum::into_power` afterwards).
-    power: Vec<f64>,
+    /// Working storage for the owned-scratch API; stays empty when every
+    /// estimate goes through [`NyquistEstimator::estimate_samples_with`].
+    scratch: EstimatorScratch,
 }
 
 impl NyquistEstimator {
@@ -155,8 +181,7 @@ impl NyquistEstimator {
         NyquistEstimator {
             config,
             planner,
-            scratch: PsdScratch::new(),
-            power: Vec::new(),
+            scratch: EstimatorScratch::new(),
         }
     }
 
@@ -177,24 +202,57 @@ impl NyquistEstimator {
         &mut self.planner
     }
 
-    /// Estimates the Nyquist rate of raw samples taken at `sample_rate`.
+    /// Heap bytes of the estimator's *owned* working storage: its scratch
+    /// plus the planner clone's private FFT buffers. Zero as long as every
+    /// estimate runs through [`NyquistEstimator::estimate_samples_with`]
+    /// (the fleet engine asserts exactly that — the planner term is what
+    /// catches a transform accidentally routed through planner-owned
+    /// scratch, which at 10⁵ members costs gigabytes).
+    pub fn scratch_resident_bytes(&self) -> usize {
+        self.scratch.resident_bytes() + self.planner.scratch_resident_bytes()
+    }
+
+    /// Estimates the Nyquist rate of raw samples taken at `sample_rate`,
+    /// through the estimator's own working storage.
     ///
     /// # Panics
     /// Panics if `samples` has fewer than 4 points (no spectral content to
     /// threshold) or `sample_rate` is not positive.
     pub fn estimate_samples(&mut self, samples: &[f64], sample_rate: Hertz) -> NyquistEstimate {
+        // The borrow dance (take, use, put back) lets the shared body borrow
+        // the planner and the scratch independently; the swap is pointer-
+        // sized moves, never an allocation.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let estimate = self.estimate_samples_with(&mut scratch, samples, sample_rate);
+        self.scratch = scratch;
+        estimate
+    }
+
+    /// [`NyquistEstimator::estimate_samples`] through caller-owned working
+    /// storage — bit-identical results, but a fleet of estimators can share
+    /// one warmed-up [`EstimatorScratch`] per worker instead of each holding
+    /// its own power/PSD buffers.
+    ///
+    /// # Panics
+    /// Exactly as [`NyquistEstimator::estimate_samples`].
+    pub fn estimate_samples_with(
+        &mut self,
+        scratch: &mut EstimatorScratch,
+        samples: &[f64],
+        sample_rate: Hertz,
+    ) -> NyquistEstimate {
         assert!(
             samples.len() >= 4,
             "need at least 4 samples to estimate a spectrum, got {}",
             samples.len()
         );
         assert!(sample_rate.value() > 0.0, "sample_rate must be positive");
-        let mut power = std::mem::take(&mut self.power);
+        let mut power = std::mem::take(&mut scratch.power);
         let n = match self.config.psd {
             PsdMethod::Periodogram => {
                 periodogram_into(
                     &mut self.planner,
-                    &mut self.scratch,
+                    &mut scratch.psd,
                     samples,
                     PsdConfig {
                         window: self.config.window,
@@ -206,7 +264,7 @@ impl NyquistEstimator {
             }
             PsdMethod::Welch { segment_len } => welch_into(
                 &mut self.planner,
-                &mut self.scratch,
+                &mut scratch.psd,
                 samples,
                 WelchConfig {
                     segment_len,
@@ -244,13 +302,23 @@ impl NyquistEstimator {
                 }
             }
         };
-        self.power = spectrum.into_power();
+        scratch.power = spectrum.into_power();
         estimate
     }
 
     /// Estimates the Nyquist rate of a regular series.
     pub fn estimate_series(&mut self, series: &RegularSeries) -> NyquistEstimate {
         self.estimate_samples(series.values(), series.sample_rate())
+    }
+
+    /// [`NyquistEstimator::estimate_series`] through caller-owned working
+    /// storage (see [`NyquistEstimator::estimate_samples_with`]).
+    pub fn estimate_series_with(
+        &mut self,
+        scratch: &mut EstimatorScratch,
+        series: &RegularSeries,
+    ) -> NyquistEstimate {
+        self.estimate_samples_with(scratch, series.values(), series.sample_rate())
     }
 }
 

@@ -22,6 +22,14 @@
 //! distinct plan once instead of once per device — tables are pure data and
 //! never influence results, only memory and setup time.
 //!
+//! By default the cache is unbounded — fine for workloads that revisit a
+//! handful of lengths. Fleet-scale workloads that sweep *many* distinct
+//! lengths (10⁵ adaptive controllers each polling at its own rate) can cap it
+//! with [`FftPlanner::set_table_budget`]: the cache then evicts
+//! least-recently-used tables once the cap is exceeded. Because tables are
+//! pure functions of their length, eviction is invisible to results — a
+//! re-requested length rebuilds the identical table and pays only setup time.
+//!
 //! The `*_into` methods write into caller-owned buffers and reuse the
 //! planner's [`FftScratch`]; once the buffers have warmed up, steady-state
 //! transforms of previously seen lengths perform **no heap allocations** —
@@ -81,6 +89,28 @@ impl FftScratch {
     pub fn new() -> Self {
         FftScratch::default()
     }
+
+    /// Heap bytes the scratch currently holds (capacities, not lengths) —
+    /// the per-worker memory-footprint accounting of the fleet engine.
+    pub fn resident_bytes(&self) -> usize {
+        (self.conv.capacity() + self.half.capacity() + self.full.capacity())
+            * std::mem::size_of::<Complex64>()
+    }
+}
+
+/// Allocates a table `Vec` whose capacity is `len` rounded up to a power
+/// of two.
+///
+/// Plan tables live in a byte-budgeted cache that continuously evicts and
+/// rebuilds as adaptive controllers sweep through stream lengths. Exact-size
+/// allocations at ever-growing lengths defeat every allocator's free lists —
+/// each new table is slightly larger than any freed hole, so process RSS
+/// ratchets toward the *cumulative* churn instead of the budget. Capacities
+/// quantized to power-of-two size classes make freed blocks exactly
+/// reusable; `table_bytes`/`resident_bytes` charge capacity, so the budget
+/// accounting stays honest about the rounding.
+pub(crate) fn quantized_table<T>(len: usize) -> Vec<T> {
+    Vec::with_capacity(len.next_power_of_two())
 }
 
 /// Precomputed tables for a power-of-two radix-2 transform.
@@ -106,6 +136,12 @@ impl Pow2Plan {
         // `bits == 0` (len == 1) never indexes `rev`, so the `max(1)` guard is
         // only there to avoid an invalid shift.
         Pow2Plan { len, twiddles, rev }
+    }
+
+    /// Heap bytes this plan's tables hold (capacities, not lengths).
+    fn table_bytes(&self) -> usize {
+        self.twiddles.capacity() * std::mem::size_of::<Complex64>()
+            + self.rev.capacity() * std::mem::size_of::<u32>()
     }
 
     /// In-place forward (inverse = conjugate trick handled by caller).
@@ -163,12 +199,11 @@ impl BluesteinPlan {
         // k² mod 2n keeps the chirp angle small and exact: e^{−iπ k²/n} has
         // period 2n in k².
         let two_n = 2 * n as u128;
-        let chirp: Vec<Complex64> = (0..n)
-            .map(|k| {
-                let k2 = (k as u128 * k as u128) % two_n;
-                Complex64::cis(-PI * k2 as f64 / n as f64)
-            })
-            .collect();
+        let mut chirp = quantized_table::<Complex64>(n);
+        chirp.extend((0..n).map(|k| {
+            let k2 = (k as u128 * k as u128) % two_n;
+            Complex64::cis(-PI * k2 as f64 / n as f64)
+        }));
         let mut kernel = vec![Complex64::ZERO; m];
         kernel[0] = chirp[0].conj();
         for k in 1..n {
@@ -184,6 +219,21 @@ impl BluesteinPlan {
             kernel_fft: kernel,
             inner,
         }
+    }
+
+    /// Heap bytes this plan *pins*: its own chirp/kernel tables plus the
+    /// inner power-of-two plan its `Arc` keeps alive.
+    ///
+    /// The inner plan usually also sits in the cache's pow2 map, so summing
+    /// entries double-counts it — deliberately. Charging every entry its
+    /// full pinned chain makes the budget counter an upper bound on actual
+    /// heap: evicting an inner entry while an outer plan still references
+    /// it releases no memory, and an own-bytes-only charge would let the
+    /// cache pin several times its budget through such stale `Arc`s.
+    fn table_bytes(&self) -> usize {
+        (self.chirp.capacity() + self.kernel_fft.capacity())
+            * std::mem::size_of::<Complex64>()
+            + self.inner.table_bytes()
     }
 
     /// Forward transform; `conv` is the reusable convolution buffer.
@@ -224,6 +274,15 @@ impl Plan {
             Plan::Bluestein(p) => p.fft(buf, conv),
         }
     }
+
+    /// Heap bytes the plan pins (own tables + inner chain; see
+    /// [`BluesteinPlan::table_bytes`] for why pinned, not owned).
+    fn table_bytes(&self) -> usize {
+        match self {
+            Plan::Pow2(p) => p.table_bytes(),
+            Plan::Bluestein(p) => p.table_bytes(),
+        }
+    }
 }
 
 /// Precomputed state for the packed real-input transform of even length `n`:
@@ -240,10 +299,20 @@ impl RealPlan {
     fn new(n: usize, inner: Plan) -> Self {
         debug_assert!(n >= 2 && n.is_multiple_of(2));
         let m = n / 2;
-        let twiddles = (0..=m)
-            .map(|k| Complex64::cis(-2.0 * PI * k as f64 / n as f64))
-            .collect();
+        let mut twiddles = quantized_table::<Complex64>(m + 1);
+        twiddles.extend((0..=m).map(|k| Complex64::cis(-2.0 * PI * k as f64 / n as f64)));
         RealPlan { n, twiddles, inner }
+    }
+
+    /// Heap bytes this plan pins: its untangle twiddles plus the inner
+    /// half-length complex plan its handle keeps alive (see
+    /// [`BluesteinPlan::table_bytes`] for why pinned, not owned — for a
+    /// Bluestein inner the chain is ~7× the twiddles' own bytes, and
+    /// charging own bytes only let the cache pin several budgets' worth of
+    /// evicted-but-referenced inners).
+    fn table_bytes(&self) -> usize {
+        self.twiddles.capacity() * std::mem::size_of::<Complex64>()
+            + self.inner.table_bytes()
     }
 
     /// Forward: one-sided spectrum (bins `0..=n/2`) of `input` into `out`.
@@ -342,47 +411,157 @@ pub struct FftPlanner {
     scratch: FftScratch,
 }
 
+/// One cached table plus the bookkeeping the byte-budgeted cache needs:
+/// its heap footprint (computed once at build) and a last-use stamp for
+/// least-recently-used eviction.
+struct Cached<T> {
+    plan: Arc<T>,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// Which cache map an eviction victim lives in.
+enum Victim {
+    Pow2(usize),
+    Bluestein(usize),
+    Real(usize),
+    Window(Window, usize),
+}
+
 /// Every cached table, grouped so one lock guards them all.
+///
+/// With `budget: Some(bytes)` the cache evicts least-recently-used tables
+/// whenever `resident` exceeds the budget; nested tables (a Bluestein plan's
+/// inner power-of-two plan, a real plan's half-length complex plan) are
+/// accounted at their own cache entry, and an evicted entry that is still
+/// referenced through such a nesting simply stays alive behind its `Arc`
+/// until the referencing plan is evicted too.
 #[derive(Default)]
 struct PlanTables {
-    pow2: HashMap<usize, Arc<Pow2Plan>>,
-    bluestein: HashMap<usize, Arc<BluesteinPlan>>,
-    real: HashMap<usize, Arc<RealPlan>>,
-    windows: HashMap<(Window, usize), Arc<WindowTable>>,
+    pow2: HashMap<usize, Cached<Pow2Plan>>,
+    bluestein: HashMap<usize, Cached<BluesteinPlan>>,
+    real: HashMap<usize, Cached<RealPlan>>,
+    windows: HashMap<(Window, usize), Cached<WindowTable>>,
+    /// Byte cap on `resident`; `None` (the default) means unbounded.
+    budget: Option<usize>,
+    /// Monotonic access counter; every lookup stamps its entry so eviction
+    /// can pick the least-recently-used victim.
+    tick: u64,
+    /// Sum of the `bytes` of every entry currently held.
+    resident: usize,
 }
 
 impl PlanTables {
+    fn stamp(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
     fn pow2_plan(&mut self, len: usize) -> Arc<Pow2Plan> {
-        self.pow2
-            .entry(len)
-            .or_insert_with(|| Arc::new(Pow2Plan::new(len)))
-            .clone()
+        let tick = self.stamp();
+        if let Some(e) = self.pow2.get_mut(&len) {
+            e.last_used = tick;
+            return e.plan.clone();
+        }
+        let plan = Arc::new(Pow2Plan::new(len));
+        let bytes = plan.table_bytes();
+        self.resident += bytes;
+        self.pow2.insert(len, Cached { plan: plan.clone(), bytes, last_used: tick });
+        self.enforce_budget();
+        plan
     }
 
     fn plan(&mut self, len: usize) -> Plan {
         if is_pow2(len) {
             Plan::Pow2(self.pow2_plan(len))
         } else {
-            if let Some(p) = self.bluestein.get(&len) {
-                return Plan::Bluestein(p.clone());
+            let tick = self.stamp();
+            if let Some(e) = self.bluestein.get_mut(&len) {
+                e.last_used = tick;
+                return Plan::Bluestein(e.plan.clone());
             }
             let m = next_pow2(2 * len - 1);
             let inner = self.pow2_plan(m);
-            let p = Arc::new(BluesteinPlan::new(len, inner));
-            self.bluestein.insert(len, p.clone());
-            Plan::Bluestein(p)
+            let plan = Arc::new(BluesteinPlan::new(len, inner));
+            let bytes = plan.table_bytes();
+            self.resident += bytes;
+            let tick = self.stamp();
+            self.bluestein.insert(len, Cached { plan: plan.clone(), bytes, last_used: tick });
+            self.enforce_budget();
+            Plan::Bluestein(plan)
         }
     }
 
     fn real_plan(&mut self, n: usize) -> Arc<RealPlan> {
         debug_assert!(n >= 2 && n.is_multiple_of(2));
-        if let Some(p) = self.real.get(&n) {
-            return p.clone();
+        let tick = self.stamp();
+        if let Some(e) = self.real.get_mut(&n) {
+            e.last_used = tick;
+            return e.plan.clone();
         }
         let inner = self.plan(n / 2);
-        let p = Arc::new(RealPlan::new(n, inner));
-        self.real.insert(n, p.clone());
-        p
+        let plan = Arc::new(RealPlan::new(n, inner));
+        let bytes = plan.table_bytes();
+        self.resident += bytes;
+        let tick = self.stamp();
+        self.real.insert(n, Cached { plan: plan.clone(), bytes, last_used: tick });
+        self.enforce_budget();
+        plan
+    }
+
+    fn window_table(&mut self, window: Window, n: usize) -> Arc<WindowTable> {
+        let tick = self.stamp();
+        if let Some(e) = self.windows.get_mut(&(window, n)) {
+            e.last_used = tick;
+            return e.plan.clone();
+        }
+        let plan = Arc::new(WindowTable::new(window, n));
+        let bytes = plan.resident_bytes();
+        self.resident += bytes;
+        self.windows.insert((window, n), Cached { plan: plan.clone(), bytes, last_used: tick });
+        self.enforce_budget();
+        plan
+    }
+
+    /// Evicts least-recently-used entries until `resident` fits the budget.
+    ///
+    /// The entry stamped at the current `tick` — the one the caller is about
+    /// to hand out — is never the victim, so a single table larger than the
+    /// whole budget still gets built and returned (the cache just holds
+    /// nothing else alongside it).
+    fn enforce_budget(&mut self) {
+        let Some(budget) = self.budget else { return };
+        while self.resident > budget {
+            let newest = self.tick;
+            let mut victim: Option<(Victim, u64)> = None;
+            let mut consider = |cand: Victim, last_used: u64| {
+                if last_used != newest
+                    && victim.as_ref().is_none_or(|(_, lu)| last_used < *lu)
+                {
+                    victim = Some((cand, last_used));
+                }
+            };
+            for (&k, e) in &self.pow2 {
+                consider(Victim::Pow2(k), e.last_used);
+            }
+            for (&k, e) in &self.bluestein {
+                consider(Victim::Bluestein(k), e.last_used);
+            }
+            for (&k, e) in &self.real {
+                consider(Victim::Real(k), e.last_used);
+            }
+            for (&(w, n), e) in &self.windows {
+                consider(Victim::Window(w, n), e.last_used);
+            }
+            let Some((key, _)) = victim else { return };
+            let bytes = match key {
+                Victim::Pow2(k) => self.pow2.remove(&k).map(|e| e.bytes),
+                Victim::Bluestein(k) => self.bluestein.remove(&k).map(|e| e.bytes),
+                Victim::Real(k) => self.real.remove(&k).map(|e| e.bytes),
+                Victim::Window(w, n) => self.windows.remove(&(w, n)).map(|e| e.bytes),
+            };
+            self.resident -= bytes.unwrap_or(0);
+        }
     }
 }
 
@@ -434,10 +613,24 @@ impl FftPlanner {
         self.tables
             .lock()
             .expect("fft plan cache poisoned")
-            .windows
-            .entry((window, n))
-            .or_insert_with(|| Arc::new(WindowTable::new(window, n)))
-            .clone()
+            .window_table(window, n)
+    }
+
+    /// Caps the shared table cache at `budget` bytes (`None` removes the
+    /// cap, the default). Once over budget the cache evicts
+    /// least-recently-used tables; tables are pure functions of their
+    /// length, so eviction never changes any result — a re-requested length
+    /// rebuilds the identical table and pays only setup time. The cap
+    /// applies to every clone sharing this cache.
+    pub fn set_table_budget(&self, budget: Option<usize>) {
+        let mut tables = self.tables.lock().expect("fft plan cache poisoned");
+        tables.budget = budget;
+        tables.enforce_budget();
+    }
+
+    /// Heap bytes the shared table cache currently holds.
+    pub fn table_bytes(&self) -> usize {
+        self.tables.lock().expect("fft plan cache poisoned").resident
     }
 
     /// Forward DFT, in place, unnormalized. Any length (including 0 and 1,
@@ -466,6 +659,15 @@ impl FftPlanner {
         for x in buf.iter_mut() {
             *x = x.conj().scale(scale);
         }
+    }
+
+    /// Heap bytes of the planner's *own* [`FftScratch`] (capacities, not
+    /// lengths). Zero for planner clones whose transforms all run through
+    /// the `*_into_with` variants — the fleet engine's per-member accounting
+    /// pins exactly that, so a stream-sized buffer sneaking into 10⁵ member
+    /// planners shows up as a test failure instead of a memory wall.
+    pub fn scratch_resident_bytes(&self) -> usize {
+        self.scratch.resident_bytes()
     }
 
     /// Forward DFT of a real signal into `out` as a **one-sided** spectrum:
@@ -890,4 +1092,71 @@ mod tests {
         let mut out = Vec::new();
         p.ifft_real_into(&[Complex64::ONE; 4], 8, &mut out);
     }
+
+    #[test]
+    fn table_budget_bounds_the_cache() {
+        let mut p = FftPlanner::new();
+        // Sweep many distinct non-power-of-two lengths: unbounded, the
+        // cache grows with every one.
+        let mut buf = Vec::new();
+        for n in (101..151).step_by(2) {
+            buf.clear();
+            buf.resize(n, Complex64::ONE);
+            p.fft_in_place(&mut buf);
+        }
+        let unbounded = p.table_bytes();
+        assert!(unbounded > 100_000, "expected a grown cache, got {unbounded} B");
+
+        // Capping evicts down to the budget immediately...
+        let budget = unbounded / 8;
+        p.set_table_budget(Some(budget));
+        assert!(p.table_bytes() <= budget, "{} > {budget}", p.table_bytes());
+        // ...and the cap holds across further sweeps of fresh lengths.
+        for n in (201..251).step_by(2) {
+            buf.clear();
+            buf.resize(n, Complex64::ONE);
+            p.fft_in_place(&mut buf);
+        }
+        assert!(p.table_bytes() <= budget, "{} > {budget}", p.table_bytes());
+    }
+
+    #[test]
+    fn eviction_and_rebuild_is_bit_identical() {
+        // Same input, three regimes: unbounded cache, a cache so small every
+        // plan is rebuilt from scratch, and a rebuilt-after-eviction plan.
+        // Tables are pure functions of length, so all spectra must match
+        // bit for bit.
+        let input: Vec<f64> = (0..300).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut unbounded = FftPlanner::new();
+        let mut reference = Vec::new();
+        unbounded.fft_real_into(&input, &mut reference);
+
+        let mut tiny = FftPlanner::new();
+        tiny.set_table_budget(Some(1));
+        let mut out = Vec::new();
+        for _ in 0..3 {
+            // Alternate lengths so each request misses and rebuilds.
+            let mut churn = vec![Complex64::ONE; 77];
+            tiny.fft_in_place(&mut churn);
+            tiny.fft_real_into(&input, &mut out);
+            assert_eq!(out.len(), reference.len());
+            for (a, b) in out.iter().zip(&reference) {
+                assert!(a.re.to_bits() == b.re.to_bits() && a.im.to_bits() == b.im.to_bits());
+            }
+        }
+        // A one-byte budget keeps at most the in-flight plan chain: the
+        // length-300 real plan pins its quantized twiddles plus the inner
+        // Bluestein(150) chirp/kernel and pow2(512) tables — ~22 kB deep.
+        assert!(tiny.table_bytes() <= 32 * 1024, "{}", tiny.table_bytes());
+    }
+
+    #[test]
+    fn oversized_single_table_is_still_served() {
+        let mut p = FftPlanner::new();
+        p.set_table_budget(Some(1));
+        let mut buf = vec![Complex64::ONE; 4096];
+        p.fft_in_place(&mut buf); // must not loop forever or panic
+        assert!((buf[0].re - 4096.0).abs() < 1e-6);
+    }
 }
+

@@ -14,14 +14,18 @@
 //!
 //! The `*_into` variants ([`periodogram_into`], [`welch_into`]) write into
 //! caller-owned buffers through a reusable [`PsdScratch`]: one windowed-
-//! segment buffer and one spectrum buffer are shared across all segments,
-//! window coefficients come from the planner's cached per-`(window, n)`
-//! tables, and the real-input FFT fast path runs through the planner's own
-//! scratch — so the steady-state inner loop performs **zero heap
-//! allocations per segment** (pinned by `tests/alloc_steady_state.rs`).
+//! segment buffer, one spectrum buffer and one [`FftScratch`] are shared
+//! across all segments, and window coefficients come from the planner's
+//! cached per-`(window, n)` tables — so the steady-state inner loop performs
+//! **zero heap allocations per segment** (pinned by
+//! `tests/alloc_steady_state.rs`). Keeping the FFT working buffers inside
+//! the scratch (rather than the planner) matters at fleet scale: every
+//! member's estimator holds a lightweight planner clone, and routing the
+//! transform through the caller's scratch keeps those clones permanently
+//! empty instead of each retaining stream-sized conv/half/full buffers.
 
 use crate::complex::Complex64;
-use crate::fft::{one_sided_len, FftPlanner};
+use crate::fft::{one_sided_len, FftPlanner, FftScratch};
 use crate::spectrum::Spectrum;
 use crate::window::Window;
 
@@ -83,12 +87,24 @@ pub struct PsdScratch {
     spec: Vec<Complex64>,
     /// Per-segment folded power, used by [`welch_into`]'s accumulation.
     power: Vec<f64>,
+    /// FFT working buffers, threaded into the planner's `*_into_with` fast
+    /// path so per-member planner clones never grow private scratch.
+    fft: FftScratch,
 }
 
 impl PsdScratch {
     /// Creates empty scratch space; buffers grow on first use.
     pub fn new() -> Self {
         PsdScratch::default()
+    }
+
+    /// Heap bytes the scratch currently holds (capacities, not lengths) —
+    /// the per-worker memory-footprint accounting of the fleet engine.
+    pub fn resident_bytes(&self) -> usize {
+        self.seg.capacity() * std::mem::size_of::<f64>()
+            + self.spec.capacity() * std::mem::size_of::<Complex64>()
+            + self.power.capacity() * std::mem::size_of::<f64>()
+            + self.fft.resident_bytes()
     }
 }
 
@@ -102,6 +118,7 @@ fn segment_power_into(
     planner: &mut FftPlanner,
     seg: &mut Vec<f64>,
     spec: &mut Vec<Complex64>,
+    fft: &mut FftScratch,
     samples: &[f64],
     cfg: PsdConfig,
     out: &mut Vec<f64>,
@@ -117,7 +134,7 @@ fn segment_power_into(
     }
     let table = planner.window_table(cfg.window, n);
     table.apply(seg);
-    planner.fft_real_into(seg, spec);
+    planner.fft_real_into_with(seg, spec, fft);
     let norm = (n as f64) * (n as f64) * table.energy_gain();
     out.clear();
     out.reserve(spec.len());
@@ -147,7 +164,15 @@ pub fn periodogram_into(
     out: &mut Vec<f64>,
 ) {
     assert!(!samples.is_empty(), "cannot estimate the PSD of an empty signal");
-    segment_power_into(planner, &mut scratch.seg, &mut scratch.spec, samples, cfg, out);
+    segment_power_into(
+        planner,
+        &mut scratch.seg,
+        &mut scratch.spec,
+        &mut scratch.fft,
+        samples,
+        cfg,
+        out,
+    );
 }
 
 /// Single-segment PSD estimate (§3.2's raw method when
@@ -202,13 +227,13 @@ pub fn welch_into(
         window: cfg.window,
         detrend: cfg.detrend,
     };
-    let PsdScratch { seg, spec, power } = scratch;
+    let PsdScratch { seg, spec, power, fft } = scratch;
     out.clear();
     out.resize(one_sided_len(seg_len), 0.0);
     let mut segments = 0usize;
     let mut start = 0usize;
     while start + seg_len <= samples.len() {
-        segment_power_into(planner, seg, spec, &samples[start..start + seg_len], seg_cfg, power);
+        segment_power_into(planner, seg, spec, fft, &samples[start..start + seg_len], seg_cfg, power);
         for (a, p) in out.iter_mut().zip(power.iter()) {
             *a += *p;
         }

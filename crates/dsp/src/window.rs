@@ -104,8 +104,13 @@ pub struct WindowTable {
 
 impl WindowTable {
     /// Materializes `window` at length `n` and precomputes its gains.
+    ///
+    /// Coefficients are stored with power-of-two capacity (see
+    /// `fft::quantized_table`) so evicted tables recycle exactly in the
+    /// planner's byte-budgeted cache.
     pub fn new(window: Window, n: usize) -> Self {
-        let coeffs = window.coefficients(n);
+        let mut coeffs = crate::fft::quantized_table::<f64>(n);
+        coeffs.extend((0..n).map(|i| window.coefficient(i, n)));
         let (coherent_gain, energy_gain) = if n == 0 {
             (1.0, 1.0)
         } else {
@@ -140,6 +145,12 @@ impl WindowTable {
     /// The precomputed coefficients.
     pub fn coeffs(&self) -> &[f64] {
         &self.coeffs
+    }
+
+    /// Heap bytes the table holds (capacity, not length) — feeds the FFT
+    /// planner's byte-budgeted cache accounting.
+    pub fn resident_bytes(&self) -> usize {
+        self.coeffs.capacity() * std::mem::size_of::<f64>()
     }
 
     /// Coherent gain (mean coefficient); equals [`Window::coherent_gain`].

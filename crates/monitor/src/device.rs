@@ -12,12 +12,17 @@ use sweetspot_timeseries::clean::{clean_slices_into, CleanConfig, CleanScratch};
 use sweetspot_timeseries::ingest::TraceMeta;
 use sweetspot_timeseries::{Hertz, IrregularSeries, RegularSeries, Seconds};
 
-/// Reusable working storage for the polling chain: the ground-truth grid,
-/// the measured `(time, value)` buffers, and the cleaning scratch. One per
-/// fleet member (see `poller::FleetMember`) makes steady-state polling —
-/// synthesis, impairments, pre-cleaning — allocation-free.
+/// Reusable working storage for the polling chain: the oscillator bank, the
+/// ground-truth grid, the measured `(time, value)` buffers, and the cleaning
+/// scratch. One per *worker* (see `poller::EpochScratch`) — the bank and
+/// every buffer are pure scratch, so lending the same instance to each
+/// member in turn is sample-for-sample identical to per-member copies, and
+/// steady-state polling — synthesis, impairments, pre-cleaning — stays
+/// allocation-free.
 #[derive(Debug, Default)]
 pub struct PollScratch {
+    /// Oscillator-bank scratch for ground-truth synthesis.
+    bank: ToneBank,
     /// Ground-truth sample grid (oscillator-bank output).
     truth: Vec<f64>,
     /// Measured timestamps surviving the impairment chain.
@@ -39,17 +44,28 @@ impl PollScratch {
     pub fn lend(&mut self, buf: Vec<f64>) {
         self.clean.lend(buf);
     }
+
+    /// Heap bytes currently resident in this scratch (capacity, not length).
+    pub fn resident_bytes(&self) -> usize {
+        self.bank.resident_bytes()
+            + self.truth.capacity() * std::mem::size_of::<f64>()
+            + self.times.capacity() * std::mem::size_of::<Seconds>()
+            + self.values.capacity() * std::mem::size_of::<f64>()
+            + self.clean.resident_bytes()
+    }
 }
 
 /// A device under monitoring.
+///
+/// Holds only durable state — the synthetic trace and the RNG stream
+/// counter. All working storage lives in a caller-provided [`PollScratch`]
+/// so a fleet of 10⁵ devices shares a handful of worker scratches instead
+/// of carrying 10⁵ oscillator grids.
 #[derive(Debug, Clone)]
 pub struct SimDevice {
     trace: DeviceTrace,
     /// Stream counter so successive polls see fresh measurement noise.
     next_stream: u64,
-    /// Oscillator-bank scratch reused across polls (the adaptive controller
-    /// polls the same device hundreds of times per experiment).
-    bank: ToneBank,
 }
 
 impl SimDevice {
@@ -58,7 +74,6 @@ impl SimDevice {
         SimDevice {
             trace,
             next_stream: 1,
-            bank: ToneBank::new(),
         }
     }
 
@@ -70,6 +85,12 @@ impl SimDevice {
     /// The underlying synthetic trace (profiles, ground truth, impairments).
     pub fn trace(&self) -> &DeviceTrace {
         &self.trace
+    }
+
+    /// Durable heap bytes owned by this device (the trace's identity strings
+    /// and signal model — no working buffers).
+    pub fn heap_bytes(&self) -> usize {
+        self.trace.heap_bytes()
     }
 
     /// Polls the device over `[start, start+duration)` at `rate` through the
@@ -94,18 +115,20 @@ impl SimDevice {
         self.next_stream += 1;
         // Ground truth over the requested window, streamed through the
         // oscillator bank (which handles arbitrary window starts).
+        let PollScratch {
+            bank,
+            truth,
+            times,
+            values,
+            ..
+        } = scratch;
         self.trace
             .model()
-            .sample_into(&mut self.bank, start, rate, duration, &mut scratch.truth);
+            .sample_into(bank, start, rate, duration, truth);
         let mut rng = stream_rng(&self.trace, stream);
-        self.trace.impairments().apply_grid_into(
-            &mut rng,
-            start,
-            rate.period(),
-            &scratch.truth,
-            &mut scratch.times,
-            &mut scratch.values,
-        );
+        self.trace
+            .impairments()
+            .apply_grid_into(&mut rng, start, rate.period(), truth, times, values);
     }
 
     /// Polls and pre-cleans (the §3.2 pipeline): re-grids onto the nominal
@@ -160,12 +183,13 @@ impl SimDevice {
         RegularSeries::new(start, rate.period(), values)
     }
 
-    /// [`SimDevice::ground_truth`] into a recycled value buffer, reusing the
-    /// device's oscillator bank (the bank is pure scratch — output is
+    /// [`SimDevice::ground_truth`] into a recycled value buffer through a
+    /// caller-owned oscillator bank (the bank is pure scratch — output is
     /// identical to [`SimDevice::ground_truth`]). The cold fallback of the
     /// zero-allocation polling path.
     pub fn ground_truth_recycled(
-        &mut self,
+        &self,
+        bank: &mut ToneBank,
         start: Seconds,
         rate: Hertz,
         duration: Seconds,
@@ -173,7 +197,7 @@ impl SimDevice {
     ) -> RegularSeries {
         self.trace
             .model()
-            .sample_into(&mut self.bank, start, rate, duration, &mut buf);
+            .sample_into(bank, start, rate, duration, &mut buf);
         RegularSeries::new(start, rate.period(), buf)
     }
 }
@@ -234,7 +258,8 @@ impl SignalSource for ScratchSource<'_> {
             // Same cold fallback as `DeviceSource`, reusing the lent buffer.
             None => {
                 let buf = self.scratch.clean.take_lent();
-                self.device.ground_truth_recycled(start, rate, duration, buf)
+                self.device
+                    .ground_truth_recycled(&mut self.scratch.bank, start, rate, duration, buf)
             }
         }
     }

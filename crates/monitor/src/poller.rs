@@ -18,7 +18,7 @@
 //! rate per shared epoch (see `analysis::fleetsim`).
 
 use crate::device::{DeviceSource, PollScratch, ScratchSource, SimDevice};
-use sweetspot_core::adaptive::{AdaptiveConfig, AdaptiveSampler, EpochReport};
+use sweetspot_core::adaptive::{AdaptiveConfig, AdaptiveSampler, EpochReport, SamplerScratch};
 use sweetspot_telemetry::{DeviceTrace, MetricKind};
 use sweetspot_core::estimator::{NyquistConfig, NyquistEstimator};
 use sweetspot_core::reconstruct::{decimation_factor, downsample};
@@ -128,21 +128,51 @@ impl AdaptivePlan {
     }
 }
 
+/// Per-worker working set for lockstep fleet epochs: the polling chain's
+/// buffers plus the sampler's detection/estimation scratch. Every buffer in
+/// here is pure scratch — cleared or overwritten before use — so one
+/// instance lent to each member of a shard in turn produces byte-identical
+/// output to per-member copies, at 1/N-members the resident footprint.
+/// This is the fleet memory wall: at 10⁵ devices the per-member working
+/// sets alone were tens of gigabytes; hoisted per worker they are a few
+/// hundred kilobytes total.
+#[derive(Debug, Default)]
+pub struct EpochScratch {
+    /// Polling-chain scratch (oscillator bank, truth grid, measured
+    /// buffers, cleaning scratch).
+    pub poll: PollScratch,
+    /// Controller scratch (detector, estimator, recycled series storage).
+    pub sampler: SamplerScratch,
+}
+
+impl EpochScratch {
+    /// Empty scratch; buffers grow on first use and are then reused.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Heap bytes currently resident in this scratch (capacity, not length).
+    pub fn resident_bytes(&self) -> usize {
+        self.poll.resident_bytes() + self.sampler.resident_bytes()
+    }
+}
+
 /// One device of a budget-scheduled fleet: the §4.2 controller paired with
 /// its simulated device plus per-device accounting, stepped one shared
 /// epoch at a time by an external scheduler.
 ///
 /// The member's controller *requests* a rate
 /// ([`FleetMember::requested_rate`]); the scheduler decides the grant and
-/// calls [`FleetMember::step_epoch`]. Everything a member does is a pure
-/// function of its trace, its config and the grant sequence, so a sharded
-/// fleet simulation stays byte-identical for any thread count.
+/// calls [`FleetMember::step_epoch`] with a per-worker [`EpochScratch`].
+/// Everything a member does is a pure function of its trace, its config and
+/// the grant sequence — the scratch never carries state between members —
+/// so a sharded fleet simulation stays byte-identical for any thread count.
+///
+/// A member holds only *durable* control state (trace, controller mode and
+/// rate, accounting); all working buffers live in the scratch.
 pub struct FleetMember {
     device: SimDevice,
     sampler: AdaptiveSampler,
-    /// Per-member polling scratch: epochs poll through it so the
-    /// steady-state fleet loop never touches the heap.
-    scratch: PollScratch,
     /// Fleet-unique index (position in the fleet work list).
     index: usize,
 }
@@ -153,7 +183,6 @@ impl FleetMember {
         FleetMember {
             device: SimDevice::new(trace),
             sampler: AdaptiveSampler::new(config),
-            scratch: PollScratch::new(),
             index,
         }
     }
@@ -173,7 +202,6 @@ impl FleetMember {
         FleetMember {
             device: SimDevice::new(trace),
             sampler: AdaptiveSampler::with_planner(config, planner),
-            scratch: PollScratch::new(),
             index,
         }
     }
@@ -209,13 +237,28 @@ impl FleetMember {
         &self.device
     }
 
-    /// Runs one lockstep epoch at the scheduler's `granted` rate.
-    pub fn step_epoch(&mut self, start: Seconds, granted: Hertz, window: Seconds) -> EpochReport {
+    /// Durable heap bytes this member retains between epochs (trace identity
+    /// and signal model, plus any working buffers parked in the sampler —
+    /// zero when epochs run through a worker's [`EpochScratch`]).
+    pub fn heap_bytes(&self) -> usize {
+        self.device.heap_bytes() + self.sampler.owned_scratch_bytes()
+    }
+
+    /// Runs one lockstep epoch at the scheduler's `granted` rate, through a
+    /// worker-owned scratch.
+    pub fn step_epoch(
+        &mut self,
+        scratch: &mut EpochScratch,
+        start: Seconds,
+        granted: Hertz,
+        window: Seconds,
+    ) -> EpochReport {
         let mut source = ScratchSource {
             device: &mut self.device,
-            scratch: &mut self.scratch,
+            scratch: &mut scratch.poll,
         };
-        self.sampler.step_granted(&mut source, start, granted, window)
+        self.sampler
+            .step_granted_scratch(&mut scratch.sampler, &mut source, start, granted, window)
     }
 }
 
@@ -302,11 +345,12 @@ mod tests {
         let reference = AdaptivePlan { config }
             .run(&mut SimDevice::new(trace()), Seconds::from_days(4.0));
         let mut member = FleetMember::new(0, trace(), config);
+        let mut scratch = EpochScratch::new();
         let mut t = Seconds::ZERO;
         let mut epochs = Vec::new();
         while t.value() < Seconds::from_days(4.0).value() {
             let ref_epoch = &reference.epochs.as_ref().unwrap()[epochs.len()];
-            let r = member.step_epoch(t, member.requested_rate(), ref_epoch.duration);
+            let r = member.step_epoch(&mut scratch, t, member.requested_rate(), ref_epoch.duration);
             t = t + r.duration;
             epochs.push(r);
         }
@@ -331,7 +375,8 @@ mod tests {
         assert_eq!(member.true_nyquist_rate(), nyquist);
         let window = Seconds::from_hours(12.0);
         let grant = Hertz(member.requested_rate().value() / 4.0);
-        let r = member.step_epoch(Seconds::ZERO, grant, window);
+        let mut scratch = EpochScratch::new();
+        let r = member.step_epoch(&mut scratch, Seconds::ZERO, grant, window);
         assert!(r.throttled);
         assert_eq!(member.sampler().deferred_epochs(), 1);
         assert!(

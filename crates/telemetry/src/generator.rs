@@ -169,6 +169,13 @@ impl DeviceTrace {
         &self.impairments
     }
 
+    /// Heap bytes the trace holds beyond its inline struct (identity
+    /// strings + signal model storage) — the durable per-member memory the
+    /// fleet engine accounts for.
+    pub fn heap_bytes(&self) -> usize {
+        self.meta.metric.capacity() + self.meta.device.capacity() + self.model.heap_bytes()
+    }
+
     /// True band edge of the ground-truth signal (known by construction).
     pub fn true_band_edge(&self) -> Hertz {
         self.model.band_edge()

@@ -76,6 +76,19 @@ impl ToneBank {
         Self::default()
     }
 
+    /// Heap bytes the bank currently holds (capacities, not lengths) —
+    /// the per-worker memory-footprint accounting of the fleet engine.
+    pub fn resident_bytes(&self) -> usize {
+        (self.amp.capacity()
+            + self.theta0.capacity()
+            + self.dtheta.capacity()
+            + self.rot_cos.capacity()
+            + self.rot_sin.capacity()
+            + self.cur_cos.capacity()
+            + self.cur_sin.capacity())
+            * std::mem::size_of::<f64>()
+    }
+
     /// Loads `tones` for a grid starting at `start` seconds with `interval`
     /// spacing, reusing the bank's buffers.
     pub fn load(&mut self, tones: &[Tone], start: Seconds, interval: Seconds) {
@@ -301,6 +314,13 @@ impl SignalModel {
     /// The configured events.
     pub fn events(&self) -> &[Event] {
         &self.events
+    }
+
+    /// Heap bytes the model holds (tone + event storage capacities) — the
+    /// durable per-member memory the fleet engine accounts for.
+    pub fn heap_bytes(&self) -> usize {
+        self.tones.capacity() * std::mem::size_of::<Tone>()
+            + self.events.capacity() * std::mem::size_of::<Event>()
     }
 
     /// The highest tone frequency — the true band edge of the *stationary*

@@ -244,6 +244,14 @@ impl CleanScratch {
     pub fn take_lent(&mut self) -> Vec<f64> {
         std::mem::take(&mut self.grid)
     }
+
+    /// Heap bytes the scratch currently holds (capacities, not lengths) —
+    /// the per-worker memory-footprint accounting of the fleet engine.
+    pub fn resident_bytes(&self) -> usize {
+        self.times.capacity() * std::mem::size_of::<Seconds>()
+            + (self.values.capacity() + self.work.capacity() + self.grid.capacity())
+                * std::mem::size_of::<f64>()
+    }
 }
 
 /// [`clean`] with caller-owned scratch: identical results, but all working

@@ -18,7 +18,8 @@
 //!     `--json` emits the results as JSON on stdout instead of tables.
 //!
 //! sweetspot fleetsim [--budget X] [--policy P] [--days D] [--devices N] [--seed S]
-//!                    [--threads T] [--paper-scale] [--timing] [--json]
+//!                    [--threads T] [--verify-every K] [--fft-cache-mb M]
+//!                    [--paper-scale] [--timing] [--json]
 //!     Fleet-level adaptive simulation: every device's §4.2 controller under
 //!     one shared collection budget, with a cross-device scheduler deciding
 //!     epoch-by-epoch poll rates. Defaults to the paper-scale 1613-pair
@@ -28,8 +29,16 @@
 //!     two is an error). Without `--budget` it sweeps a budget ladder and
 //!     prints the cost-vs-quality frontier per policy; with `--budget X`
 //!     (cost units/epoch) it runs one point. `--policy` picks one of
-//!     uncapped|uniform|fair|waterfill (default: all). Output is
-//!     byte-identical for any `--threads T`.
+//!     uncapped|uniform|fair|waterfill (default: all). `--verify-every K`
+//!     runs §4.1 dual-rate verification on settled devices every K-th epoch
+//!     instead of continuously (probes always verify; anomalies pull
+//!     verification forward; default 1 = continuous). `--fft-cache-mb M`
+//!     caps the FFT plan-table caches at M MiB total (0 = unbounded;
+//!     default 6144) — eviction rebuilds tables bit-identically, so the cap
+//!     trades setup time for memory, never output. Output is byte-identical
+//!     for any `--threads T`. `--timing` also reports the
+//!     member/scratch/fft-table memory split and (on Linux) the process
+//!     peak RSS.
 //!
 //! sweetspot demo [--metric NAME] [--days D] [--seed S]
 //!     Emit a synthetic production trace as CSV on stdout (pipe it back
@@ -51,7 +60,38 @@ use sweetspot::prelude::*;
 use sweetspot::timeseries::clean::{clean, CleanConfig};
 use sweetspot::timeseries::ingest;
 
+/// Pins glibc's mmap threshold so evicted FFT plan tables return to the OS.
+///
+/// glibc's threshold is adaptive: the first time a freed mmap'd block is
+/// seen it ratchets the threshold toward that size (up to 32 MiB), after
+/// which multi-megabyte allocations are carved from the main arena instead
+/// — and arena pages freed below the heap top are never returned to the
+/// kernel. A 10⁵-device uncapped fleetsim churns tens of GB of Bluestein
+/// tables through the byte-budgeted plan cache, so without this pin the
+/// LRU eviction frees memory that stays resident and peak RSS barely
+/// drops. 128 KiB is glibc's static default: small control allocations
+/// stay in the arena, every plan table gets a private mmap whose pages
+/// `munmap` hands straight back. Affects memory only, never output.
+/// No-op on non-glibc targets.
+#[cfg(all(target_os = "linux", target_env = "gnu"))]
+fn pin_malloc_mmap_threshold() {
+    /// `M_MMAP_THRESHOLD` from glibc's `malloc.h`.
+    const M_MMAP_THRESHOLD: i32 = -3;
+    extern "C" {
+        fn mallopt(param: i32, value: i32) -> i32;
+    }
+    // SAFETY: mallopt is async-signal-unsafe but we call it before any
+    // other thread exists; both arguments are plain integers.
+    unsafe {
+        mallopt(M_MMAP_THRESHOLD, 128 * 1024);
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_env = "gnu")))]
+fn pin_malloc_mmap_threshold() {}
+
 fn main() -> ExitCode {
+    pin_malloc_mmap_threshold();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first() else {
         eprintln!("{USAGE}");
@@ -86,7 +126,8 @@ USAGE:
   sweetspot track    <trace.csv> [--window SECONDS] [--step SECONDS]
   sweetspot study    [--devices N] [--seed S] [--threads T] [--paper-scale] [--timing] [--json]
   sweetspot fleetsim [--budget X] [--policy uncapped|uniform|fair|waterfill] [--days D]
-                     [--devices N] [--seed S] [--threads T] [--paper-scale] [--timing] [--json]
+                     [--devices N] [--seed S] [--threads T] [--verify-every K]
+                     [--fft-cache-mb M] [--paper-scale] [--timing] [--json]
   sweetspot demo     [--metric NAME] [--days D] [--seed S]
   sweetspot help";
 
@@ -370,7 +411,16 @@ fn cmd_fleetsim(args: &[String]) -> Result<(), String> {
     let flags = flags(&rest, 0)?;
     reject_unknown_flags(
         &flags,
-        &["budget", "policy", "days", "devices", "seed", "threads"],
+        &[
+            "budget",
+            "policy",
+            "days",
+            "devices",
+            "fft-cache-mb",
+            "seed",
+            "threads",
+            "verify-every",
+        ],
         "fleetsim",
     )?;
     let days = flag_f64(&flags, "days", 10.0)?;
@@ -379,6 +429,18 @@ fn cmd_fleetsim(args: &[String]) -> Result<(), String> {
     }
     let seed = flag_u64(&flags, "seed", 0x5EED_CAFE)?;
     let threads = flag_u64(&flags, "threads", 0)? as usize;
+    let verify_every = flag_u64(&flags, "verify-every", 1)? as usize;
+    if verify_every == 0 {
+        return Err("--verify-every wants a positive epoch count (1 = verify every epoch)".into());
+    }
+    // Total FFT plan-cache cap in MiB, split across shards; 0 = unbounded.
+    // Eviction rebuilds tables bit-identically, so this never changes output.
+    let fft_cache_mb = flag_u64(
+        &flags,
+        "fft-cache-mb",
+        (fleetsim::FFT_TABLE_BUDGET_DEFAULT >> 20) as u64,
+    )? as usize;
+    let fft_table_budget = (fft_cache_mb > 0).then_some(fft_cache_mb << 20);
     let devices = flag_opt::<usize>(&flags, "devices", "an integer")?;
     let budget = flag_opt::<f64>(&flags, "budget", "a non-negative number")?;
     if budget.is_some_and(|b| b.is_nan() || b < 0.0) {
@@ -415,6 +477,8 @@ fn cmd_fleetsim(args: &[String]) -> Result<(), String> {
         devices,
         days,
         threads,
+        verify_every,
+        fft_table_budget,
         ..FleetSimConfig::default()
     };
     let frontier = match (budget, policy) {
@@ -445,6 +509,24 @@ fn cmd_fleetsim(args: &[String]) -> Result<(), String> {
             t.total().as_secs_f64(),
             frontier.points.len()
         );
+        // Engine-side accounting: durable member state vs worker scratch
+        // (the memory-wall split), from the last simulated point.
+        if let Some(point) = frontier.points.last() {
+            let m = point.outcome.memory;
+            eprintln!(
+                "memory: members {:.1} MB ({:.0} B/device) | worker scratch {:.1} MB \
+                 | fft tables {:.1} MB over {} shard(s)",
+                m.member_bytes as f64 / 1e6,
+                m.bytes_per_member(point.outcome.devices),
+                m.scratch_bytes as f64 / 1e6,
+                m.fft_table_bytes as f64 / 1e6,
+                m.workers,
+            );
+        }
+        // Whole-process peak (Linux VmHWM; omitted where unavailable).
+        if let Some(kb) = sweetspot::analysis::report::peak_rss_kb() {
+            eprintln!("memory: peak RSS {kb} kB (VmHWM)");
+        }
     }
     Ok(())
 }

@@ -44,6 +44,7 @@
 #![deny(unsafe_code)]
 
 pub use sweetspot_analysis as analysis;
+pub use sweetspot_arena as arena;
 pub use sweetspot_core as core;
 pub use sweetspot_dsp as dsp;
 pub use sweetspot_monitor as monitor;
