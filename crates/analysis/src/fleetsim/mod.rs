@@ -44,6 +44,7 @@
 //! [`MemoryStats`]).
 
 pub mod quality;
+pub mod scenario;
 pub mod scheduler;
 
 use std::thread;
@@ -52,10 +53,11 @@ use sweetspot_arena::Slab;
 use sweetspot_core::adaptive::AdaptiveConfig;
 use sweetspot_monitor::poller::{EpochScratch, FleetMember};
 use sweetspot_monitor::{CostModel, EpochAccount, EpochLedger};
-use sweetspot_telemetry::{paper_scale_work, scaled_work, FleetConfig, MetricProfile};
+use sweetspot_telemetry::{paper_scale_work, scaled_work, FleetConfig, MetricProfile, SignalModel};
 use sweetspot_timeseries::{Hertz, Seconds};
 
 use quality::{DeviceQuality, FleetQuality};
+use scenario::{DeviceEvent, ScenarioCounters, ScenarioEngine, ScenarioSpec, ScenarioStats};
 use scheduler::SchedulerPolicy;
 
 /// Primary-stream cost is amplified by the §4.1 companion stream at
@@ -107,6 +109,11 @@ pub struct FleetSimConfig {
     /// many distinct stream lengths — ~10⁵ adaptive controllers each polling
     /// at its own rate; smaller fleets never evict.
     pub fft_table_budget: Option<usize>,
+    /// Fleet lifecycle & failure injection (see [`scenario`]). The default
+    /// — [`ScenarioSpec::none`] — is inert: no engine is built and the
+    /// healthy simulation path runs byte-identical to a scenario-free
+    /// build.
+    pub scenario: ScenarioSpec,
 }
 
 /// Default total FFT plan-cache budget: 6 GiB across all shards. An
@@ -133,6 +140,7 @@ impl Default for FleetSimConfig {
             metric_weights: [1.0; 14],
             verify_every: 1,
             fft_table_budget: Some(FFT_TABLE_BUDGET_DEFAULT),
+            scenario: ScenarioSpec::none(),
         }
     }
 }
@@ -291,6 +299,9 @@ pub struct PolicyOutcome {
     pub timing: FleetTimings,
     /// Resident-heap accounting (observability only).
     pub memory: MemoryStats,
+    /// What the scenario dealt and how the fleet weathered it — `None` for
+    /// healthy (`--scenario none`) runs.
+    pub scenario: Option<ScenarioStats>,
 }
 
 impl PolicyOutcome {
@@ -369,7 +380,7 @@ pub fn run_policy(
     // Quality requirement per device. A quiescent device's signal never
     // moves a full quantum, so *any* rate fully captures what is observable:
     // its requirement is zero (coverage 1.0 by definition in `quality`).
-    let nyquist: Vec<f64> = shards
+    let mut nyquist: Vec<f64> = shards
         .iter()
         .flat_map(|s| s.members.iter())
         .map(|m| {
@@ -388,6 +399,37 @@ pub fn run_policy(
         .iter()
         .map(|(p, _)| cfg.metric_weights[p.kind.index()])
         .collect();
+
+    // Failure injection. Inert scenarios build no engine, so the healthy
+    // path below runs exactly as before — byte for byte.
+    let scenario_spec = cfg.scenario;
+    let engine = scenario_spec
+        .is_active()
+        .then(|| ScenarioEngine::new(scenario_spec, epochs));
+    let incident = engine.as_ref().and_then(ScenarioEngine::incident);
+    // Regime incident: pre-build every member's incident-phase signal model
+    // (tone frequencies scaled, identity and noise seed untouched) so phase
+    // boundaries in the epoch loop only `mem::swap` models and requirement
+    // vectors — no allocation, no re-synthesis.
+    let mut alt_models: Vec<SignalModel> = Vec::new();
+    let mut alt_nyquist: Vec<f64> = Vec::new();
+    if incident.is_some() {
+        let members = || shards.iter().flat_map(|s| s.members.iter());
+        alt_models = members()
+            .map(|m| m.device().trace().regime_model(scenario_spec.incident_factor))
+            .collect();
+        alt_nyquist = members()
+            .zip(&alt_models)
+            .map(|(m, alt)| {
+                if m.device().trace().is_quiet() {
+                    0.0
+                } else {
+                    alt.nyquist_rate().value()
+                }
+            })
+            .collect();
+    }
+    let cost_factors = engine.as_ref().and_then(|e| e.cost_factors(n));
     timing.build = t0.elapsed();
 
     // The scheduler works in rate space: convert the cost budget once.
@@ -406,13 +448,85 @@ pub fn run_policy(
     let mut epoch_samples = vec![0usize; n];
     let mut epoch_throttled = vec![false; n];
 
+    // Scenario state: fixed-size per-device vectors allocated once, so
+    // churn never resizes the request/grant geometry (absent devices keep
+    // their slot, request 0.0, and skip their step) and steady-state epochs
+    // stay allocation-free even while devices leave, rejoin, and reboot.
+    let scenario_len = if engine.is_some() { n } else { 0 };
+    let mut active = vec![true; scenario_len];
+    let mut active_epochs = vec![0usize; scenario_len];
+    let mut events = vec![DeviceEvent::Healthy; scenario_len];
+    let mut epoch_cov = vec![0.0f64; scenario_len];
+    let mut epoch_means: Vec<f64> = Vec::with_capacity(if engine.is_some() { epochs } else { 0 });
+    let mut counters = ScenarioCounters::default();
+
     for epoch in 0..epochs {
         let t_sched = Instant::now();
-        for (r, m) in requests
-            .iter_mut()
-            .zip(shards.iter().flat_map(|s| s.members.iter()))
-        {
-            *r = m.requested_rate().value();
+        if let Some(eng) = &engine {
+            // Regime phase boundary: every member swaps to its other model
+            // (incident onset and recovery both cross here), and the
+            // ground-truth requirement vector swaps with it.
+            if let Some(inc) = &incident {
+                if epoch == inc.start || epoch == inc.end {
+                    for (member, alt) in shards
+                        .iter_mut()
+                        .flat_map(|s| s.members.iter_mut())
+                        .zip(alt_models.iter_mut())
+                    {
+                        member.swap_model(alt);
+                    }
+                    std::mem::swap(&mut nyquist, &mut alt_nyquist);
+                }
+            }
+            // Deal this epoch's events — serial, pure hashing, so the fault
+            // schedule is identical for every policy and thread count.
+            // Reboots apply here (cheap state resets) so a rebooted member's
+            // *request* below already reflects its re-ramp.
+            for (i, member) in shards
+                .iter_mut()
+                .flat_map(|s| s.members.iter_mut())
+                .enumerate()
+            {
+                let ev = eng.deal(epoch, i, active[i]);
+                match ev {
+                    DeviceEvent::Absent => {
+                        if active[i] {
+                            counters.leaves += 1;
+                        }
+                        active[i] = false;
+                        counters.absent_epochs += 1;
+                    }
+                    DeviceEvent::Reboot => {
+                        if !active[i] {
+                            counters.joins += 1;
+                        }
+                        active[i] = true;
+                        counters.reboots += 1;
+                        member.reboot();
+                    }
+                    DeviceEvent::ReportDropped => counters.dropped_reports += 1,
+                    DeviceEvent::ReportDelayed => counters.delayed_reports += 1,
+                    DeviceEvent::ReportDuplicated => counters.duplicated_reports += 1,
+                    DeviceEvent::Healthy => {}
+                }
+                events[i] = ev;
+            }
+        }
+        if engine.is_some() {
+            for (i, (r, m)) in requests
+                .iter_mut()
+                .zip(shards.iter().flat_map(|s| s.members.iter()))
+                .enumerate()
+            {
+                *r = if active[i] { m.requested_rate().value() } else { 0.0 };
+            }
+        } else {
+            for (r, m) in requests
+                .iter_mut()
+                .zip(shards.iter().flat_map(|s| s.members.iter()))
+            {
+                *r = m.requested_rate().value();
+            }
         }
         sched.allocate(&requests, capacity_rate, &mut grants);
         timing.schedule += t_sched.elapsed();
@@ -422,13 +536,82 @@ pub fn run_policy(
         if threads == 1 {
             let t_step = Instant::now();
             let ShardState { members, scratch, .. } = &mut shards[0];
-            for (i, member) in members.iter_mut().enumerate() {
-                let report = member.step_epoch(scratch, start, Hertz(grants[i]), window);
-                coverage_sum[i] += quality::coverage(report.primary_rate, Hertz(nyquist[i]));
-                epoch_samples[i] = report.samples_taken;
-                epoch_throttled[i] = report.throttled;
+            if engine.is_some() {
+                for (i, member) in members.iter_mut().enumerate() {
+                    let (cov, samples, throttled, counted) = step_scenario_member(
+                        member,
+                        events[i],
+                        scratch,
+                        start,
+                        Hertz(grants[i]),
+                        window,
+                        nyquist[i],
+                    );
+                    coverage_sum[i] += cov;
+                    epoch_cov[i] = cov;
+                    epoch_samples[i] = samples;
+                    epoch_throttled[i] = throttled;
+                    active_epochs[i] += counted as usize;
+                }
+            } else {
+                for (i, member) in members.iter_mut().enumerate() {
+                    let report = member.step_epoch(scratch, start, Hertz(grants[i]), window);
+                    coverage_sum[i] += quality::coverage(report.primary_rate, Hertz(nyquist[i]));
+                    epoch_samples[i] = report.samples_taken;
+                    epoch_throttled[i] = report.throttled;
+                }
             }
             timing.step += t_step.elapsed();
+        } else if engine.is_some() {
+            let step_time: Duration = thread::scope(|s| {
+                let handles: Vec<_> = shards
+                    .iter_mut()
+                    .zip(grants.chunks(chunk))
+                    .zip(nyquist.chunks(chunk))
+                    .zip(events.chunks(chunk))
+                    .zip(
+                        coverage_sum
+                            .chunks_mut(chunk)
+                            .zip(epoch_cov.chunks_mut(chunk))
+                            .zip(epoch_samples.chunks_mut(chunk))
+                            .zip(epoch_throttled.chunks_mut(chunk))
+                            .zip(active_epochs.chunks_mut(chunk)),
+                    )
+                    .map(
+                        |(
+                            (((shard, grants), nyquist), events),
+                            ((((coverage, ecov), samples), throttled), act),
+                        )| {
+                            s.spawn(move || {
+                                let t = Instant::now();
+                                let ShardState { members, scratch, .. } = shard;
+                                for (i, member) in members.iter_mut().enumerate() {
+                                    let (cov, smp, thr, counted) = step_scenario_member(
+                                        member,
+                                        events[i],
+                                        scratch,
+                                        start,
+                                        Hertz(grants[i]),
+                                        window,
+                                        nyquist[i],
+                                    );
+                                    coverage[i] += cov;
+                                    ecov[i] = cov;
+                                    samples[i] = smp;
+                                    throttled[i] = thr;
+                                    act[i] += counted as usize;
+                                }
+                                t.elapsed()
+                            })
+                        },
+                    )
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("fleetsim worker panicked"))
+                    .sum()
+            });
+            timing.step += step_time;
         } else {
             let step_time: Duration = thread::scope(|s| {
                 let handles: Vec<_> = shards
@@ -471,19 +654,38 @@ pub fn run_policy(
         let granted: f64 = grants.iter().map(|g| g * epoch_unit).sum();
         let samples: usize = epoch_samples.iter().sum();
         let throttled_devices = epoch_throttled.iter().filter(|&&t| t).count();
+        // Cost asymmetry bills through the ledger only — the schedulers
+        // stay cost-naive, and what that naivety costs is the measurement.
+        let spent = match &cost_factors {
+            Some(f) => epoch_samples
+                .iter()
+                .zip(f)
+                .map(|(&s, &c)| s as f64 * unit_cost * c)
+                .sum(),
+            None => samples as f64 * unit_cost,
+        };
         ledger.record(EpochAccount {
             epoch,
             budget: budget_per_epoch,
             demanded,
             granted,
             samples,
-            spent: samples as f64 * unit_cost,
+            spent,
             throttled_devices,
         });
+        if engine.is_some() {
+            // Fleet mean coverage this epoch (absent devices count as 0):
+            // the recovery trajectory the incident analysis reads.
+            epoch_means.push(epoch_cov.iter().sum::<f64>() / n.max(1) as f64);
+        }
         timing.schedule += t_ledger.elapsed();
     }
 
     let t_quality = Instant::now();
+    // Coverage averages over the epochs a device was actually present for:
+    // an absent device is not "uncovered", it is out of the study — but a
+    // present device whose report was dropped scores the 0 it earned.
+    // Healthy runs divide by the horizon exactly as before.
     let device_quality: Vec<DeviceQuality> = shards
         .iter()
         .flat_map(|s| s.members.iter())
@@ -491,11 +693,27 @@ pub fn run_policy(
         .map(|(i, m)| DeviceQuality {
             index: i,
             kind: m.kind(),
-            mean_coverage: coverage_sum[i] / epochs as f64,
+            mean_coverage: if engine.is_some() {
+                coverage_sum[i] / active_epochs[i].max(1) as f64
+            } else {
+                coverage_sum[i] / epochs as f64
+            },
             deferred_epochs: m.sampler().deferred_epochs(),
         })
         .collect();
     let quality = FleetQuality::from_devices(&device_quality);
+    let scenario = engine.as_ref().map(|eng| {
+        let (baseline_coverage, time_to_recover) = eng.recovery(&epoch_means);
+        ScenarioStats {
+            label: scenario_spec.label(),
+            seed: scenario_spec.seed,
+            counters,
+            incident: eng.incident(),
+            baseline_coverage,
+            time_to_recover,
+            epoch_mean_coverage: std::mem::take(&mut epoch_means),
+        }
+    });
     timing.schedule += t_quality.elapsed();
 
     // Scratch buffers only grow, so post-run capacities are the high-water.
@@ -517,6 +735,61 @@ pub fn run_policy(
         quality,
         timing,
         memory,
+        scenario,
+    }
+}
+
+/// Steps one member through one epoch under a scenario event. Returns
+/// `(epoch coverage, billed samples, throttled, counted-as-active)`.
+///
+/// Reboots were already applied serially when the event was dealt, so here
+/// `Reboot` steps like `Healthy` (the first post-reboot epoch *is* a normal
+/// epoch, just from re-ramp state). A dropped report takes no samples and
+/// earns no coverage; a delayed report takes (and bills) its samples but
+/// the controller's adaptation froze; a duplicated report bills double.
+fn step_scenario_member(
+    member: &mut FleetMember,
+    event: DeviceEvent,
+    scratch: &mut EpochScratch,
+    start: Seconds,
+    grant: Hertz,
+    window: Seconds,
+    nyquist: f64,
+) -> (f64, usize, bool, bool) {
+    let nyquist = Hertz(nyquist);
+    match event {
+        DeviceEvent::Absent => (0.0, 0, false, false),
+        DeviceEvent::ReportDropped => {
+            let r = member.note_missed_epoch(start, grant, window);
+            (quality::coverage(r.primary_rate, nyquist), 0, r.throttled, true)
+        }
+        DeviceEvent::ReportDelayed => {
+            let r = member.step_epoch_delayed(scratch, start, grant, window);
+            (
+                quality::coverage(r.primary_rate, nyquist),
+                r.samples_taken,
+                r.throttled,
+                true,
+            )
+        }
+        DeviceEvent::ReportDuplicated => {
+            let r = member.step_epoch(scratch, start, grant, window);
+            (
+                quality::coverage(r.primary_rate, nyquist),
+                r.samples_taken * 2,
+                r.throttled,
+                true,
+            )
+        }
+        DeviceEvent::Healthy | DeviceEvent::Reboot => {
+            let r = member.step_epoch(scratch, start, grant, window);
+            (
+                quality::coverage(r.primary_rate, nyquist),
+                r.samples_taken,
+                r.throttled,
+                true,
+            )
+        }
     }
 }
 
@@ -599,6 +872,10 @@ pub struct FleetFrontier {
     pub window: Seconds,
     /// Fleet seed (for reproduction).
     pub seed: u64,
+    /// Scenario label + seed when failure injection was on (`None` for
+    /// healthy sweeps — the rendering stays byte-identical to a
+    /// scenario-free build).
+    pub scenario: Option<String>,
 }
 
 /// Budget ladder for the frontier sweep, as fractions of steady demand.
@@ -686,6 +963,13 @@ fn frontier(cfg: &FleetSimConfig, points: Vec<FrontierPoint>, steady_demand: f64
         epochs,
         window: cfg.window,
         seed: cfg.fleet.seed,
+        scenario: cfg.scenario.is_active().then(|| {
+            format!(
+                "{} (scenario seed {:#x})",
+                cfg.scenario.label(),
+                cfg.scenario.seed
+            )
+        }),
     }
 }
 
@@ -714,7 +998,37 @@ impl FleetFrontier {
                 self.steady_demand
             ));
         }
+        if let Some(label) = &self.scenario {
+            out.push_str(&format!("scenario: {label}\n"));
+            // Event totals are a pure function of the scenario seed — the
+            // same schedule hits every policy — so the first point speaks
+            // for all of them.
+            if let Some(stats) = self.points.iter().find_map(|p| p.outcome.scenario.as_ref()) {
+                let c = stats.counters;
+                out.push_str(&format!(
+                    "  events: {} leaves / {} joins / {} reboots, {} absent device-epochs, reports: {} dropped / {} duplicated / {} delayed\n",
+                    c.leaves,
+                    c.joins,
+                    c.reboots,
+                    c.absent_epochs,
+                    c.dropped_reports,
+                    c.duplicated_reports,
+                    c.delayed_reports,
+                ));
+                if let Some(inc) = &stats.incident {
+                    out.push_str(&format!(
+                        "  incident: epochs {}..{} (recovery measured from epoch {})\n",
+                        inc.start, inc.end, inc.end
+                    ));
+                }
+            }
+        }
         out.push('\n');
+        // Only incidents have a recovery time worth a column.
+        let recover_col = self
+            .points
+            .iter()
+            .any(|p| p.outcome.scenario.as_ref().is_some_and(|s| s.incident.is_some()));
         let rows: Vec<Vec<String>> = self
             .points
             .iter()
@@ -727,7 +1041,7 @@ impl FleetFrontier {
                 } else {
                     format!("{:.1}", o.budget_per_epoch)
                 };
-                vec![
+                let mut row = vec![
                     o.policy.name().to_string(),
                     budget,
                     format!("{:.1}", o.ledger.mean_spent_per_epoch()),
@@ -737,23 +1051,33 @@ impl FleetFrontier {
                     format!("{:>5.1}%", o.quality.starved_fraction * 100.0),
                     format!("{:>5.1}%", o.ledger.throttled_fraction(o.devices) * 100.0),
                     format!("{:.3e}", o.coverage_per_kilocost()),
-                ]
+                ];
+                if recover_col {
+                    row.push(
+                        match o.scenario.as_ref().and_then(|s| s.time_to_recover) {
+                            Some(e) => format!("{e} ep"),
+                            None => "never".to_string(),
+                        },
+                    );
+                }
+                row
             })
             .collect();
-        out.push_str(&crate::report::table(
-            &[
-                "policy",
-                "budget/ep",
-                "spent/ep",
-                "coverage",
-                "p10",
-                "covered",
-                "starved",
-                "throttled",
-                "cov/kcost",
-            ],
-            &rows,
-        ));
+        let mut headers = vec![
+            "policy",
+            "budget/ep",
+            "spent/ep",
+            "coverage",
+            "p10",
+            "covered",
+            "starved",
+            "throttled",
+            "cov/kcost",
+        ];
+        if recover_col {
+            headers.push("recover");
+        }
+        out.push_str(&crate::report::table(&headers, &rows));
         out.push('\n');
         out.push_str(&self.headlines());
         out
@@ -836,6 +1160,16 @@ impl FleetFrontier {
                 o.ledger.throttled_fraction(o.devices),
             );
             row.field_num("coverage_per_kilocost", o.coverage_per_kilocost());
+            if let Some(sc) = &o.scenario {
+                match sc.baseline_coverage {
+                    Some(b) => row.field_num("baseline_coverage", b),
+                    None => row.field_null("baseline_coverage"),
+                };
+                match sc.time_to_recover {
+                    Some(e) => row.field_num("time_to_recover_epochs", e as f64),
+                    None => row.field_null("time_to_recover_epochs"),
+                };
+            }
             rows.push_raw(&row.finish());
         }
         let mut root = JsonObject::new();
@@ -848,6 +1182,30 @@ impl FleetFrontier {
             root.field_num("steady_demand_per_epoch", self.steady_demand);
         } else {
             root.field_null("steady_demand_per_epoch");
+        }
+        if let Some(stats) = self.points.iter().find_map(|p| p.outcome.scenario.as_ref()) {
+            let c = stats.counters;
+            let mut sc = JsonObject::new();
+            sc.field_str("label", &stats.label);
+            sc.field_num("seed", stats.seed as f64);
+            sc.field_num("leaves", c.leaves as f64);
+            sc.field_num("joins", c.joins as f64);
+            sc.field_num("reboots", c.reboots as f64);
+            sc.field_num("absent_device_epochs", c.absent_epochs as f64);
+            sc.field_num("dropped_reports", c.dropped_reports as f64);
+            sc.field_num("duplicated_reports", c.duplicated_reports as f64);
+            sc.field_num("delayed_reports", c.delayed_reports as f64);
+            match &stats.incident {
+                Some(inc) => {
+                    sc.field_num("incident_start_epoch", inc.start as f64);
+                    sc.field_num("incident_end_epoch", inc.end as f64);
+                }
+                None => {
+                    sc.field_null("incident_start_epoch");
+                    sc.field_null("incident_end_epoch");
+                }
+            }
+            root.field_raw("scenario", &sc.finish());
         }
         root.field_raw("frontier", &rows.finish());
         root.finish()
@@ -1154,5 +1512,157 @@ mod tests {
         assert_eq!(f.points.len(), 1);
         assert_eq!(f.points[0].outcome.policy, SchedulerPolicy::WaterFill);
         assert_eq!(f.points[0].outcome.budget_per_epoch, 30.0);
+    }
+
+    #[test]
+    fn scenario_runs_are_thread_deterministic() {
+        // The full gauntlet — churn, regime incident, lossy reports — under
+        // a binding water-fill budget must stay byte-identical for any
+        // worker count: events are dealt from the scenario seed alone.
+        let spec = ScenarioSpec {
+            seed: 42,
+            ..ScenarioSpec::parse("churn+incident+lossy-reports").unwrap()
+        };
+        let cfg = |threads| FleetSimConfig {
+            scenario: spec,
+            days: 8.0,
+            ..tiny_config(threads)
+        };
+        let serial = run_policy(&cfg(1), SchedulerPolicy::WaterFill, 40.0);
+        for threads in [2, 4] {
+            let parallel = run_policy(&cfg(threads), SchedulerPolicy::WaterFill, 40.0);
+            assert_eq!(serial.ledger.accounts(), parallel.ledger.accounts());
+            assert_eq!(serial.device_quality, parallel.device_quality);
+            assert_eq!(serial.quality, parallel.quality);
+            assert_eq!(serial.scenario, parallel.scenario);
+        }
+    }
+
+    #[test]
+    fn churn_scenario_counts_lifecycle_events_and_keeps_slots() {
+        let spec = ScenarioSpec {
+            seed: 9,
+            leave_prob: 0.05,
+            join_prob: 0.5,
+            reboot_prob: 0.02,
+            ..ScenarioSpec::none()
+        };
+        let cfg = FleetSimConfig {
+            scenario: spec,
+            days: 10.0,
+            ..tiny_config(2)
+        };
+        let out = run_policy(&cfg, SchedulerPolicy::Uncapped, f64::INFINITY);
+        let stats = out.scenario.expect("active scenario must report stats");
+        assert!(stats.counters.leaves > 0, "{:?}", stats.counters);
+        assert!(stats.counters.joins > 0, "{:?}", stats.counters);
+        assert!(stats.counters.reboots > 0, "{:?}", stats.counters);
+        assert!(stats.counters.absent_epochs > 0, "{:?}", stats.counters);
+        // Churn never resizes the fleet's slot geometry: every device keeps
+        // its index and a coverage score over the epochs it was present.
+        assert_eq!(out.device_quality.len(), 28);
+        assert!(
+            out.quality.mean_coverage > 0.5,
+            "churned uncapped coverage collapsed: {}",
+            out.quality.mean_coverage
+        );
+    }
+
+    #[test]
+    fn incident_scenario_measures_recovery() {
+        let cfg = FleetSimConfig {
+            scenario: ScenarioSpec {
+                seed: 1,
+                ..ScenarioSpec::incident()
+            },
+            days: 16.0,
+            ..tiny_config(2)
+        };
+        let out = run_policy(&cfg, SchedulerPolicy::Uncapped, f64::INFINITY);
+        let stats = out.scenario.expect("scenario stats");
+        assert_eq!(stats.incident, Some(4..10));
+        let baseline = stats.baseline_coverage.expect("pre-incident baseline");
+        assert!(baseline > 0.8, "baseline {baseline}");
+        // An uncapped fleet leaves the incident sampling at incident-era
+        // rates, so post-recovery coverage snaps back within a few epochs.
+        let ttr = stats.time_to_recover.expect("uncapped fleet must recover");
+        assert!(ttr <= 4, "time to recover {ttr} epochs");
+    }
+
+    #[test]
+    fn lossy_reports_scenario_defers_and_bills_duplicates() {
+        let spec = ScenarioSpec {
+            seed: 4,
+            drop_prob: 0.2,
+            dup_prob: 0.1,
+            delay_prob: 0.1,
+            ..ScenarioSpec::none()
+        };
+        let cfg = FleetSimConfig {
+            scenario: spec,
+            days: 10.0,
+            ..tiny_config(1)
+        };
+        let out = run_policy(&cfg, SchedulerPolicy::Uncapped, f64::INFINITY);
+        let stats = out.scenario.clone().expect("scenario stats");
+        assert!(stats.counters.dropped_reports > 0);
+        assert!(stats.counters.delayed_reports > 0);
+        assert!(stats.counters.duplicated_reports > 0);
+        // Every dropped or delayed report is a deferral the controller owns
+        // — and with no budget cap those are the *only* deferrals.
+        let deferred: usize = out.device_quality.iter().map(|d| d.deferred_epochs).sum();
+        assert_eq!(
+            deferred,
+            stats.counters.dropped_reports + stats.counters.delayed_reports
+        );
+    }
+
+    #[test]
+    fn cost_skew_bills_the_ledger_but_leaves_control_untouched() {
+        let healthy = run_policy(&tiny_config(2), SchedulerPolicy::Uncapped, f64::INFINITY);
+        let cfg = FleetSimConfig {
+            scenario: ScenarioSpec {
+                seed: 2,
+                ..ScenarioSpec::cost_skew()
+            },
+            ..tiny_config(2)
+        };
+        let skew = run_policy(&cfg, SchedulerPolicy::Uncapped, f64::INFINITY);
+        // Cost asymmetry is an accounting lens: controllers, samples, and
+        // quality are untouched; only the ledger's spend moves.
+        assert_eq!(healthy.device_quality, skew.device_quality);
+        assert_eq!(healthy.ledger.total_samples(), skew.ledger.total_samples());
+        assert!(
+            (healthy.total_spent() - skew.total_spent()).abs() > 1e-6,
+            "skewed spend {} should differ from uniform {}",
+            skew.total_spent(),
+            healthy.total_spent()
+        );
+        assert!(skew.scenario.is_some());
+    }
+
+    #[test]
+    fn scenario_frontier_renders_recovery_and_json() {
+        let cfg = FleetSimConfig {
+            scenario: ScenarioSpec {
+                seed: 3,
+                ..ScenarioSpec::parse("churn+incident").unwrap()
+            },
+            days: 8.0,
+            ..tiny_config(2)
+        };
+        let f = run_point(&cfg, 40.0, Some(SchedulerPolicy::WaterFill));
+        let text = f.render();
+        assert!(text.contains("scenario: churn+incident"), "{text}");
+        assert!(text.contains("recover"), "{text}");
+        assert!(text.contains("events:"), "{text}");
+        let json = f.to_json();
+        assert!(json.contains("\"scenario\":{"), "{json}");
+        assert!(json.contains("\"label\":\"churn+incident\""), "{json}");
+        assert!(json.contains("time_to_recover_epochs"), "{json}");
+        // Healthy sweeps stay scenario-free in both renderings.
+        let healthy = run_point(&tiny_config(2), 40.0, Some(SchedulerPolicy::WaterFill));
+        assert!(!healthy.render().contains("scenario"));
+        assert!(!healthy.to_json().contains("scenario"));
     }
 }

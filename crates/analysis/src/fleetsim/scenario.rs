@@ -1,0 +1,625 @@
+//! Fleet lifecycle & failure injection: the `--scenario` axis.
+//!
+//! The frontier in [`super`] is measured on an always-healthy, static fleet;
+//! production fleets churn, reboot, drop reports, and switch signal regimes.
+//! This module makes failure a first-class, *deterministic* simulation axis:
+//! a [`ScenarioSpec`] describes per-epoch event probabilities plus a regime
+//! incident, and a [`ScenarioEngine`] deals each device one [`DeviceEvent`]
+//! per epoch as a **pure function of `(scenario seed, epoch, device index)`**
+//! — no RNG state, no dependence on grants or thread count — so scenario
+//! runs stay byte-identical for any `--threads N` and every policy of a
+//! frontier sweep sees exactly the same fault schedule.
+//!
+//! Events compose with the engine's lockstep loop without breaking its
+//! invariants: absent devices keep their slot in every per-device vector
+//! (they request 0.0 and skip their step — the arena slabs and request
+//! lengths never change), and all per-epoch event work is branch + hash
+//! arithmetic, so the zero-allocation steady state survives churn.
+
+use std::ops::Range;
+
+/// What the scenario dealt one device for one epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceEvent {
+    /// Device polls and reports normally.
+    Healthy,
+    /// Device is offline this epoch: no request, no samples, no report.
+    /// The controller is frozen, not informed — there is nothing to inform
+    /// it *with*.
+    Absent,
+    /// Device rebooted at the epoch boundary (or rejoined after an
+    /// absence): volatile state resets, the controller re-ramps from its
+    /// remembered max, then the epoch runs normally.
+    Reboot,
+    /// The epoch's report was lost in flight: the controller sees no
+    /// evidence at all and applies its missing-epoch semantics.
+    ReportDropped,
+    /// The epoch's report arrived too late to adapt on: samples are taken
+    /// (and billed) but adaptation freezes for the epoch.
+    ReportDelayed,
+    /// The epoch's report reached the collector twice: the samples bill
+    /// double, the controller is none the wiser.
+    ReportDuplicated,
+}
+
+/// A fleet scenario: per-epoch event probabilities, a regime incident, and
+/// per-device cost asymmetry. `Copy` so it rides inside
+/// [`FleetSimConfig`](super::FleetSimConfig).
+///
+/// Build one from a CLI string with [`ScenarioSpec::parse`] — preset names
+/// (`churn`, `incident`, `lossy-reports`, `cost-skew`) compose with `+`,
+/// and `key=value` terms override individual fields.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioSpec {
+    /// Per-epoch probability an active device goes offline.
+    pub leave_prob: f64,
+    /// Per-epoch probability an offline device comes back (rebooting).
+    pub join_prob: f64,
+    /// Per-epoch probability an active device reboots in place.
+    pub reboot_prob: f64,
+    /// Per-epoch probability an active device's report is lost in flight.
+    pub drop_prob: f64,
+    /// Per-epoch probability an active device's report is duplicated.
+    pub dup_prob: f64,
+    /// Per-epoch probability an active device's report arrives too late
+    /// to adapt on.
+    pub delay_prob: f64,
+    /// Regime incident: every tone frequency scales by this factor for the
+    /// incident phase (1.0 disables the incident).
+    pub incident_factor: f64,
+    /// Incident onset, as a fraction of the simulation horizon.
+    pub incident_start_frac: f64,
+    /// Incident end (recovery onset), as a fraction of the horizon.
+    pub incident_end_frac: f64,
+    /// Per-device cost asymmetry: device cost factors spread log-uniformly
+    /// over `[1/spread, spread]` (1.0 is a uniform fleet). Schedulers stay
+    /// cost-naive by design — the ledger records what that naivety costs.
+    pub cost_spread: f64,
+    /// Scenario seed: decorrelates the fault schedule from the fleet seed.
+    pub seed: u64,
+}
+
+impl ScenarioSpec {
+    /// The healthy scenario: no events, no incident, uniform costs.
+    pub const fn none() -> ScenarioSpec {
+        ScenarioSpec {
+            leave_prob: 0.0,
+            join_prob: 0.0,
+            reboot_prob: 0.0,
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            delay_prob: 0.0,
+            incident_factor: 1.0,
+            incident_start_frac: 0.25,
+            incident_end_frac: 0.625,
+            cost_spread: 1.0,
+            seed: 0,
+        }
+    }
+
+    /// Device churn: ~1% of the fleet leaves per epoch, absentees rejoin
+    /// quickly, occasional in-place reboots.
+    pub const fn churn() -> ScenarioSpec {
+        ScenarioSpec {
+            leave_prob: 0.01,
+            join_prob: 0.25,
+            reboot_prob: 0.005,
+            ..ScenarioSpec::none()
+        }
+    }
+
+    /// Regime incident: mid-study, every signal's band edge jumps to 3× its
+    /// diurnal value, then recovers — the controller must re-discover both
+    /// transitions through its own sampling.
+    pub const fn incident() -> ScenarioSpec {
+        ScenarioSpec {
+            incident_factor: 3.0,
+            ..ScenarioSpec::none()
+        }
+    }
+
+    /// Lossy reporting: epochs are dropped, duplicated, and delayed in
+    /// flight at realistic rates.
+    pub const fn lossy_reports() -> ScenarioSpec {
+        ScenarioSpec {
+            drop_prob: 0.05,
+            dup_prob: 0.02,
+            delay_prob: 0.03,
+            ..ScenarioSpec::none()
+        }
+    }
+
+    /// Cost asymmetry: per-device sample costs spread 4× either way.
+    pub const fn cost_skew() -> ScenarioSpec {
+        ScenarioSpec {
+            cost_spread: 4.0,
+            ..ScenarioSpec::none()
+        }
+    }
+
+    /// `true` when the scenario can perturb the run at all. The engine is
+    /// only constructed for active scenarios, so `--scenario none` keeps
+    /// the healthy path bit-identical to a scenario-free build.
+    pub fn is_active(&self) -> bool {
+        self.leave_prob > 0.0
+            || self.join_prob > 0.0
+            || self.reboot_prob > 0.0
+            || self.drop_prob > 0.0
+            || self.dup_prob > 0.0
+            || self.delay_prob > 0.0
+            || self.has_incident()
+            || self.cost_spread != 1.0
+    }
+
+    /// `true` when a regime incident is configured.
+    pub fn has_incident(&self) -> bool {
+        self.incident_factor != 1.0
+    }
+
+    /// Canonical human-readable label: the active components, `+`-joined.
+    pub fn label(&self) -> String {
+        let mut parts: Vec<&str> = Vec::new();
+        if self.leave_prob > 0.0 || self.join_prob > 0.0 || self.reboot_prob > 0.0 {
+            parts.push("churn");
+        }
+        if self.has_incident() {
+            parts.push("incident");
+        }
+        if self.drop_prob > 0.0 || self.dup_prob > 0.0 || self.delay_prob > 0.0 {
+            parts.push("lossy-reports");
+        }
+        if self.cost_spread != 1.0 {
+            parts.push("cost-skew");
+        }
+        if parts.is_empty() {
+            "none".to_string()
+        } else {
+            parts.join("+")
+        }
+    }
+
+    /// Parses a `--scenario` argument: `+`-separated terms, each either a
+    /// preset name (`none`, `churn`, `incident`, `lossy-reports`/`lossy`,
+    /// `cost-skew`) or a `key=value` override (`leave`, `join`, `reboot`,
+    /// `drop`, `dup`, `delay`, `incident` (the factor), `incident-start`,
+    /// `incident-end`, `cost-spread`). Terms apply left to right onto the
+    /// healthy scenario. The seed is *not* part of the string — set it via
+    /// `--scenario-seed` / the field.
+    ///
+    /// # Errors
+    /// A human-readable message naming the offending term.
+    pub fn parse(s: &str) -> Result<ScenarioSpec, String> {
+        let mut spec = ScenarioSpec::none();
+        for term in s.split('+') {
+            let term = term.trim();
+            match term {
+                "" | "none" => {}
+                "churn" => spec.merge(&ScenarioSpec::churn()),
+                "incident" => spec.merge(&ScenarioSpec::incident()),
+                "lossy-reports" | "lossy" => spec.merge(&ScenarioSpec::lossy_reports()),
+                "cost-skew" => spec.merge(&ScenarioSpec::cost_skew()),
+                _ => {
+                    let (key, value) = term
+                        .split_once('=')
+                        .ok_or_else(|| format!("unknown scenario term '{term}'"))?;
+                    let v: f64 = value
+                        .parse()
+                        .map_err(|_| format!("scenario term '{term}': bad number '{value}'"))?;
+                    let field = match key {
+                        "leave" => &mut spec.leave_prob,
+                        "join" => &mut spec.join_prob,
+                        "reboot" => &mut spec.reboot_prob,
+                        "drop" => &mut spec.drop_prob,
+                        "dup" => &mut spec.dup_prob,
+                        "delay" => &mut spec.delay_prob,
+                        "incident" => &mut spec.incident_factor,
+                        "incident-start" => &mut spec.incident_start_frac,
+                        "incident-end" => &mut spec.incident_end_frac,
+                        "cost-spread" => &mut spec.cost_spread,
+                        _ => return Err(format!("unknown scenario key '{key}'")),
+                    };
+                    *field = v;
+                }
+            }
+        }
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Overlays `other`'s non-default fields onto `self` (preset
+    /// composition: `churn+incident` is churn's probabilities plus
+    /// incident's regime switch).
+    fn merge(&mut self, other: &ScenarioSpec) {
+        let base = ScenarioSpec::none();
+        macro_rules! take {
+            ($f:ident) => {
+                if other.$f != base.$f {
+                    self.$f = other.$f;
+                }
+            };
+        }
+        take!(leave_prob);
+        take!(join_prob);
+        take!(reboot_prob);
+        take!(drop_prob);
+        take!(dup_prob);
+        take!(delay_prob);
+        take!(incident_factor);
+        take!(incident_start_frac);
+        take!(incident_end_frac);
+        take!(cost_spread);
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("leave", self.leave_prob),
+            ("join", self.join_prob),
+            ("reboot", self.reboot_prob),
+            ("drop", self.drop_prob),
+            ("dup", self.dup_prob),
+            ("delay", self.delay_prob),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("scenario {name} probability {p} outside [0, 1]"));
+            }
+        }
+        if !(self.incident_factor > 0.0 && self.incident_factor.is_finite()) {
+            return Err(format!(
+                "scenario incident factor must be positive, got {}",
+                self.incident_factor
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.incident_start_frac)
+            || !(0.0..=1.0).contains(&self.incident_end_frac)
+            || self.incident_end_frac < self.incident_start_frac
+        {
+            return Err(format!(
+                "scenario incident window [{}, {}] must be ordered fractions of the run",
+                self.incident_start_frac, self.incident_end_frac
+            ));
+        }
+        if !(self.cost_spread >= 1.0 && self.cost_spread.is_finite()) {
+            return Err(format!(
+                "scenario cost spread must be >= 1, got {}",
+                self.cost_spread
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for ScenarioSpec {
+    fn default() -> Self {
+        ScenarioSpec::none()
+    }
+}
+
+/// Per-kind salts so every event class draws an independent uniform stream.
+const SALT_LEAVE: u64 = 0x1EAF_0001;
+const SALT_JOIN: u64 = 0x3011_0002;
+const SALT_REBOOT: u64 = 0xB007_0003;
+const SALT_DROP: u64 = 0xD209_0004;
+const SALT_DUP: u64 = 0xD4B1_0005;
+const SALT_DELAY: u64 = 0xDE1A_0006;
+const SALT_COST: u64 = 0xC057_0007;
+
+/// SplitMix64 finalizer over `(seed, salt, epoch, index)` — the same mixer
+/// trace synthesis uses, so nearby epochs/devices share nothing.
+fn mix(seed: u64, salt: u64, epoch: u64, index: u64) -> u64 {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(salt.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(epoch.wrapping_mul(0x94D0_49BB_1331_11EB))
+        .wrapping_add(index.wrapping_mul(0xD6E8_FEB8_6659_FD93));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform draw in `[0, 1)` from the mixed hash (53 mantissa bits).
+fn unit(seed: u64, salt: u64, epoch: u64, index: u64) -> f64 {
+    (mix(seed, salt, epoch, index) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Running totals of what a scenario dealt over a whole run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScenarioCounters {
+    /// Devices that went offline (leave events).
+    pub leaves: usize,
+    /// Offline devices that came back (rejoin events).
+    pub joins: usize,
+    /// Reboots, counting both in-place reboots and rejoins.
+    pub reboots: usize,
+    /// Device-epochs spent offline.
+    pub absent_epochs: usize,
+    /// Reports lost in flight.
+    pub dropped_reports: usize,
+    /// Reports duplicated in flight.
+    pub duplicated_reports: usize,
+    /// Reports that arrived too late to adapt on.
+    pub delayed_reports: usize,
+}
+
+/// What a scenario did to one policy run, for reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioStats {
+    /// Canonical scenario label (see [`ScenarioSpec::label`]).
+    pub label: String,
+    /// Scenario seed the fault schedule was drawn from.
+    pub seed: u64,
+    /// Event totals over the run.
+    pub counters: ScenarioCounters,
+    /// Incident phase, as an epoch range (`None` without an incident).
+    pub incident: Option<Range<usize>>,
+    /// Fleet mean coverage over the pre-incident epochs — the recovery
+    /// baseline. `None` when there is no incident or no pre-incident epoch.
+    pub baseline_coverage: Option<f64>,
+    /// Epochs after the incident ends until fleet mean coverage regains
+    /// 95% of the pre-incident baseline. `None` if it never recovers
+    /// within the run (or there is no incident/baseline).
+    pub time_to_recover: Option<usize>,
+    /// Fleet mean coverage per epoch (absent devices score 0) — the
+    /// degradation/recovery trajectory the incident analysis reads.
+    pub epoch_mean_coverage: Vec<f64>,
+}
+
+/// The deterministic fault dealer for one run: owns the spec and the
+/// resolved incident boundaries. Stateless per epoch — every decision is a
+/// hash of `(seed, salt, epoch, device index)`.
+#[derive(Debug, Clone)]
+pub struct ScenarioEngine {
+    spec: ScenarioSpec,
+    incident: Option<Range<usize>>,
+}
+
+impl ScenarioEngine {
+    /// Builds the engine for a run of `epochs` lockstep epochs.
+    pub fn new(spec: ScenarioSpec, epochs: usize) -> ScenarioEngine {
+        let incident = spec.has_incident().then(|| {
+            let start = (spec.incident_start_frac * epochs as f64).floor() as usize;
+            let end = ((spec.incident_end_frac * epochs as f64).ceil() as usize).min(epochs);
+            start..end.max(start)
+        });
+        ScenarioEngine { spec, incident }
+    }
+
+    /// The spec this engine deals from.
+    pub fn spec(&self) -> &ScenarioSpec {
+        &self.spec
+    }
+
+    /// Incident phase as an epoch range, when one is configured.
+    pub fn incident(&self) -> Option<Range<usize>> {
+        self.incident.clone()
+    }
+
+    /// Deals device `index` its event for `epoch`, given whether it is
+    /// currently active. Pure: same `(spec.seed, epoch, index, active)` ⇒
+    /// same event, regardless of policy, grants, or thread count. Draws are
+    /// gated on non-zero probabilities, so inactive event classes cost
+    /// nothing and scenarios compose without perturbing each other.
+    pub fn deal(&self, epoch: usize, index: usize, active: bool) -> DeviceEvent {
+        let s = &self.spec;
+        let (e, i) = (epoch as u64, index as u64);
+        if !active {
+            return if s.join_prob > 0.0 && unit(s.seed, SALT_JOIN, e, i) < s.join_prob {
+                DeviceEvent::Reboot
+            } else {
+                DeviceEvent::Absent
+            };
+        }
+        if s.leave_prob > 0.0 && unit(s.seed, SALT_LEAVE, e, i) < s.leave_prob {
+            return DeviceEvent::Absent;
+        }
+        if s.reboot_prob > 0.0 && unit(s.seed, SALT_REBOOT, e, i) < s.reboot_prob {
+            return DeviceEvent::Reboot;
+        }
+        if s.drop_prob > 0.0 && unit(s.seed, SALT_DROP, e, i) < s.drop_prob {
+            return DeviceEvent::ReportDropped;
+        }
+        if s.delay_prob > 0.0 && unit(s.seed, SALT_DELAY, e, i) < s.delay_prob {
+            return DeviceEvent::ReportDelayed;
+        }
+        if s.dup_prob > 0.0 && unit(s.seed, SALT_DUP, e, i) < s.dup_prob {
+            return DeviceEvent::ReportDuplicated;
+        }
+        DeviceEvent::Healthy
+    }
+
+    /// Per-device cost factors, log-uniform over `[1/spread, spread]`, or
+    /// `None` for a uniform fleet — the `None` keeps the healthy ledger
+    /// arithmetic (and hence its bytes) untouched.
+    pub fn cost_factors(&self, devices: usize) -> Option<Vec<f64>> {
+        let spread = self.spec.cost_spread;
+        if spread == 1.0 {
+            return None;
+        }
+        Some(
+            (0..devices)
+                .map(|i| {
+                    // u ∈ [−1, 1) ⇒ factor ∈ [1/spread, spread).
+                    let u = 2.0 * unit(self.spec.seed, SALT_COST, 0, i as u64) - 1.0;
+                    spread.powf(u)
+                })
+                .collect(),
+        )
+    }
+
+    /// Recovery analysis over the run's per-epoch fleet mean coverage:
+    /// `(baseline, time_to_recover)`. The baseline is the mean over
+    /// pre-incident epochs; recovery is the first post-incident epoch whose
+    /// fleet mean regains 95% of it, counted from the incident's end.
+    pub fn recovery(&self, epoch_means: &[f64]) -> (Option<f64>, Option<usize>) {
+        let Some(incident) = &self.incident else {
+            return (None, None);
+        };
+        if incident.start == 0 || incident.start > epoch_means.len() {
+            return (None, None);
+        }
+        let baseline =
+            epoch_means[..incident.start].iter().sum::<f64>() / incident.start as f64;
+        let threshold = baseline * 0.95;
+        let recover = epoch_means
+            .iter()
+            .enumerate()
+            .skip(incident.end)
+            .find(|(_, &m)| m >= threshold)
+            .map(|(e, _)| e - incident.end);
+        (Some(baseline), recover)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_is_inactive_and_presets_are_active() {
+        assert!(!ScenarioSpec::none().is_active());
+        for spec in [
+            ScenarioSpec::churn(),
+            ScenarioSpec::incident(),
+            ScenarioSpec::lossy_reports(),
+            ScenarioSpec::cost_skew(),
+        ] {
+            assert!(spec.is_active(), "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn parse_presets_compose_with_plus() {
+        let spec = ScenarioSpec::parse("churn+lossy-reports").unwrap();
+        assert_eq!(spec.leave_prob, ScenarioSpec::churn().leave_prob);
+        assert_eq!(spec.drop_prob, ScenarioSpec::lossy_reports().drop_prob);
+        assert!(!spec.has_incident());
+        assert_eq!(spec.label(), "churn+lossy-reports");
+    }
+
+    #[test]
+    fn parse_key_value_overrides() {
+        let spec = ScenarioSpec::parse("incident+incident=2.0+drop=0.1").unwrap();
+        assert_eq!(spec.incident_factor, 2.0);
+        assert_eq!(spec.drop_prob, 0.1);
+        assert_eq!(ScenarioSpec::parse("none").unwrap(), ScenarioSpec::none());
+    }
+
+    #[test]
+    fn parse_rejects_nonsense() {
+        assert!(ScenarioSpec::parse("blizzard").is_err());
+        assert!(ScenarioSpec::parse("drop=nope").is_err());
+        assert!(ScenarioSpec::parse("drop=1.5").is_err());
+        assert!(ScenarioSpec::parse("incident=0").is_err());
+        assert!(ScenarioSpec::parse("cost-spread=0.5").is_err());
+        assert!(ScenarioSpec::parse("incident-start=0.9+incident-end=0.1").is_err());
+    }
+
+    #[test]
+    fn deal_is_pure_and_seed_sensitive() {
+        let spec = ScenarioSpec {
+            seed: 7,
+            ..ScenarioSpec::churn()
+        };
+        let eng = ScenarioEngine::new(spec, 100);
+        for epoch in 0..50 {
+            for index in 0..40 {
+                assert_eq!(
+                    eng.deal(epoch, index, true),
+                    eng.deal(epoch, index, true),
+                    "deal must be pure"
+                );
+            }
+        }
+        let other = ScenarioEngine::new(ScenarioSpec { seed: 8, ..spec }, 100);
+        let differs = (0..200).any(|e| {
+            (0..40).any(|i| eng.deal(e, i, true) != other.deal(e, i, true))
+        });
+        assert!(differs, "seed must steer the schedule");
+    }
+
+    #[test]
+    fn deal_rates_match_probabilities_roughly() {
+        let spec = ScenarioSpec {
+            seed: 3,
+            ..ScenarioSpec::lossy_reports()
+        };
+        let eng = ScenarioEngine::new(spec, 1000);
+        let mut dropped = 0usize;
+        let mut total = 0usize;
+        for epoch in 0..1000 {
+            for index in 0..20 {
+                total += 1;
+                if eng.deal(epoch, index, true) == DeviceEvent::ReportDropped {
+                    dropped += 1;
+                }
+            }
+        }
+        let rate = dropped as f64 / total as f64;
+        assert!(
+            (0.035..0.065).contains(&rate),
+            "drop rate {rate} far from 0.05"
+        );
+    }
+
+    #[test]
+    fn absent_devices_only_rejoin_or_stay_absent() {
+        let spec = ScenarioSpec {
+            seed: 11,
+            ..ScenarioSpec::churn()
+        };
+        let eng = ScenarioEngine::new(spec, 100);
+        for epoch in 0..100 {
+            for index in 0..20 {
+                let ev = eng.deal(epoch, index, false);
+                assert!(
+                    ev == DeviceEvent::Absent || ev == DeviceEvent::Reboot,
+                    "absent device dealt {ev:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incident_boundaries_cover_the_configured_window() {
+        let eng = ScenarioEngine::new(ScenarioSpec::incident(), 16);
+        let inc = eng.incident().expect("incident configured");
+        assert_eq!(inc, 4..10);
+        assert!(ScenarioEngine::new(ScenarioSpec::churn(), 16).incident().is_none());
+    }
+
+    #[test]
+    fn cost_factors_spread_around_unity() {
+        let eng = ScenarioEngine::new(
+            ScenarioSpec {
+                seed: 5,
+                ..ScenarioSpec::cost_skew()
+            },
+            10,
+        );
+        let f = eng.cost_factors(500).expect("skewed");
+        assert!(f.iter().all(|&x| (0.25..=4.0).contains(&x)));
+        let spread = f.iter().cloned().fold(f64::MIN, f64::max)
+            / f.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(spread > 4.0, "spread {spread} too tight");
+        assert!(eng.cost_factors(0).is_some());
+        let uniform = ScenarioEngine::new(ScenarioSpec::churn(), 10);
+        assert!(uniform.cost_factors(500).is_none());
+    }
+
+    #[test]
+    fn recovery_finds_the_first_post_incident_epoch_at_threshold() {
+        let eng = ScenarioEngine::new(ScenarioSpec::incident(), 16);
+        // Baseline epochs 0..4 at 0.9; incident dips; recovery at epoch 12.
+        let means = [
+            0.9, 0.9, 0.9, 0.9, // baseline
+            0.5, 0.5, 0.5, 0.5, 0.5, 0.5, // incident 4..10
+            0.7, 0.8, 0.88, 0.9, 0.9, 0.9, // recovery
+        ];
+        let (baseline, ttr) = eng.recovery(&means);
+        assert!((baseline.unwrap() - 0.9).abs() < 1e-12);
+        // 0.95 × 0.9 = 0.855 — first reached at epoch 12, two after the end.
+        assert_eq!(ttr, Some(2));
+        // Never recovering reports None.
+        let flat = [0.9, 0.9, 0.9, 0.9, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5, 0.5];
+        assert_eq!(eng.recovery(&flat), (Some(0.9), None));
+    }
+}

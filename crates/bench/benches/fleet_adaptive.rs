@@ -13,7 +13,9 @@
 
 use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
-use sweetspot_analysis::fleetsim::{self, scheduler, scheduler::SchedulerPolicy, FleetSimConfig};
+use sweetspot_analysis::fleetsim::{
+    self, scenario::ScenarioSpec, scheduler, scheduler::SchedulerPolicy, FleetSimConfig,
+};
 use sweetspot_telemetry::FleetConfig;
 use sweetspot_timeseries::Seconds;
 
@@ -68,6 +70,20 @@ fn bench(c: &mut Criterion) {
     c.bench_function("fleet_adaptive/waterfill_20k_2ep", |b| {
         b.iter(|| {
             let out = fleetsim::run_policy(&large, SchedulerPolicy::WaterFill, 200_000.0);
+            black_box(out.quality.mean_coverage)
+        })
+    });
+
+    // Same fleet with the scenario engine dealt in (churn preset): what the
+    // per-epoch event pass plus lifecycle bookkeeping costs on top of the
+    // healthy waterfill row above.
+    let churned = FleetSimConfig {
+        scenario: ScenarioSpec::churn(),
+        ..large
+    };
+    c.bench_function("fleet_adaptive/scenario_churn_20k", |b| {
+        b.iter(|| {
+            let out = fleetsim::run_policy(&churned, SchedulerPolicy::WaterFill, 200_000.0);
             black_box(out.quality.mean_coverage)
         })
     });

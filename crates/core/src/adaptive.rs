@@ -243,6 +243,10 @@ pub struct AdaptiveSampler {
     /// Settled epochs since the §4.1 companion last ran (batched
     /// verification; stays 0 under the default continuous cadence).
     since_verify: usize,
+    /// Consecutive epochs whose report never reached the controller at all
+    /// (see [`AdaptiveSampler::note_missed_epoch`]): drives hold-and-decay
+    /// on absent evidence. Any arriving report resets it.
+    missed_streak: usize,
     /// Working storage for the owned-scratch API; stays empty when every
     /// epoch runs through [`AdaptiveSampler::step_granted_scratch`].
     scratch: SamplerScratch,
@@ -296,6 +300,7 @@ impl AdaptiveSampler {
             deferred_epochs: 0,
             deferred_samples: 0,
             since_verify: 0,
+            missed_streak: 0,
             scratch: SamplerScratch::new(),
         }
     }
@@ -328,9 +333,16 @@ impl AdaptiveSampler {
     }
 
     /// Total primary samples the scheduler's cuts cost so far (requested
-    /// minus granted, summed over throttled epochs).
+    /// minus granted, summed over throttled epochs; a wholly missed epoch
+    /// contributes its entire requested stream).
     pub fn deferred_samples(&self) -> usize {
         self.deferred_samples
+    }
+
+    /// Consecutive epochs with no report at all (reset by any epoch whose
+    /// report arrives, even late).
+    pub fn missed_streak(&self) -> usize {
+        self.missed_streak
     }
 
     /// Heap bytes of the controller's *owned* working storage (its scratch
@@ -390,6 +402,143 @@ impl AdaptiveSampler {
                 .clamp(self.config.min_rate.value(), self.config.max_rate.value()),
         );
         self.step_at(scratch, source, start, clamped, window)
+    }
+
+    /// Records an epoch whose report never reached the controller: the
+    /// device vanished, the poll failed, or the report was dropped in
+    /// flight. No samples arrive, nothing is billed — but the epoch still
+    /// happened, so it **counts**: `deferred_epochs` advances once per miss
+    /// (a device that misses `k` consecutive epochs reports `k`), and
+    /// `deferred_samples` grows by the full requested stream.
+    ///
+    /// Absent evidence is handled by **hold-and-decay**, never a silent
+    /// stale estimate: the request holds for the first
+    /// `decrease_patience − 1` consecutive misses, then decays by
+    /// `1/probe_multiplier` per further miss down to `min_rate` — a device
+    /// that stops reporting progressively releases its budget share. The
+    /// remembered maximum is untouched, so the re-ramp when evidence
+    /// returns is one memory jump, not a fresh probe ladder; and the next
+    /// detectable epoch is forced to verify (`since_verify` pinned to the
+    /// cadence), so a folded post-outage spectrum cannot pass unchecked.
+    pub fn note_missed_epoch(&mut self, start: Seconds, granted: Hertz, window: Seconds) -> EpochReport {
+        assert!(window.value() > 0.0, "window must be positive");
+        let requested = self.rate;
+        let clamped = Hertz(
+            granted
+                .value()
+                .clamp(self.config.min_rate.value(), self.config.max_rate.value()),
+        );
+        let throttled = clamped.value() < requested.value() * (1.0 - 1e-9);
+        self.deferred_epochs += 1;
+        self.deferred_samples += (requested.value() * window.value()).round() as usize;
+        self.missed_streak += 1;
+        self.low_streak = 0;
+        let next = if self.missed_streak >= self.config.decrease_patience.max(1) {
+            Hertz(
+                (requested.value() / self.config.probe_multiplier)
+                    .max(self.config.min_rate.value()),
+            )
+        } else {
+            requested
+        };
+        // Whatever state the controller held is now stale by one more
+        // epoch: the first report that does arrive must be §4.1-verified.
+        self.since_verify = self.config.verify_every.max(1);
+        let report = EpochReport {
+            index: self.epoch_index,
+            start,
+            duration: window,
+            mode: self.mode,
+            requested_rate: requested,
+            throttled,
+            primary_rate: Hertz(0.0),
+            secondary_rate: Hertz(0.0),
+            aliased: false,
+            estimate: None,
+            samples_taken: 0,
+            next_rate: next,
+        };
+        self.rate = next;
+        self.epoch_index += 1;
+        report
+    }
+
+    /// Runs one epoch whose report reaches the controller **late** — after
+    /// the next scheduling decision. The device polls at the (clamped)
+    /// granted rate and the samples are real (they arrive, are billed, and
+    /// cover the signal), but the controller cannot adapt on evidence it
+    /// does not have yet: the request holds, no detection or estimation
+    /// runs, and the next detectable epoch is forced to verify. The epoch
+    /// counts as deferred — adaptation was pushed out — but the arrival
+    /// (however late) resets the missed streak: the device is alive.
+    pub fn step_delayed_scratch<S: SignalSource>(
+        &mut self,
+        scratch: &mut SamplerScratch,
+        source: &mut S,
+        start: Seconds,
+        granted: Hertz,
+        window: Seconds,
+    ) -> EpochReport {
+        assert!(window.value() > 0.0, "window must be positive");
+        let requested = self.rate;
+        let primary = Hertz(
+            granted
+                .value()
+                .clamp(self.config.min_rate.value(), self.config.max_rate.value()),
+        );
+        let throttled = primary.value() < requested.value() * (1.0 - 1e-9);
+        let fast = source.sample_recycled(
+            start,
+            primary,
+            window,
+            std::mem::take(&mut scratch.fast_spare),
+        );
+        let samples_taken = fast.len();
+        scratch.fast_spare = fast.into_values();
+        self.deferred_epochs += 1;
+        if throttled {
+            self.deferred_samples +=
+                ((requested.value() - primary.value()) * window.value()).round() as usize;
+        }
+        self.missed_streak = 0;
+        self.since_verify = self.config.verify_every.max(1);
+        let report = EpochReport {
+            index: self.epoch_index,
+            start,
+            duration: window,
+            mode: self.mode,
+            requested_rate: requested,
+            throttled,
+            primary_rate: primary,
+            secondary_rate: Hertz(0.0),
+            aliased: false,
+            estimate: None,
+            samples_taken,
+            next_rate: requested,
+        };
+        self.epoch_index += 1;
+        report
+    }
+
+    /// Resets the controller after its device rebooted mid-study: back to
+    /// probe mode at the (clamped) initial rate, hysteresis and cadence
+    /// counters cleared. The remembered maximum **survives** — the §4.2
+    /// memory belongs to the monitoring service, not the device — so the
+    /// post-reboot re-ramp is bounded: one aliased epoch jumps the request
+    /// straight to `headroom × remembered max` instead of re-climbing the
+    /// multiplicative probe ladder. Cumulative accounting (`epoch_index`,
+    /// deferral counters) is preserved.
+    pub fn reboot(&mut self) {
+        self.mode = Mode::Probe;
+        self.rate = Hertz(
+            self.config
+                .initial_rate
+                .value()
+                .clamp(self.config.min_rate.value(), self.config.max_rate.value()),
+        );
+        self.low_streak = 0;
+        self.since_verify = 0;
+        self.missed_streak = 0;
     }
 
     /// Epoch body through the sampler's own scratch (the borrow dance is
@@ -614,6 +763,8 @@ impl AdaptiveSampler {
         if force_verify_next {
             self.since_verify = cadence;
         }
+        // This epoch's report arrived: the device is reporting again.
+        self.missed_streak = 0;
         self.rate = next;
         self.epoch_index += 1;
         report
@@ -1094,6 +1245,137 @@ mod tests {
         let r = ctl.step_granted(&mut source, t, Hertz(1e9), window);
         assert_eq!(r.primary_rate, Hertz(8.0), "grant must clamp to max_rate");
         assert!(!r.throttled, "a grant above the request is not a cut");
+    }
+
+    #[test]
+    fn k_missed_epochs_report_k_deferred() {
+        // A device that misses k consecutive epochs must report exactly k in
+        // deferred_epochs — the counter cannot only advance on granted
+        // epochs (the report never arriving IS the deferral).
+        let edge = 0.5;
+        let mut source = FunctionSource::new(band_signal(edge));
+        let mut ctl = AdaptiveSampler::new(config(0.3, 2000.0));
+        let window = Seconds(2000.0);
+        let mut t = Seconds::ZERO;
+        for _ in 0..10 {
+            let r = ctl.step_granted(&mut source, t, ctl.requested_rate(), window);
+            t = t + r.duration;
+        }
+        assert_eq!(ctl.mode(), Mode::Steady);
+        assert_eq!(ctl.deferred_epochs(), 0, "full grants defer nothing");
+        let settled = ctl.requested_rate();
+        let remembered = ctl.remembered_max().expect("settled");
+
+        let k = 5;
+        for miss in 1..=k {
+            let r = ctl.note_missed_epoch(t, settled, window);
+            assert_eq!(r.samples_taken, 0, "nothing arrives on a missed epoch");
+            assert_eq!(ctl.deferred_epochs(), miss, "miss {miss} must count");
+            assert_eq!(ctl.missed_streak(), miss);
+            t = t + window;
+        }
+        assert_eq!(ctl.deferred_epochs(), k);
+        assert!(ctl.deferred_samples() > 0);
+
+        // Hold-and-decay: held through the patience window, decaying after.
+        let patience = ctl.config.decrease_patience; // 3
+        let mut probe = AdaptiveSampler::new(config(0.3, 2000.0));
+        let mut src2 = FunctionSource::new(band_signal(edge));
+        let mut t2 = Seconds::ZERO;
+        for _ in 0..10 {
+            let r = probe.step_granted(&mut src2, t2, probe.requested_rate(), window);
+            t2 = t2 + r.duration;
+        }
+        let before = probe.requested_rate();
+        for miss in 1..=6 {
+            let r = probe.note_missed_epoch(t2, probe.requested_rate(), window);
+            if miss < patience {
+                assert_eq!(r.next_rate, before, "miss {miss} must hold the request");
+            } else {
+                assert!(
+                    r.next_rate.value() < r.requested_rate.value(),
+                    "miss {miss} must decay the request"
+                );
+            }
+            t2 = t2 + window;
+        }
+        assert!(
+            probe.requested_rate().value() < before.value(),
+            "a silent device must progressively release its budget share"
+        );
+        // The memory survives the outage: the stale estimate is never
+        // silently trusted, but the re-ramp stays one jump away.
+        assert_eq!(ctl.remembered_max(), Some(remembered));
+    }
+
+    #[test]
+    fn reboot_reramps_bounded_by_remembered_max() {
+        let edge = 0.5; // true Nyquist sampling rate = 1.0 Hz
+        let mut source = FunctionSource::new(band_signal(edge));
+        let mut ctl = AdaptiveSampler::new(config(0.3, 2000.0));
+        let window = Seconds(2000.0);
+        let mut t = Seconds::ZERO;
+        for _ in 0..10 {
+            let r = ctl.step_granted(&mut source, t, ctl.requested_rate(), window);
+            t = t + r.duration;
+        }
+        assert_eq!(ctl.mode(), Mode::Steady);
+        let remembered = ctl.remembered_max().expect("settled");
+        let bound = remembered.value() * ctl.config.headroom * (1.0 + 1e-9);
+
+        ctl.reboot();
+        assert_eq!(ctl.mode(), Mode::Probe);
+        assert_eq!(ctl.requested_rate(), Hertz(0.3), "reboot restarts at the initial rate");
+        assert_eq!(ctl.remembered_max(), Some(remembered), "memory survives the reboot");
+
+        // Re-ramp: one aliased epoch jumps to headroom × remembered max —
+        // never past it (bounded, no ladder past the known requirement).
+        let mut reached = false;
+        for _ in 0..4 {
+            let r = ctl.step_granted(&mut source, t, ctl.requested_rate(), window);
+            assert!(
+                r.next_rate.value() <= bound,
+                "re-ramp overshot the remembered bound: {} > {}",
+                r.next_rate,
+                Hertz(bound)
+            );
+            t = t + window;
+            if ctl.mode() == Mode::Steady {
+                reached = true;
+                break;
+            }
+        }
+        assert!(reached, "reboot re-ramp must re-settle within a few epochs");
+        assert!(
+            ctl.requested_rate().value() >= remembered.value(),
+            "re-settled request {} must cover the remembered requirement {}",
+            ctl.requested_rate(),
+            remembered
+        );
+    }
+
+    #[test]
+    fn delayed_epoch_samples_but_freezes_adaptation() {
+        let edge = 0.5;
+        let mut source = FunctionSource::new(band_signal(edge));
+        let mut ctl = AdaptiveSampler::new(config(0.3, 2000.0));
+        let window = Seconds(2000.0);
+        let mut t = Seconds::ZERO;
+        for _ in 0..10 {
+            let r = ctl.step_granted(&mut source, t, ctl.requested_rate(), window);
+            t = t + r.duration;
+        }
+        let settled = ctl.requested_rate();
+        let deferred = ctl.deferred_epochs();
+        let mut scratch = SamplerScratch::new();
+        let r = ctl.step_delayed_scratch(&mut scratch, &mut source, t, settled, window);
+        // The data is real (billed, covering the signal) ...
+        assert!(r.samples_taken > 0, "a delayed report still acquires samples");
+        assert_eq!(r.primary_rate, settled);
+        // ... but the controller could not adapt on it in time.
+        assert_eq!(r.next_rate, settled, "late evidence must hold the request");
+        assert_eq!(ctl.deferred_epochs(), deferred + 1);
+        assert_eq!(ctl.missed_streak(), 0, "an arriving report resets the missed streak");
     }
 
     #[test]

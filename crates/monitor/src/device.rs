@@ -87,6 +87,20 @@ impl SimDevice {
         &self.trace
     }
 
+    /// Simulates a device reboot: the RNG stream counter rewinds to its
+    /// initial value, so the device replays its post-boot measurement-noise
+    /// sequence — fresh state, deterministically. The trace (identity, model,
+    /// impairments) survives; only volatile state resets.
+    pub fn reboot(&mut self) {
+        self.next_stream = 1;
+    }
+
+    /// Exchanges the ground-truth model with `alt` in place (regime switch;
+    /// see [`DeviceTrace::swap_model`]).
+    pub fn swap_model(&mut self, alt: &mut sweetspot_telemetry::SignalModel) {
+        self.trace.swap_model(alt);
+    }
+
     /// Durable heap bytes owned by this device (the trace's identity strings
     /// and signal model — no working buffers).
     pub fn heap_bytes(&self) -> usize {

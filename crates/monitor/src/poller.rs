@@ -260,6 +260,54 @@ impl FleetMember {
         self.sampler
             .step_granted_scratch(&mut scratch.sampler, &mut source, start, granted, window)
     }
+
+    /// One lockstep epoch whose report never arrived (dropped in flight or
+    /// the device was absent): no samples are taken, and the controller
+    /// applies its hold-and-decay missing-epoch semantics
+    /// ([`AdaptiveSampler::note_missed_epoch`]).
+    pub fn note_missed_epoch(
+        &mut self,
+        start: Seconds,
+        granted: Hertz,
+        window: Seconds,
+    ) -> EpochReport {
+        self.sampler.note_missed_epoch(start, granted, window)
+    }
+
+    /// One lockstep epoch whose report reaches the controller too late to
+    /// adapt on: the primary stream is sampled (and billed), adaptation is
+    /// frozen for the epoch ([`AdaptiveSampler::step_delayed_scratch`]).
+    pub fn step_epoch_delayed(
+        &mut self,
+        scratch: &mut EpochScratch,
+        start: Seconds,
+        granted: Hertz,
+        window: Seconds,
+    ) -> EpochReport {
+        let mut source = ScratchSource {
+            device: &mut self.device,
+            scratch: &mut scratch.poll,
+        };
+        self.sampler
+            .step_delayed_scratch(&mut scratch.sampler, &mut source, start, granted, window)
+    }
+
+    /// Reboots the member mid-study: the device rewinds its noise stream and
+    /// the controller restarts in probe mode from its initial rate — but
+    /// keeps its remembered maximum, so the re-ramp is bounded (§4.2's
+    /// memory belongs to the monitoring service, not the device).
+    pub fn reboot(&mut self) {
+        self.device.reboot();
+        self.sampler.reboot();
+    }
+
+    /// Exchanges the device's ground-truth model with `alt` in place (regime
+    /// switch; see [`SimDevice::swap_model`]). The controller is *not*
+    /// informed — discovering the new regime through its own sampling is the
+    /// point of the scenario.
+    pub fn swap_model(&mut self, alt: &mut sweetspot_telemetry::SignalModel) {
+        self.device.swap_model(alt);
+    }
 }
 
 #[cfg(test)]

@@ -126,6 +126,8 @@ impl DeviceTrace {
             jitter_frac: 0.02,
             corrupt_prob: 0.0,
             corrupt_magnitude: 0.0,
+            dup_prob: 0.0,
+            delay_prob: 0.0,
         };
 
         DeviceTrace {
@@ -147,6 +149,23 @@ impl DeviceTrace {
     pub fn with_events(mut self, events: Vec<crate::events::Event>) -> DeviceTrace {
         self.model = self.model.with_events(events);
         self
+    }
+
+    /// The ground-truth model of an alternate *regime*: every tone frequency
+    /// scaled by `factor` (see [`SignalModel::with_scaled_frequencies`]).
+    /// Scenario incidents build this once per member and swap it in and out
+    /// with [`DeviceTrace::swap_model`] at regime boundaries.
+    pub fn regime_model(&self, factor: f64) -> SignalModel {
+        self.model.with_scaled_frequencies(factor)
+    }
+
+    /// Exchanges the ground-truth model with `alt` in place (no allocation).
+    /// The caller owns the displaced model and is responsible for swapping
+    /// it back — identity, impairments, and the noise seed are unaffected,
+    /// so measurement noise stays on the same deterministic stream across a
+    /// regime switch.
+    pub fn swap_model(&mut self, alt: &mut SignalModel) {
+        std::mem::swap(&mut self.model, alt);
     }
 
     /// Trace identity (`metric@device`).

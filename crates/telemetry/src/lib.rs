@@ -38,5 +38,5 @@ pub mod profile;
 pub use fleet::{paper_scale_work, scaled_work, Fleet, FleetConfig};
 pub use generator::{DeviceTrace, TraceSynth};
 pub use metric::MetricKind;
-pub use model::ToneBank;
+pub use model::{SignalModel, ToneBank};
 pub use profile::MetricProfile;

@@ -301,6 +301,35 @@ impl SignalModel {
         self
     }
 
+    /// A regime variant of this model: every tone frequency scaled by
+    /// `factor`, amplitudes/phases/mean/events/clip untouched. This is how
+    /// scenario incidents remap a device's signal — the band edge moves to
+    /// `factor ×` its diurnal value, so a controller settled on the old
+    /// regime is genuinely under- (or over-) sampling until it re-adapts.
+    ///
+    /// # Panics
+    /// Panics if `factor` is not positive and finite.
+    pub fn with_scaled_frequencies(&self, factor: f64) -> SignalModel {
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "frequency scale must be positive and finite, got {factor}"
+        );
+        let tones = self
+            .tones
+            .iter()
+            .map(|t| Tone {
+                freq: t.freq * factor,
+                ..*t
+            })
+            .collect();
+        SignalModel {
+            mean: self.mean,
+            tones,
+            events: self.events.clone(),
+            clip: self.clip,
+        }
+    }
+
     /// The DC level.
     pub fn mean(&self) -> f64 {
         self.mean

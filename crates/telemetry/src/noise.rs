@@ -27,6 +27,16 @@ pub struct Impairments {
     pub corrupt_prob: f64,
     /// Magnitude of corrupt readings (added to the true value).
     pub corrupt_magnitude: f64,
+    /// Probability a report is **duplicated** in flight: the same
+    /// (timestamp, value) pair reaches the collector twice. Downstream
+    /// cleaning deduplicates identical timestamps deterministically.
+    pub dup_prob: f64,
+    /// Probability a report is **delayed** in flight: it arrives at the
+    /// *next* collection tick instead of its own, sharing that tick's
+    /// timestamp with the fresh reading (first-arrival-wins after
+    /// deduplication). A report still in flight when the trace ends is
+    /// lost. Timestamps stay non-decreasing, never reordered.
+    pub delay_prob: f64,
 }
 
 impl Default for Impairments {
@@ -38,6 +48,8 @@ impl Default for Impairments {
             jitter_frac: 0.0,
             corrupt_prob: 0.0,
             corrupt_magnitude: 0.0,
+            dup_prob: 0.0,
+            delay_prob: 0.0,
         }
     }
 }
@@ -66,6 +78,14 @@ impl Impairments {
             (0.0..=1.0).contains(&self.corrupt_prob),
             "corrupt_prob must be a probability"
         );
+        assert!(
+            (0.0..=1.0).contains(&self.dup_prob),
+            "dup_prob must be a probability"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.delay_prob),
+            "delay_prob must be a probability"
+        );
         if let Some(q) = self.quant_step {
             assert!(q > 0.0, "quant_step must be positive");
         }
@@ -74,10 +94,13 @@ impl Impairments {
     /// Applies the impairment chain to a ground-truth series, producing what
     /// the collector would actually record.
     ///
-    /// Order of operations per sample: noise → corruption → quantization →
-    /// drop → timestamp jitter. Dropped samples are removed (not NaN), so the
-    /// output is an [`IrregularSeries`] — exactly the input shape the paper's
-    /// pre-cleaning step expects.
+    /// Order of operations per sample: drop → noise → corruption →
+    /// quantization → timestamp jitter → report faults (delay, duplicate).
+    /// Dropped samples are removed (not NaN), so the output is an
+    /// [`IrregularSeries`] — exactly the input shape the paper's
+    /// pre-cleaning step expects. Report faults can emit two samples with
+    /// the same timestamp (never out of order); the cleaning layer
+    /// deduplicates them deterministically.
     ///
     /// Allocates the output; the synthesis hot loop uses
     /// [`Impairments::apply_into`] with recycled buffers instead.
@@ -130,6 +153,10 @@ impl Impairments {
         values.clear();
         times.reserve(truth.len());
         values.reserve(truth.len());
+        // One in-flight slot for a delayed report: it lands at the next
+        // emitted sample's collection tick, sharing its timestamp. A report
+        // still in flight when the trace ends never arrives.
+        let mut in_flight: Option<f64> = None;
         for (k, &v) in truth.iter().enumerate() {
             let t = start + interval * k as f64;
             if self.drop_prob > 0.0 && rng.gen_bool(self.drop_prob) {
@@ -146,15 +173,33 @@ impl Impairments {
             if let Some(q) = &quantizer {
                 value = q.quantize(value);
             }
-            // `jitter_frac < 0.5` (validated) keeps jittered timestamps
-            // strictly increasing, so no sort/dedup pass is needed.
+            // `jitter_frac < 0.5` (validated) keeps jittered timestamps of
+            // *consecutive* grid samples strictly increasing; delayed and
+            // duplicated reports only ever reuse an already-emitted stamp,
+            // so the output is non-decreasing — never reordered — and the
+            // cleaning layer's timestamp dedup handles the collisions.
             let jitter = if self.jitter_frac > 0.0 {
                 rng.gen_range(-self.jitter_frac..self.jitter_frac) * interval_s
             } else {
                 0.0
             };
-            times.push(Seconds(t.value() + jitter));
+            let stamp = Seconds(t.value() + jitter);
+            if let Some(stale) = in_flight.take() {
+                // The delayed report finally lands — at this tick's stamp,
+                // ahead of the fresh reading (first arrival wins downstream).
+                times.push(stamp);
+                values.push(stale);
+            }
+            if self.delay_prob > 0.0 && rng.gen_bool(self.delay_prob) {
+                in_flight = Some(value);
+                continue;
+            }
+            times.push(stamp);
             values.push(value);
+            if self.dup_prob > 0.0 && rng.gen_bool(self.dup_prob) {
+                times.push(stamp);
+                values.push(value);
+            }
         }
     }
 }
@@ -311,6 +356,8 @@ mod tests {
             jitter_frac: 0.2,
             corrupt_prob: 0.01,
             corrupt_magnitude: 100.0,
+            dup_prob: 0.05,
+            delay_prob: 0.05,
         };
         let reference = imp.apply(&mut StdRng::seed_from_u64(5), &t);
         let mut times = Vec::new();
@@ -335,6 +382,75 @@ mod tests {
         imp.apply_into(&mut rng(), &t, &mut times, &mut values);
         assert_eq!(times.as_ptr(), tp, "times buffer must be reused");
         assert_eq!(values.as_ptr(), vp, "values buffer must be reused");
+    }
+
+    #[test]
+    fn duplicates_share_timestamps_exactly() {
+        let t = truth();
+        let imp = Impairments {
+            dup_prob: 0.2,
+            ..Impairments::none()
+        };
+        let out = imp.apply(&mut rng(), &t);
+        assert!(out.len() > t.len(), "duplication must add samples");
+        let dups = out
+            .times()
+            .windows(2)
+            .filter(|w| w[0] == w[1])
+            .count();
+        assert!(
+            (30..120).contains(&dups),
+            "expected ~100 duplicated reports in 500, got {dups}"
+        );
+        // Every duplicate is exact: same timestamp, same value, adjacent.
+        for (tw, vw) in out.times().windows(2).zip(out.values().windows(2)) {
+            if tw[0] == tw[1] {
+                assert_eq!(vw[0], vw[1], "a duplicated report must repeat its value");
+            }
+        }
+        // Never out of order.
+        assert!(out.times().windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn delayed_reports_land_on_the_next_tick_never_reordered() {
+        let t = truth();
+        let imp = Impairments {
+            delay_prob: 0.15,
+            ..Impairments::none()
+        };
+        let out = imp.apply(&mut rng(), &t);
+        // Delays shuffle arrival ticks but lose at most the one report
+        // still in flight at the end of the trace.
+        assert!(out.len() >= t.len() - 1, "delay must not lose reports mid-trace");
+        // A delayed report shares its landing tick's timestamp.
+        let collisions = out.times().windows(2).filter(|w| w[0] == w[1]).count();
+        assert!(collisions > 20, "expected timestamp collisions, got {collisions}");
+        assert!(
+            out.times().windows(2).all(|w| w[0] <= w[1]),
+            "delayed reports must never reorder timestamps"
+        );
+    }
+
+    #[test]
+    fn inert_report_faults_leave_the_chain_bit_identical() {
+        // dup/delay at probability zero must not perturb the RNG stream:
+        // the pre-existing impairment chain stays byte-for-byte identical.
+        let t = truth();
+        let faulty_chain = Impairments {
+            noise_std: 0.5,
+            drop_prob: 0.1,
+            jitter_frac: 0.2,
+            ..Impairments::none()
+        };
+        let a = faulty_chain.apply(&mut StdRng::seed_from_u64(99), &t);
+        let b = Impairments {
+            dup_prob: 0.0,
+            delay_prob: 0.0,
+            ..faulty_chain
+        }
+        .apply(&mut StdRng::seed_from_u64(99), &t);
+        assert_eq!(a, b);
     }
 
     #[test]

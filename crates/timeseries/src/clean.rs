@@ -278,10 +278,14 @@ pub fn clean_into(
 /// Exactly as [`clean`].
 ///
 /// # Panics
-/// Panics if the slices disagree in length or `times` is not strictly
-/// increasing (the [`IrregularSeries`] invariant — enforced here too, so
-/// the slice path fails as loudly as the series constructors; the scan is
-/// a single pass, cheap next to the re-gridding walk it precedes).
+/// Panics if the slices disagree in length or `times` decreases (the
+/// [`IrregularSeries`] invariant — enforced here too, so the slice path
+/// fails as loudly as the series constructors; the scan is a single pass,
+/// cheap next to the re-gridding walk it precedes). Duplicate timestamps
+/// are allowed: they model duplicated/delayed reports landing on the same
+/// collection tick and are deduplicated deterministically below (first
+/// arrival wins), so the re-gridding walk always sees a strictly
+/// increasing trace.
 pub fn clean_slices_into(
     times: &[Seconds],
     values: &[f64],
@@ -290,8 +294,8 @@ pub fn clean_slices_into(
 ) -> Result<RegularSeries, CleanError> {
     assert_eq!(times.len(), values.len(), "times and values must pair up");
     assert!(
-        times.windows(2).all(|w| w[0].value() < w[1].value()),
-        "timestamps must be strictly increasing"
+        times.windows(2).all(|w| w[0].value() <= w[1].value()),
+        "timestamps must be non-decreasing"
     );
     if let Some(interval) = cfg.interval {
         if !(interval.value() > 0.0 && interval.value().is_finite()) {
@@ -305,12 +309,13 @@ pub fn clean_slices_into(
         }
     }
 
-    // Drop invalid readings (the input is already strictly increasing, so
-    // filtering preserves the ordering invariant).
+    // Drop invalid readings and deduplicate identical timestamps: the first
+    // *valid* arrival at a tick wins, matching `IrregularSeries::from_pairs`.
+    // The surviving trace is strictly increasing.
     scratch.times.clear();
     scratch.values.clear();
     for (&t, &v) in times.iter().zip(values) {
-        if v.is_finite() {
+        if v.is_finite() && scratch.times.last() != Some(&t) {
             scratch.times.push(t);
             scratch.values.push(v);
         }
@@ -675,6 +680,32 @@ mod tests {
             let got = clean_into(&ir, cfg, &mut scratch).unwrap();
             assert_eq!(got, expected, "cfg {cfg:?}");
         }
+    }
+
+    #[test]
+    fn equal_timestamp_duplicates_dedup_first_wins() {
+        // Duplicated reports share a collection tick; the first valid arrival
+        // wins deterministically, even when it hides behind a NaN loss.
+        let ir = IrregularSeries::new(
+            vec![
+                Seconds(0.0),
+                Seconds(10.0),
+                Seconds(10.0), // duplicate — dropped
+                Seconds(20.0),
+                Seconds(20.0), // first arrival lost: the duplicate wins
+                Seconds(30.0),
+            ],
+            vec![1.0, 2.0, 99.0, f64::NAN, 4.0, 5.0],
+        );
+        let cfg = CleanConfig {
+            interval: Some(Seconds(10.0)),
+            outlier_mads: None,
+        };
+        let out = clean(&ir, cfg).unwrap();
+        assert_eq!(out.values(), &[1.0, 2.0, 4.0, 5.0]);
+        // The composed reference pipeline agrees (from_pairs dedup).
+        let reference = regularize(&drop_invalid(&ir), Seconds(10.0)).unwrap();
+        assert_eq!(out, reference);
     }
 
     #[test]

@@ -148,13 +148,14 @@ impl RegularSeries {
     }
 }
 
-/// An irregularly sampled time series: explicit, strictly increasing
-/// timestamps.
+/// An irregularly sampled time series: explicit, non-decreasing timestamps.
 ///
 /// Production traces are rarely perfectly regular — polls get delayed, data
-/// gets lost. [`crate::clean::regularize`] converts these to a
-/// [`RegularSeries`] via nearest-neighbour re-gridding (the paper's §3.2
-/// pre-cleaning step).
+/// gets lost. Duplicate timestamps are allowed: they model reports that were
+/// duplicated or delayed in flight and land on the same collection tick.
+/// [`crate::clean::clean`] deduplicates them (first arrival wins) before
+/// [`crate::clean::regularize`] converts the trace to a [`RegularSeries`]
+/// via nearest-neighbour re-gridding (the paper's §3.2 pre-cleaning step).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct IrregularSeries {
     times: Vec<Seconds>,
@@ -165,14 +166,15 @@ impl IrregularSeries {
     /// Creates an irregular series.
     ///
     /// # Panics
-    /// Panics if lengths differ or timestamps are not strictly increasing.
-    /// (NaN *values* are allowed here — they model lost measurements and are
-    /// handled by the cleaning layer.)
+    /// Panics if lengths differ or timestamps decrease. (NaN *values* and
+    /// duplicate timestamps are allowed here — they model lost and
+    /// duplicated/delayed measurements respectively and are handled by the
+    /// cleaning layer.)
     pub fn new(times: Vec<Seconds>, values: Vec<f64>) -> Self {
         assert_eq!(times.len(), values.len(), "times and values must pair up");
         assert!(
-            times.windows(2).all(|w| w[0].value() < w[1].value()),
-            "timestamps must be strictly increasing"
+            times.windows(2).all(|w| w[0].value() <= w[1].value()),
+            "timestamps must be non-decreasing"
         );
         assert!(
             times.iter().all(|t| t.value().is_finite()),
@@ -378,9 +380,21 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "strictly increasing")]
+    #[should_panic(expected = "non-decreasing")]
     fn irregular_unsorted_panics() {
         IrregularSeries::new(vec![Seconds(2.0), Seconds(1.0)], vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn irregular_allows_duplicate_timestamps() {
+        // Duplicated/delayed reports share a collection tick; the series
+        // carries them as-is and the cleaning layer deduplicates.
+        let ir = IrregularSeries::new(
+            vec![Seconds(0.0), Seconds(1.0), Seconds(1.0), Seconds(2.0)],
+            vec![1.0, 2.0, 3.0, 4.0],
+        );
+        assert_eq!(ir.len(), 4);
+        assert_eq!(ir.values(), &[1.0, 2.0, 3.0, 4.0]);
     }
 
     #[test]
@@ -442,7 +456,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "strictly increasing")]
+    #[should_panic(expected = "non-decreasing")]
     fn from_recycled_keeps_invariants() {
         IrregularSeries::from_recycled(vec![Seconds(2.0), Seconds(1.0)], vec![0.0, 0.0]);
     }

@@ -19,6 +19,7 @@
 //!
 //! sweetspot fleetsim [--budget X] [--policy P] [--days D] [--devices N] [--seed S]
 //!                    [--threads T] [--verify-every K] [--fft-cache-mb M]
+//!                    [--scenario NAME|SPEC] [--scenario-seed S]
 //!                    [--paper-scale] [--timing] [--json]
 //!     Fleet-level adaptive simulation: every device's §4.2 controller under
 //!     one shared collection budget, with a cross-device scheduler deciding
@@ -35,8 +36,14 @@
 //!     verification forward; default 1 = continuous). `--fft-cache-mb M`
 //!     caps the FFT plan-table caches at M MiB total (0 = unbounded;
 //!     default 6144) — eviction rebuilds tables bit-identically, so the cap
-//!     trades setup time for memory, never output. Output is byte-identical
-//!     for any `--threads T`. `--timing` also reports the
+//!     trades setup time for memory, never output. `--scenario` injects
+//!     fleet lifecycle failures: preset names `churn`, `incident`,
+//!     `lossy-reports`, `cost-skew` compose with `+` (e.g.
+//!     `churn+lossy-reports`) and `key=value` terms override fields
+//!     (`drop=0.1+reboot=0.01`); `--scenario-seed S` re-deals the fault
+//!     schedule. Scenario runs report degraded frontiers (plus incident
+//!     time-to-recover); `--scenario none` (the default) is inert. Output
+//!     is byte-identical for any `--threads T`. `--timing` also reports the
 //!     member/scratch/fft-table memory split and (on Linux) the process
 //!     peak RSS.
 //!
@@ -51,7 +58,9 @@
 
 use std::process::ExitCode;
 use sweetspot::analysis::experiments::{fig1, headline};
-use sweetspot::analysis::fleetsim::{self, scheduler::SchedulerPolicy, FleetSimConfig};
+use sweetspot::analysis::fleetsim::{
+    self, scenario::ScenarioSpec, scheduler::SchedulerPolicy, FleetSimConfig,
+};
 use sweetspot::analysis::report::json::{JsonArray, JsonObject};
 use sweetspot::analysis::study::{FleetStudy, StudyConfig};
 use sweetspot::core::recommend::{recommend, Action, RecommendConfig};
@@ -127,7 +136,8 @@ USAGE:
   sweetspot study    [--devices N] [--seed S] [--threads T] [--paper-scale] [--timing] [--json]
   sweetspot fleetsim [--budget X] [--policy uncapped|uniform|fair|waterfill] [--days D]
                      [--devices N] [--seed S] [--threads T] [--verify-every K]
-                     [--fft-cache-mb M] [--paper-scale] [--timing] [--json]
+                     [--fft-cache-mb M] [--scenario none|churn|incident|lossy-reports|cost-skew]
+                     [--scenario-seed S] [--paper-scale] [--timing] [--json]
   sweetspot demo     [--metric NAME] [--days D] [--seed S]
   sweetspot help";
 
@@ -417,6 +427,8 @@ fn cmd_fleetsim(args: &[String]) -> Result<(), String> {
             "days",
             "devices",
             "fft-cache-mb",
+            "scenario",
+            "scenario-seed",
             "seed",
             "threads",
             "verify-every",
@@ -442,6 +454,12 @@ fn cmd_fleetsim(args: &[String]) -> Result<(), String> {
     )? as usize;
     let fft_table_budget = (fft_cache_mb > 0).then_some(fft_cache_mb << 20);
     let devices = flag_opt::<usize>(&flags, "devices", "an integer")?;
+    // Failure injection: preset names compose with `+` (churn, incident,
+    // lossy-reports, cost-skew) and key=value terms override fields. The
+    // default "none" is inert — the healthy path stays byte-identical.
+    let mut scenario = flag_opt::<String>(&flags, "scenario", "a scenario spec")?
+        .map_or(Ok(ScenarioSpec::none()), |s| ScenarioSpec::parse(&s))?;
+    scenario.seed = flag_u64(&flags, "scenario-seed", scenario.seed)?;
     let budget = flag_opt::<f64>(&flags, "budget", "a non-negative number")?;
     if budget.is_some_and(|b| b.is_nan() || b < 0.0) {
         return Err("--budget wants a non-negative number".into());
@@ -479,6 +497,7 @@ fn cmd_fleetsim(args: &[String]) -> Result<(), String> {
         threads,
         verify_every,
         fft_table_budget,
+        scenario,
         ..FleetSimConfig::default()
     };
     let frontier = match (budget, policy) {

@@ -3,12 +3,65 @@
 //! Monitoring data is messy — lost samples, jittered timestamps, corrupt
 //! readings, NaNs. These tests verify that the cleaning layer plus the
 //! estimator stay correct (or fail loudly, never silently) under each fault.
+//!
+//! The second half moves up a level: whole-fleet lifecycle failures through
+//! the `fleetsim` scenario axis — churn determinism across thread counts,
+//! bounded post-reboot re-ramps, incident recovery, and the zero-allocation
+//! steady state surviving 1% churn.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use sweetspot::analysis::fleetsim::{
+    self, member_config,
+    scenario::{DeviceEvent, ScenarioEngine, ScenarioSpec},
+    scheduler::SchedulerPolicy,
+    FleetSimConfig,
+};
+use sweetspot::monitor::poller::{EpochScratch, FleetMember};
 use sweetspot::prelude::*;
 use sweetspot::telemetry::noise::Impairments;
+use sweetspot::telemetry::scaled_work;
 use sweetspot::timeseries::clean::{clean, CleanConfig};
+
+std::thread_local! {
+    // const-init + no Drop ⇒ the allocator hooks never themselves allocate
+    // (see crates/analysis/tests/alloc_steady_state.rs for the pattern).
+    static ALLOCATIONS: Cell<usize> = const { Cell::new(0) };
+}
+
+struct CountingAllocator;
+
+// SAFETY: delegates every operation to `System`; the counter is a plain
+// thread-local side effect (`try_with` so teardown-time allocations on
+// foreign threads are simply not counted rather than panicking).
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Number of allocations *this thread* performed while running `f`.
+fn allocations_during(f: impl FnOnce()) -> usize {
+    let before = ALLOCATIONS.with(Cell::get);
+    f();
+    ALLOCATIONS.with(Cell::get) - before
+}
 
 /// Ground-truth band-limited series for fault injection.
 fn truth(n: usize) -> RegularSeries {
@@ -149,6 +202,8 @@ fn combined_fault_storm() {
             jitter_frac: 0.1,
             corrupt_prob: 0.002,
             corrupt_magnitude: 1e4,
+            dup_prob: 0.01,
+            delay_prob: 0.01,
         },
         5,
     );
@@ -158,4 +213,230 @@ fn combined_fault_storm() {
         "estimate {r} vs reference {}",
         reference_rate()
     );
+}
+
+// ---------------------------------------------------------------------------
+// Fleet-level lifecycle failures (the `--scenario` axis).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn churned_fleet_is_byte_identical_across_thread_counts() {
+    // Churn plus lossy reports under a binding water-fill budget: the fault
+    // schedule is a pure function of the scenario seed, so worker count
+    // must not move a single bit of any observable output.
+    let spec = ScenarioSpec {
+        seed: 0xC0FFEE,
+        ..ScenarioSpec::parse("churn+lossy-reports").expect("preset parses")
+    };
+    let cfg = |threads| FleetSimConfig {
+        devices: Some(60),
+        days: 6.0,
+        threads,
+        scenario: spec,
+        ..FleetSimConfig::default()
+    };
+    let serial = fleetsim::run_policy(&cfg(1), SchedulerPolicy::WaterFill, 80.0);
+    let stats = serial.scenario.as_ref().expect("scenario stats");
+    assert!(
+        stats.counters.leaves > 0 && stats.counters.dropped_reports > 0,
+        "scenario was dealt no events: {:?}",
+        stats.counters
+    );
+    let parallel = fleetsim::run_policy(&cfg(4), SchedulerPolicy::WaterFill, 80.0);
+    assert_eq!(serial.ledger.accounts(), parallel.ledger.accounts());
+    assert_eq!(serial.device_quality, parallel.device_quality);
+    assert_eq!(serial.quality, parallel.quality);
+    assert_eq!(serial.scenario, parallel.scenario);
+}
+
+#[test]
+fn reboot_reramp_is_bounded_by_the_remembered_max() {
+    // A rebooted device restarts from the production default and re-ramps
+    // using the controller's remembered max — never probing past the
+    // headroom over what it ever needed, and re-settling within a few
+    // epochs instead of re-walking the whole discovery ladder.
+    let window = Seconds::from_days(1.0);
+    let work = scaled_work(28);
+    let (profile, device) = work[5];
+    let mut member = FleetMember::new(
+        5,
+        DeviceTrace::synthesize(profile, device, 2),
+        member_config(&profile, window),
+    );
+    let mut scratch = EpochScratch::new();
+    let step = |member: &mut FleetMember, scratch: &mut EpochScratch, epoch: usize| {
+        let start = Seconds(epoch as f64 * window.value());
+        let granted = member.requested_rate();
+        member.step_epoch(scratch, start, granted, window);
+    };
+    for epoch in 0..6 {
+        step(&mut member, &mut scratch, epoch);
+    }
+    let settled = member.requested_rate().value();
+    let remembered = member
+        .sampler()
+        .remembered_max()
+        .expect("a settled controller remembers its max")
+        .value();
+    // For an oversampled device the remembered max sits far below the
+    // production default, and a reboot restarts *at* that default — so the
+    // bound is "never above max(production default, remembered + headroom)".
+    let config = member_config(&profile, window);
+    let ceiling = (remembered * config.headroom)
+        .max(config.initial_rate.value())
+        .min(config.max_rate.value());
+
+    member.reboot();
+    assert_eq!(
+        member.requested_rate(),
+        config.initial_rate,
+        "a reboot restarts from the production default"
+    );
+    for epoch in 6..12 {
+        assert!(
+            member.requested_rate().value() <= ceiling * (1.0 + 1e-9),
+            "epoch {epoch}: re-ramp {} exceeded remembered ceiling {ceiling}",
+            member.requested_rate().value()
+        );
+        step(&mut member, &mut scratch, epoch);
+    }
+    let resettled = member.requested_rate().value();
+    assert!(
+        resettled >= settled * 0.5 && resettled <= settled * 2.0,
+        "re-ramp did not converge near the pre-reboot rate: {resettled} vs {settled}"
+    );
+}
+
+#[test]
+fn incident_recovery_fits_a_fixed_epoch_budget() {
+    // A 3× regime incident mid-study: the uncapped fleet must re-discover
+    // the widened band on its own and regain 95% of its pre-incident
+    // coverage within a handful of epochs of the regime reverting. (A
+    // small fraction of controllers can stay aliasing-deadlocked after the
+    // revert, so the 95% threshold — not 100% — is the recovery bar.)
+    let cfg = FleetSimConfig {
+        devices: Some(64),
+        days: 16.0,
+        threads: 0,
+        scenario: ScenarioSpec {
+            seed: 7,
+            ..ScenarioSpec::incident()
+        },
+        ..FleetSimConfig::default()
+    };
+    let out = fleetsim::run_policy(&cfg, SchedulerPolicy::Uncapped, f64::INFINITY);
+    let stats = out.scenario.expect("scenario stats");
+    assert_eq!(stats.incident, Some(4..10));
+    let baseline = stats.baseline_coverage.expect("pre-incident baseline");
+    assert!(baseline > 0.9, "implausible baseline {baseline}");
+    let worst_during = stats.epoch_mean_coverage[4..10]
+        .iter()
+        .cloned()
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        worst_during < baseline - 0.05,
+        "the incident must actually dent coverage: {worst_during} vs baseline {baseline}"
+    );
+    let ttr = stats
+        .time_to_recover
+        .expect("an uncapped fleet must recover from the incident");
+    assert!(ttr <= 4, "recovery took {ttr} epochs (budget: 4)");
+}
+
+#[test]
+fn settled_fleet_under_one_percent_churn_stays_allocation_free() {
+    // The zero-allocation steady state must survive lifecycle churn:
+    // devices leaving (slots held, request 0), rejoining (reboot + re-ramp
+    // through already-planned rates), and reports dropping or arriving
+    // late. Mirrors crates/analysis/tests/alloc_steady_state.rs, with the
+    // scenario engine dealt in. Serial, because the counter is per-thread —
+    // exactly one worker's view of the sharded engine. Grants are uncapped:
+    // under a *binding* water-fill budget every churn event moves the water
+    // level and hands bystander devices never-before-granted rates, whose
+    // first FFT plan legitimately allocates once — that is plan-cache
+    // warming, not a churn leak, and it would mask the regression this
+    // test guards against.
+    let seed: u64 = 2;
+    let window = Seconds::from_days(1.0);
+    let work = scaled_work(28);
+    let n = work.len();
+    let spec = ScenarioSpec {
+        leave_prob: 0.01,
+        join_prob: 0.25,
+        reboot_prob: 0.005,
+        drop_prob: 0.01,
+        delay_prob: 0.01,
+        seed: 0xFA11,
+        ..ScenarioSpec::none()
+    };
+    let engine = ScenarioEngine::new(spec, 40);
+
+    let mut members: Vec<FleetMember> = work
+        .iter()
+        .enumerate()
+        .map(|(i, &(profile, device))| {
+            FleetMember::new(
+                i,
+                DeviceTrace::synthesize(profile, device, seed),
+                member_config(&profile, window),
+            )
+        })
+        .collect();
+    let production: Vec<f64> = work.iter().map(|(p, _)| p.production_rate().value()).collect();
+    let weights = vec![1.0; n];
+
+    let mut sched = SchedulerPolicy::Uncapped.scheduler(&weights, &production);
+    let mut requests = vec![0.0f64; n];
+    let mut grants: Vec<f64> = Vec::with_capacity(n);
+    let mut active = vec![true; n];
+    let mut events = vec![DeviceEvent::Healthy; n];
+    let mut scratch = EpochScratch::new();
+
+    let mut epoch_body = |epoch: usize| {
+        let start = Seconds(epoch as f64 * window.value());
+        for (i, member) in members.iter_mut().enumerate() {
+            let ev = engine.deal(epoch, i, active[i]);
+            match ev {
+                DeviceEvent::Absent => active[i] = false,
+                DeviceEvent::Reboot => {
+                    active[i] = true;
+                    member.reboot();
+                }
+                _ => {}
+            }
+            events[i] = ev;
+        }
+        for (i, (r, m)) in requests.iter_mut().zip(members.iter()).enumerate() {
+            *r = if active[i] { m.requested_rate().value() } else { 0.0 };
+        }
+        sched.allocate(&requests, f64::INFINITY, &mut grants);
+        for (i, m) in members.iter_mut().enumerate() {
+            let report = match events[i] {
+                DeviceEvent::Absent => continue,
+                DeviceEvent::ReportDropped => m.note_missed_epoch(start, Hertz(grants[i]), window),
+                DeviceEvent::ReportDelayed => {
+                    m.step_epoch_delayed(&mut scratch, start, Hertz(grants[i]), window)
+                }
+                _ => m.step_epoch(&mut scratch, start, Hertz(grants[i]), window),
+            };
+            std::hint::black_box(report.samples_taken);
+        }
+    };
+
+    // Warm-up: controllers settle (delayed-report epochs push the slowest
+    // descent past epoch 14), every realized trace length passes the
+    // planner once, and the churn schedule exercises reboots and faults.
+    for epoch in 0..20 {
+        epoch_body(epoch);
+    }
+    // Steady state under churn: whole epochs — event dealing, request
+    // gathering, scheduling, and every member's (possibly faulted) epoch —
+    // must not touch the heap.
+    for epoch in 20..40 {
+        let count = allocations_during(|| epoch_body(epoch));
+        assert_eq!(
+            count, 0,
+            "churned steady-state epoch {epoch} must not allocate"
+        );
+    }
 }
