@@ -1,0 +1,768 @@
+//! Fleet metrics plane: deterministic counters, the per-epoch flight
+//! recorder, and the `--metrics-out` JSON-lines snapshot writer.
+//!
+//! Everything the engine counts is sorted into one of three **determinism
+//! scopes**, and only the first is ever written to `--metrics-out`:
+//!
+//! * **Fleet scope** — thread-invariant by construction: controller action
+//!   counts and FFT handle statistics are owned per member (each member's
+//!   request sequence is simulation-determined), scenario counts are dealt
+//!   serially, scheduler statistics come from the serial `allocate` call,
+//!   and the grant histogram is fed serially in device order. Snapshots
+//!   built from these are **byte-identical for any `--threads N`**.
+//! * **Topology scope** — honest numbers that depend on the worker split
+//!   (per-shard FFT cache evictions, scratch bytes, worker count). Reported
+//!   on stderr via `--timing` only, never in the JSON-lines stream.
+//! * **Wall scope** — phase timings and peak RSS. stderr only.
+//!
+//! Collection is **always on and non-perturbing**: the per-worker
+//! [`ShardMetrics`] tallies are O(1) integer bumps against a per-member step
+//! that does milliseconds of spectral work, and they are merged **in shard
+//! order** (never completion order). A [`MetricsRecorder`] — present only
+//! when the caller asked for output — adds the journal, the grant histogram,
+//! and the JSON-lines emission on top; simulation stdout stays byte-identical
+//! whether a recorder is attached or not, and the whole metrics path of a
+//! warm epoch — tallies, histogram, journal, emission — performs zero heap
+//! allocations (`crates/analysis/tests/metrics_steady_state.rs`).
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write as _};
+use std::path::Path;
+
+use sweetspot_core::adaptive::EpochAction;
+use sweetspot_dsp::fft::FftHandleStats;
+use sweetspot_monitor::EpochAccount;
+use sweetspot_obs::{json, Counter, Histogram, Journal, JournalEvent};
+
+use super::scenario::{DeviceEvent, ScenarioCounters};
+use super::scheduler::SchedStats;
+
+/// Controller state-machine transitions, one counter per
+/// [`EpochAction`] variant, plus the verification split. Fleet scope: each
+/// member's actions are a pure function of its own simulated history.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ControllerCounters {
+    /// Aliasing escalations up the probe ladder.
+    pub probe: Counter,
+    /// Remembered-max re-ramps (the memory jump beat the ladder).
+    pub reramp: Counter,
+    /// Probe-mode epochs that found their rate and settled.
+    pub settle: Counter,
+    /// Steady-state request raises toward a risen target.
+    pub raise: Counter,
+    /// Hysteresis-approved decreases.
+    pub cut: Counter,
+    /// Epochs that held the request.
+    pub hold: Counter,
+    /// Epochs with no adaptation at all (missed or delayed reports).
+    pub defer: Counter,
+    /// Epochs whose §4.1 dual-rate detector actually ran.
+    pub verified: Counter,
+    /// Epochs stepped without a detector verdict.
+    pub unverified: Counter,
+}
+
+impl ControllerCounters {
+    /// Tallies one stepped epoch.
+    #[inline]
+    pub fn record(&mut self, action: EpochAction, verified: bool) {
+        match action {
+            EpochAction::Probe => self.probe.inc(),
+            EpochAction::Reramp => self.reramp.inc(),
+            EpochAction::Settle => self.settle.inc(),
+            EpochAction::Raise => self.raise.inc(),
+            EpochAction::Cut => self.cut.inc(),
+            EpochAction::Hold => self.hold.inc(),
+            EpochAction::Defer => self.defer.inc(),
+        }
+        if verified {
+            self.verified.inc();
+        } else {
+            self.unverified.inc();
+        }
+    }
+
+    /// Folds another shard's counts into this one.
+    pub fn merge(&mut self, other: &ControllerCounters) {
+        self.probe.merge(other.probe);
+        self.reramp.merge(other.reramp);
+        self.settle.merge(other.settle);
+        self.raise.merge(other.raise);
+        self.cut.merge(other.cut);
+        self.hold.merge(other.hold);
+        self.defer.merge(other.defer);
+        self.verified.merge(other.verified);
+        self.unverified.merge(other.unverified);
+    }
+
+    /// Total member-epochs stepped (every action is exactly one step, so
+    /// this also equals `verified + unverified`).
+    pub fn stepped(&self) -> u64 {
+        self.probe.get()
+            + self.reramp.get()
+            + self.settle.get()
+            + self.raise.get()
+            + self.cut.get()
+            + self.hold.get()
+            + self.defer.get()
+    }
+}
+
+/// Scenario events as the *workers* experienced them — the applied side of
+/// the dealt-vs-applied cross-check (the CI smoke asserts these equal the
+/// serial [`ScenarioCounters`] kind for kind). Fleet scope: which worker a
+/// device lands on never changes what was dealt to it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AppliedCounters {
+    /// Device-epochs stepped as offline (no samples, no report).
+    pub absent_epochs: Counter,
+    /// Epochs stepped from freshly rebooted state.
+    pub reboot_steps: Counter,
+    /// Reports lost in flight (missing-epoch semantics applied).
+    pub dropped_reports: Counter,
+    /// Reports that arrived too late to adapt on.
+    pub delayed_reports: Counter,
+    /// Reports billed twice.
+    pub duplicated_reports: Counter,
+}
+
+impl AppliedCounters {
+    /// Tallies what one member-epoch actually applied.
+    #[inline]
+    pub fn record(&mut self, event: DeviceEvent) {
+        match event {
+            DeviceEvent::Absent => self.absent_epochs.inc(),
+            DeviceEvent::Reboot => self.reboot_steps.inc(),
+            DeviceEvent::ReportDropped => self.dropped_reports.inc(),
+            DeviceEvent::ReportDelayed => self.delayed_reports.inc(),
+            DeviceEvent::ReportDuplicated => self.duplicated_reports.inc(),
+            DeviceEvent::Healthy => {}
+        }
+    }
+
+    /// Folds another shard's counts into this one.
+    pub fn merge(&mut self, other: &AppliedCounters) {
+        self.absent_epochs.merge(other.absent_epochs);
+        self.reboot_steps.merge(other.reboot_steps);
+        self.dropped_reports.merge(other.dropped_reports);
+        self.delayed_reports.merge(other.delayed_reports);
+        self.duplicated_reports.merge(other.duplicated_reports);
+    }
+}
+
+/// One worker's metric tallies, owned by its [`ShardState`] and bumped
+/// inline during the step loop — no locks, no atomics, no allocation. The
+/// engine folds shards together **in shard order** whenever a snapshot or
+/// summary is built; since every field merges by addition, the totals are
+/// identical for any shard split.
+///
+/// [`ShardState`]: super::run_policy
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardMetrics {
+    /// Controller transitions stepped on this shard.
+    pub controller: ControllerCounters,
+    /// Scenario events this shard's members actually applied.
+    pub applied: AppliedCounters,
+}
+
+impl ShardMetrics {
+    /// Folds another shard's tallies into this one.
+    pub fn merge(&mut self, other: &ShardMetrics) {
+        self.controller.merge(&other.controller);
+        self.applied.merge(&other.applied);
+    }
+}
+
+/// Fleet-scope metric totals of one finished policy run — always computed
+/// (the counters are on whether or not a recorder is attached) and carried
+/// on [`PolicyOutcome`](super::PolicyOutcome). Every field is
+/// thread-invariant; tests pin summaries equal across `--threads N`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MetricsSummary {
+    /// Controller transitions, merged over shards in shard order.
+    pub controller: ControllerCounters,
+    /// Scenario events applied, merged over shards in shard order.
+    pub applied: AppliedCounters,
+    /// FFT planner handle statistics summed over members in device order
+    /// (`lookups == hits + misses` by construction).
+    pub fft: FftHandleStats,
+    /// Water-fill order-maintenance work (zeros for stateless policies).
+    pub sched: SchedStats,
+}
+
+/// Everything one epoch snapshot needs, bundled by the engine at emission
+/// time. All fields are fleet scope.
+#[derive(Debug)]
+pub struct EpochSnapshot<'a> {
+    /// Stable policy name (`uncapped` | `uniform` | `fair` | `waterfill`).
+    pub policy: &'static str,
+    /// Budget per epoch in cost units (`f64::INFINITY` emits as `null`).
+    pub budget: f64,
+    /// Fleet size.
+    pub devices: usize,
+    /// This epoch's ledger account.
+    pub account: &'a EpochAccount,
+    /// Shard tallies merged in shard order.
+    pub shard: ShardMetrics,
+    /// FFT handle statistics summed over members in device order.
+    pub fft: FftHandleStats,
+    /// Scheduler order-maintenance statistics.
+    pub sched: SchedStats,
+    /// Serially dealt scenario totals (`None` on healthy runs — the
+    /// snapshot then omits the `scenario` object entirely).
+    pub dealt: Option<&'a ScenarioCounters>,
+}
+
+/// Journal tag for a controller action (`Hold` is the steady-state no-op
+/// and is never journaled; it would drown the ring).
+pub fn action_kind(action: EpochAction) -> Option<&'static str> {
+    match action {
+        EpochAction::Probe => Some("probe"),
+        EpochAction::Reramp => Some("reramp"),
+        EpochAction::Settle => Some("settle"),
+        EpochAction::Raise => Some("raise"),
+        EpochAction::Cut => Some("cut"),
+        EpochAction::Defer => Some("defer"),
+        EpochAction::Hold => None,
+    }
+}
+
+/// Flight-recorder capacity: events kept between snapshot emissions. Beyond
+/// this the oldest events are overwritten (and counted as dropped) — a
+/// deterministic bound because the ring is fed serially in device order.
+pub const JOURNAL_CAPACITY: usize = 512;
+
+/// Grant histogram shape: rates from 1 µHz to 100 Hz across 96 geometric
+/// buckets (≈19% relative width). Grants of 0.0 (absent devices) land in
+/// the underflow catch-all.
+const GRANT_HIST_LO: f64 = 1e-6;
+const GRANT_HIST_HI: f64 = 1e2;
+const GRANT_HIST_BUCKETS: usize = 96;
+
+/// The `--metrics-out` writer: owns the flight-recorder ring, the per-window
+/// grant histogram, and the reused line buffer every snapshot is formatted
+/// into. One recorder serves a whole frontier sweep — each line carries its
+/// policy and budget — with per-run state reset by
+/// [`begin_run`](Self::begin_run).
+///
+/// Output is JSON lines: `type:"event"` rows (the journal drained oldest
+/// first) followed by one `type:"epoch"` row per emitted epoch. Emission
+/// happens on every [`every`](Self::set_every)-th epoch and always on a
+/// run's last epoch; the grant histogram covers the window since the
+/// previous emission.
+///
+/// Write errors are latched on first occurrence and surfaced by
+/// [`finish`](Self::finish) — the simulation itself never fails over
+/// observability.
+#[derive(Debug)]
+pub struct MetricsRecorder {
+    /// `Some` writes to a file; `None` accumulates in [`buffer`](Self::buffer).
+    sink: Option<BufWriter<File>>,
+    buffer: String,
+    /// Reused per-line scratch; grows once to its high-water mark.
+    line: String,
+    every: usize,
+    journal: Journal,
+    grants: Histogram,
+    policy: &'static str,
+    budget: f64,
+    events_total: u64,
+    events_dropped: u64,
+    error: Option<io::Error>,
+}
+
+impl MetricsRecorder {
+    fn new(sink: Option<BufWriter<File>>) -> MetricsRecorder {
+        MetricsRecorder {
+            sink,
+            buffer: String::new(),
+            line: String::new(),
+            every: 1,
+            journal: Journal::with_capacity(JOURNAL_CAPACITY),
+            grants: Histogram::log_scale(GRANT_HIST_LO, GRANT_HIST_HI, GRANT_HIST_BUCKETS),
+            policy: "",
+            budget: f64::INFINITY,
+            events_total: 0,
+            events_dropped: 0,
+            error: None,
+        }
+    }
+
+    /// A recorder writing JSON lines to `path` (truncating).
+    pub fn to_path(path: &Path) -> io::Result<MetricsRecorder> {
+        Ok(MetricsRecorder::new(Some(BufWriter::new(File::create(path)?))))
+    }
+
+    /// A recorder accumulating into an in-memory buffer — for tests and
+    /// benchmarks. The buffer grows amortized; call
+    /// [`reserve`](Self::reserve) first when measuring allocations.
+    pub fn in_memory() -> MetricsRecorder {
+        MetricsRecorder::new(None)
+    }
+
+    /// Emit a snapshot every `k`-th epoch (the last epoch always emits).
+    ///
+    /// # Panics
+    /// Panics when `k` is zero.
+    pub fn set_every(&mut self, k: usize) {
+        assert!(k > 0, "--metrics-every wants a positive epoch count");
+        self.every = k;
+    }
+
+    /// Pre-grows the in-memory buffer and line scratch.
+    pub fn reserve(&mut self, bytes: usize) {
+        self.buffer.reserve(bytes);
+        self.line.reserve(bytes.min(16 * 1024));
+    }
+
+    /// Everything written so far in in-memory mode (empty in file mode).
+    pub fn buffer(&self) -> &str {
+        &self.buffer
+    }
+
+    /// Journal events recorded this run (kept + dropped).
+    pub fn journal_events(&self) -> u64 {
+        self.events_total + self.journal.total()
+    }
+
+    /// Journal events overwritten before they could be emitted this run.
+    pub fn journal_dropped(&self) -> u64 {
+        self.events_dropped + self.journal.dropped()
+    }
+
+    /// Starts a policy run: stamps the per-line context and resets the
+    /// journal, histogram, and drop accounting. Engine-facing.
+    pub fn begin_run(&mut self, policy: &'static str, budget: f64) {
+        self.policy = policy;
+        self.budget = budget;
+        self.journal.clear();
+        self.grants.reset();
+        self.events_total = 0;
+        self.events_dropped = 0;
+    }
+
+    /// Feeds one grant into the distribution histogram. Engine-facing:
+    /// called serially in device order.
+    #[inline]
+    pub fn record_grant(&mut self, grant: f64) {
+        self.grants.record(grant);
+    }
+
+    /// Records a flight-recorder event. Engine-facing: called serially in
+    /// device order within each epoch.
+    #[inline]
+    pub fn journal(&mut self, epoch: u32, device: u32, kind: &'static str, value: f64) {
+        self.journal.record(JournalEvent { epoch, device, kind, value });
+    }
+
+    /// Whether `epoch` (0-based, of `epochs` total) is a snapshot epoch.
+    pub fn should_emit(&self, epoch: usize, epochs: usize) -> bool {
+        (epoch + 1).is_multiple_of(self.every) || epoch + 1 == epochs
+    }
+
+    /// Writes the journal's pending events and one epoch snapshot line,
+    /// then resets the journal and the grant-window histogram.
+    pub fn emit_epoch(&mut self, snap: &EpochSnapshot<'_>) {
+        // Drain the flight recorder: one event line each, oldest first.
+        // Indexed access (events are `Copy`) instead of `iter()` so each
+        // lookup's borrow ends before `write_line` re-borrows — the ring
+        // never moves and nothing allocates.
+        for i in 0..self.journal.len() {
+            let ev = self.journal.get(i).expect("index < len");
+            self.line.clear();
+            self.line.push_str("{\"type\":\"event\",\"policy\":");
+            json::string_into(&mut self.line, snap.policy);
+            self.line.push_str(",\"budget\":");
+            json::number_into(&mut self.line, self.budget);
+            self.line.push_str(",\"epoch\":");
+            json::uint_into(&mut self.line, ev.epoch as u64);
+            self.line.push_str(",\"device\":");
+            json::uint_into(&mut self.line, ev.device as u64);
+            self.line.push_str(",\"kind\":");
+            json::string_into(&mut self.line, ev.kind);
+            self.line.push_str(",\"value\":");
+            json::number_into(&mut self.line, ev.value);
+            self.line.push('}');
+            self.write_line();
+        }
+        self.events_total += self.journal.total();
+        self.events_dropped += self.journal.dropped();
+        self.journal.clear();
+
+        self.line.clear();
+        self.format_epoch_line(snap);
+        self.write_line();
+        self.grants.reset();
+    }
+
+    fn format_epoch_line(&mut self, snap: &EpochSnapshot<'_>) {
+        let out = &mut self.line;
+        out.push_str("{\"type\":\"epoch\",\"policy\":");
+        json::string_into(out, snap.policy);
+        out.push_str(",\"budget\":");
+        json::number_into(out, self.budget);
+        out.push_str(",\"epoch\":");
+        json::uint_into(out, snap.account.epoch as u64);
+        out.push_str(",\"devices\":");
+        json::uint_into(out, snap.devices as u64);
+        out.push_str(",\"ledger\":{\"demanded\":");
+        json::number_into(out, snap.account.demanded);
+        out.push_str(",\"granted\":");
+        json::number_into(out, snap.account.granted);
+        out.push_str(",\"spent\":");
+        json::number_into(out, snap.account.spent);
+        out.push_str(",\"samples\":");
+        json::uint_into(out, snap.account.samples as u64);
+        out.push_str(",\"throttled_devices\":");
+        json::uint_into(out, snap.account.throttled_devices as u64);
+        out.push_str("},\"controller\":{");
+        let c = &snap.shard.controller;
+        for (i, (name, counter)) in [
+            ("probe", c.probe),
+            ("reramp", c.reramp),
+            ("settle", c.settle),
+            ("raise", c.raise),
+            ("cut", c.cut),
+            ("hold", c.hold),
+            ("defer", c.defer),
+            ("verified", c.verified),
+            ("unverified", c.unverified),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            if i > 0 {
+                out.push(',');
+            }
+            json::string_into(out, name);
+            out.push(':');
+            json::uint_into(out, counter.get());
+        }
+        out.push_str("},\"fft\":{\"lookups\":");
+        json::uint_into(out, snap.fft.lookups.get());
+        out.push_str(",\"hits\":");
+        json::uint_into(out, snap.fft.hits.get());
+        out.push_str(",\"misses\":");
+        json::uint_into(out, snap.fft.misses.get());
+        out.push_str("},\"sched\":{\"untouched_epochs\":");
+        json::uint_into(out, snap.sched.untouched_epochs);
+        out.push_str(",\"nochurn_epochs\":");
+        json::uint_into(out, snap.sched.nochurn_epochs);
+        out.push_str(",\"incremental_repairs\":");
+        json::uint_into(out, snap.sched.incremental_repairs);
+        out.push_str(",\"full_resorts\":");
+        json::uint_into(out, snap.sched.full_resorts);
+        out.push_str(",\"changed_keys\":");
+        json::uint_into(out, snap.sched.changed_keys);
+        out.push('}');
+        if let Some(dealt) = snap.dealt {
+            let a = &snap.shard.applied;
+            out.push_str(",\"scenario\":{\"dealt\":{\"leaves\":");
+            json::uint_into(out, dealt.leaves as u64);
+            out.push_str(",\"joins\":");
+            json::uint_into(out, dealt.joins as u64);
+            out.push_str(",\"reboots\":");
+            json::uint_into(out, dealt.reboots as u64);
+            out.push_str(",\"absent_epochs\":");
+            json::uint_into(out, dealt.absent_epochs as u64);
+            out.push_str(",\"dropped_reports\":");
+            json::uint_into(out, dealt.dropped_reports as u64);
+            out.push_str(",\"duplicated_reports\":");
+            json::uint_into(out, dealt.duplicated_reports as u64);
+            out.push_str(",\"delayed_reports\":");
+            json::uint_into(out, dealt.delayed_reports as u64);
+            out.push_str("},\"applied\":{\"absent_epochs\":");
+            json::uint_into(out, a.absent_epochs.get());
+            out.push_str(",\"reboot_steps\":");
+            json::uint_into(out, a.reboot_steps.get());
+            out.push_str(",\"dropped_reports\":");
+            json::uint_into(out, a.dropped_reports.get());
+            out.push_str(",\"delayed_reports\":");
+            json::uint_into(out, a.delayed_reports.get());
+            out.push_str(",\"duplicated_reports\":");
+            json::uint_into(out, a.duplicated_reports.get());
+            out.push_str("}}");
+        }
+        out.push_str(",\"grants\":{\"count\":");
+        json::uint_into(out, self.grants.count());
+        out.push_str(",\"sum\":");
+        json::number_into(out, self.grants.sum());
+        out.push_str(",\"min\":");
+        json::number_into(out, self.grants.min());
+        out.push_str(",\"max\":");
+        json::number_into(out, self.grants.max());
+        out.push_str(",\"p10\":");
+        json::number_into(out, self.grants.quantile(0.10));
+        out.push_str(",\"p50\":");
+        json::number_into(out, self.grants.quantile(0.50));
+        out.push_str(",\"p90\":");
+        json::number_into(out, self.grants.quantile(0.90));
+        out.push_str(",\"p99\":");
+        json::number_into(out, self.grants.quantile(0.99));
+        out.push_str("},\"journal\":{\"events\":");
+        json::uint_into(out, self.events_total);
+        out.push_str(",\"dropped\":");
+        json::uint_into(out, self.events_dropped);
+        out.push_str("}}");
+    }
+
+    fn write_line(&mut self) {
+        match &mut self.sink {
+            Some(w) => {
+                if self.error.is_none() {
+                    let res = w
+                        .write_all(self.line.as_bytes())
+                        .and_then(|()| w.write_all(b"\n"));
+                    if let Err(e) = res {
+                        self.error = Some(e);
+                    }
+                }
+            }
+            None => {
+                self.buffer.push_str(&self.line);
+                self.buffer.push('\n');
+            }
+        }
+    }
+
+    /// Flushes the sink and surfaces the first write error, if any.
+    pub fn finish(&mut self) -> io::Result<()> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        if let Some(w) = &mut self.sink {
+            w.flush()?;
+        }
+        Ok(())
+    }
+}
+
+/// The `--timing` stderr report, rendered from an [`sweetspot_obs`] gauge
+/// registry so the numbers the operator reads are the same values a
+/// machine-readable consumer would get — text and snapshots can never
+/// disagree. Wall and topology scope only: nothing here is, or needs to be,
+/// thread-invariant.
+pub fn timing_report(
+    frontier: &super::FleetFrontier,
+    peak_rss_kb: Option<u64>,
+) -> String {
+    use sweetspot_obs::Gauge;
+
+    let t = frontier.timing();
+    let mut build = Gauge::new();
+    let mut step = Gauge::new();
+    let mut schedule = Gauge::new();
+    build.set(t.build.as_secs_f64());
+    step.set(t.step.as_secs_f64());
+    schedule.set(t.schedule.as_secs_f64());
+    let total = (build.get() + step.get() + schedule.get()).max(f64::MIN_POSITIVE);
+    let pct = |g: Gauge| 100.0 * g.get() / total;
+
+    let mut out = format!(
+        "timing: build {:.3}s ({:.0}%) | step {:.3}s ({:.0}%) | schedule {:.3}s ({:.0}%) \
+         | total {:.3}s across workers over {} policy points\n",
+        build.get(),
+        pct(build),
+        step.get(),
+        pct(step),
+        schedule.get(),
+        pct(schedule),
+        total,
+        frontier.points.len()
+    );
+    // Engine-side accounting: durable member state vs worker scratch (the
+    // memory-wall split), from the last simulated point. Topology scope —
+    // per-shard caches and scratch depend on the worker split.
+    if let Some(point) = frontier.points.last() {
+        let m = point.outcome.memory;
+        let mut member_bytes = Gauge::new();
+        let mut scratch_bytes = Gauge::new();
+        let mut fft_bytes = Gauge::new();
+        member_bytes.set(m.member_bytes as f64);
+        scratch_bytes.set(m.scratch_bytes as f64);
+        fft_bytes.set(m.fft_table_bytes as f64);
+        out.push_str(&format!(
+            "memory: members {:.1} MB ({:.0} B/device) | worker scratch {:.1} MB \
+             | fft tables {:.1} MB over {} shard(s)\n",
+            member_bytes.get() / 1e6,
+            m.bytes_per_member(point.outcome.devices),
+            scratch_bytes.get() / 1e6,
+            fft_bytes.get() / 1e6,
+            m.workers,
+        ));
+    }
+    // Whole-process peak (Linux VmHWM; omitted where unavailable). Wall
+    // scope.
+    if let Some(kb) = peak_rss_kb {
+        out.push_str(&format!("memory: peak RSS {kb} kB (VmHWM)\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sweetspot_monitor::EpochAccount;
+
+    fn account() -> EpochAccount {
+        EpochAccount {
+            epoch: 3,
+            budget: 40.0,
+            demanded: 55.5,
+            granted: 40.0,
+            samples: 1234,
+            spent: 39.5,
+            throttled_devices: 7,
+        }
+    }
+
+    #[test]
+    fn controller_counters_tally_and_merge() {
+        let mut a = ControllerCounters::default();
+        a.record(EpochAction::Probe, true);
+        a.record(EpochAction::Hold, false);
+        a.record(EpochAction::Cut, true);
+        let mut b = ControllerCounters::default();
+        b.record(EpochAction::Hold, true);
+        b.merge(&a);
+        assert_eq!(b.probe.get(), 1);
+        assert_eq!(b.hold.get(), 2);
+        assert_eq!(b.cut.get(), 1);
+        assert_eq!(b.verified.get(), 3);
+        assert_eq!(b.unverified.get(), 1);
+        assert_eq!(b.stepped(), 4);
+        assert_eq!(b.stepped(), b.verified.get() + b.unverified.get());
+    }
+
+    #[test]
+    fn applied_counters_ignore_healthy_steps() {
+        let mut a = AppliedCounters::default();
+        for ev in [
+            DeviceEvent::Healthy,
+            DeviceEvent::Absent,
+            DeviceEvent::Reboot,
+            DeviceEvent::ReportDropped,
+            DeviceEvent::ReportDelayed,
+            DeviceEvent::ReportDuplicated,
+        ] {
+            a.record(ev);
+        }
+        assert_eq!(a.absent_epochs.get(), 1);
+        assert_eq!(a.reboot_steps.get(), 1);
+        assert_eq!(a.dropped_reports.get(), 1);
+        assert_eq!(a.delayed_reports.get(), 1);
+        assert_eq!(a.duplicated_reports.get(), 1);
+    }
+
+    #[test]
+    fn every_action_has_a_journal_tag_except_hold() {
+        assert_eq!(action_kind(EpochAction::Hold), None);
+        for (action, tag) in [
+            (EpochAction::Probe, "probe"),
+            (EpochAction::Reramp, "reramp"),
+            (EpochAction::Settle, "settle"),
+            (EpochAction::Raise, "raise"),
+            (EpochAction::Cut, "cut"),
+            (EpochAction::Defer, "defer"),
+        ] {
+            assert_eq!(action_kind(action), Some(tag));
+        }
+    }
+
+    #[test]
+    fn recorder_emits_events_then_epoch_line() {
+        let mut rec = MetricsRecorder::in_memory();
+        rec.begin_run("waterfill", 40.0);
+        rec.journal(3, 17, "probe", 0.25);
+        for g in [0.0, 0.1, 0.5, 0.5] {
+            rec.record_grant(g);
+        }
+        let snap = EpochSnapshot {
+            policy: "waterfill",
+            budget: 40.0,
+            devices: 28,
+            account: &account(),
+            shard: ShardMetrics::default(),
+            fft: FftHandleStats::default(),
+            sched: SchedStats::default(),
+            dealt: None,
+        };
+        rec.emit_epoch(&snap);
+        let out = rec.buffer().to_string();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2, "{out}");
+        assert!(lines[0].starts_with("{\"type\":\"event\""), "{}", lines[0]);
+        assert!(lines[0].contains("\"device\":17"), "{}", lines[0]);
+        assert!(lines[0].contains("\"kind\":\"probe\""), "{}", lines[0]);
+        assert!(lines[1].starts_with("{\"type\":\"epoch\""), "{}", lines[1]);
+        assert!(lines[1].contains("\"policy\":\"waterfill\""), "{}", lines[1]);
+        assert!(lines[1].contains("\"grants\":{\"count\":4"), "{}", lines[1]);
+        assert!(lines[1].contains("\"journal\":{\"events\":1,\"dropped\":0}"));
+        // Healthy snapshot: no scenario object at all.
+        assert!(!lines[1].contains("scenario"), "{}", lines[1]);
+        assert_eq!(rec.journal_events(), 1);
+        assert_eq!(rec.journal_dropped(), 0);
+        // The grant window resets after emission.
+        rec.emit_epoch(&snap);
+        let last = rec.buffer().lines().last().unwrap().to_string();
+        assert!(last.contains("\"grants\":{\"count\":0"), "{last}");
+    }
+
+    #[test]
+    fn uncapped_budget_emits_null_and_scenario_block_appears() {
+        let mut rec = MetricsRecorder::in_memory();
+        rec.begin_run("uncapped", f64::INFINITY);
+        let dealt = ScenarioCounters {
+            leaves: 2,
+            joins: 1,
+            reboots: 3,
+            absent_epochs: 5,
+            dropped_reports: 4,
+            duplicated_reports: 1,
+            delayed_reports: 2,
+        };
+        let snap = EpochSnapshot {
+            policy: "uncapped",
+            budget: f64::INFINITY,
+            devices: 28,
+            account: &account(),
+            shard: ShardMetrics::default(),
+            fft: FftHandleStats::default(),
+            sched: SchedStats::default(),
+            dealt: Some(&dealt),
+        };
+        rec.emit_epoch(&snap);
+        let out = rec.buffer();
+        assert!(out.contains("\"budget\":null"), "{out}");
+        assert!(out.contains("\"dealt\":{\"leaves\":2"), "{out}");
+        assert!(out.contains("\"applied\":{\"absent_epochs\":0"), "{out}");
+    }
+
+    #[test]
+    fn emission_cadence_honors_every_and_final_epoch() {
+        let mut rec = MetricsRecorder::in_memory();
+        rec.set_every(4);
+        let emitted: Vec<usize> = (0..10).filter(|&e| rec.should_emit(e, 10)).collect();
+        assert_eq!(emitted, vec![3, 7, 9]);
+        rec.set_every(1);
+        let all: Vec<usize> = (0..4).filter(|&e| rec.should_emit(e, 4)).collect();
+        assert_eq!(all, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn timing_report_renders_all_three_scopes() {
+        // A zero-point frontier still renders the timing line.
+        let frontier = super::super::FleetFrontier {
+            points: Vec::new(),
+            steady_demand: 0.0,
+            devices: 0,
+            epochs: 0,
+            window: sweetspot_timeseries::Seconds(86_400.0),
+            seed: 0,
+            scenario: None,
+        };
+        let text = timing_report(&frontier, Some(12345));
+        assert!(text.contains("timing: build"), "{text}");
+        assert!(text.contains("peak RSS 12345 kB"), "{text}");
+    }
+}

@@ -43,6 +43,7 @@
 //! between tens of gigabytes and tens of megabytes (see
 //! [`MemoryStats`]).
 
+pub mod metrics;
 pub mod quality;
 pub mod scenario;
 pub mod scheduler;
@@ -50,12 +51,14 @@ pub mod scheduler;
 use std::thread;
 use std::time::{Duration, Instant};
 use sweetspot_arena::Slab;
-use sweetspot_core::adaptive::AdaptiveConfig;
+use sweetspot_core::adaptive::{AdaptiveConfig, EpochAction};
+use sweetspot_dsp::fft::FftHandleStats;
 use sweetspot_monitor::poller::{EpochScratch, FleetMember};
 use sweetspot_monitor::{CostModel, EpochAccount, EpochLedger};
 use sweetspot_telemetry::{paper_scale_work, scaled_work, FleetConfig, MetricProfile, SignalModel};
 use sweetspot_timeseries::{Hertz, Seconds};
 
+use metrics::{EpochSnapshot, MetricsRecorder, MetricsSummary, ShardMetrics};
 use quality::{DeviceQuality, FleetQuality};
 use scenario::{DeviceEvent, ScenarioCounters, ScenarioEngine, ScenarioSpec, ScenarioStats};
 use scheduler::SchedulerPolicy;
@@ -238,6 +241,9 @@ struct ShardState {
     /// A handle on the shard's shared FFT plan cache (every member holds a
     /// clone) — kept for the post-run `fft_table_bytes` accounting.
     planner: sweetspot_dsp::fft::FftPlanner,
+    /// The shard's metric tallies, bumped inline during the step loop and
+    /// merged in shard order at snapshot time (see [`metrics`]).
+    metrics: ShardMetrics,
 }
 
 impl ShardState {
@@ -299,6 +305,9 @@ pub struct PolicyOutcome {
     pub timing: FleetTimings,
     /// Resident-heap accounting (observability only).
     pub memory: MemoryStats,
+    /// Fleet-scope metric totals (controller actions, FFT handle stats,
+    /// scheduler maintenance, scenario events applied) — thread-invariant.
+    pub metrics: MetricsSummary,
     /// What the scenario dealt and how the fleet weathered it — `None` for
     /// healthy (`--scenario none`) runs.
     pub scenario: Option<ScenarioStats>,
@@ -330,6 +339,21 @@ pub fn run_policy(
     cfg: &FleetSimConfig,
     policy: SchedulerPolicy,
     budget_per_epoch: f64,
+) -> PolicyOutcome {
+    run_policy_recorded(cfg, policy, budget_per_epoch, None)
+}
+
+/// [`run_policy`] with an optional [`MetricsRecorder`] attached: every
+/// fleet-scope counter streams to the recorder as JSON-lines epoch
+/// snapshots plus flight-recorder event lines. The counters themselves are
+/// always on — a recorder only adds the journal, the grant histogram, and
+/// the emission — so the simulation's own outputs (ledger, quality, stdout
+/// renderings) are byte-identical with and without one.
+pub fn run_policy_recorded(
+    cfg: &FleetSimConfig,
+    policy: SchedulerPolicy,
+    budget_per_epoch: f64,
+    mut recorder: Option<&mut MetricsRecorder>,
 ) -> PolicyOutcome {
     let work = cfg.work();
     let n = work.len();
@@ -375,8 +399,12 @@ pub fn run_policy(
         members,
         scratch: EpochScratch::new(),
         planner,
+        metrics: ShardMetrics::default(),
     })
     .collect();
+    if let Some(rec) = recorder.as_deref_mut() {
+        rec.begin_run(policy.name(), budget_per_epoch);
+    }
     // Quality requirement per device. A quiescent device's signal never
     // moves a full quantum, so *any* rate fully captures what is observable:
     // its requirement is zero (coverage 1.0 by definition in `quality`).
@@ -447,6 +475,11 @@ pub fn run_policy(
     let mut coverage_sum = vec![0.0f64; n];
     let mut epoch_samples = vec![0usize; n];
     let mut epoch_throttled = vec![false; n];
+    // Per-device action taken this epoch (`None` = absent, no step ran).
+    // Workers write their chunk; the flight recorder reads it *serially* in
+    // device order, so journal contents and drop counts never depend on the
+    // worker split.
+    let mut epoch_actions: Vec<Option<EpochAction>> = vec![None; n];
 
     // Scenario state: fixed-size per-device vectors allocated once, so
     // churn never resizes the request/grant geometry (absent devices keep
@@ -488,26 +521,46 @@ pub fn run_policy(
                 .enumerate()
             {
                 let ev = eng.deal(epoch, i, active[i]);
-                match ev {
+                // Lifecycle transitions feed the flight recorder here, in
+                // the serial deal loop, so event order is device order.
+                // Continued absences are counted but not journaled — only
+                // the leave itself is an event.
+                let journal_kind = match ev {
                     DeviceEvent::Absent => {
-                        if active[i] {
+                        let left = active[i];
+                        if left {
                             counters.leaves += 1;
                         }
                         active[i] = false;
                         counters.absent_epochs += 1;
+                        left.then_some("leave")
                     }
                     DeviceEvent::Reboot => {
-                        if !active[i] {
+                        let joined = !active[i];
+                        if joined {
                             counters.joins += 1;
                         }
                         active[i] = true;
                         counters.reboots += 1;
                         member.reboot();
+                        Some(if joined { "join" } else { "reboot" })
                     }
-                    DeviceEvent::ReportDropped => counters.dropped_reports += 1,
-                    DeviceEvent::ReportDelayed => counters.delayed_reports += 1,
-                    DeviceEvent::ReportDuplicated => counters.duplicated_reports += 1,
-                    DeviceEvent::Healthy => {}
+                    DeviceEvent::ReportDropped => {
+                        counters.dropped_reports += 1;
+                        Some("report_drop")
+                    }
+                    DeviceEvent::ReportDelayed => {
+                        counters.delayed_reports += 1;
+                        Some("report_delay")
+                    }
+                    DeviceEvent::ReportDuplicated => {
+                        counters.duplicated_reports += 1;
+                        Some("report_dup")
+                    }
+                    DeviceEvent::Healthy => None,
+                };
+                if let (Some(rec), Some(kind)) = (recorder.as_deref_mut(), journal_kind) {
+                    rec.journal(epoch as u32, i as u32, kind, 0.0);
                 }
                 events[i] = ev;
             }
@@ -529,16 +582,22 @@ pub fn run_policy(
             }
         }
         sched.allocate(&requests, capacity_rate, &mut grants);
+        if let Some(rec) = recorder.as_deref_mut() {
+            // Grant distribution histogram: fed serially in device order.
+            for &g in &grants {
+                rec.record_grant(g);
+            }
+        }
         timing.schedule += t_sched.elapsed();
 
         let start = Seconds(epoch as f64 * window.value());
         let chunk = crate::shard::chunk_size(n, threads);
         if threads == 1 {
             let t_step = Instant::now();
-            let ShardState { members, scratch, .. } = &mut shards[0];
+            let ShardState { members, scratch, metrics, .. } = &mut shards[0];
             if engine.is_some() {
                 for (i, member) in members.iter_mut().enumerate() {
-                    let (cov, samples, throttled, counted) = step_scenario_member(
+                    let step = step_scenario_member(
                         member,
                         events[i],
                         scratch,
@@ -547,15 +606,22 @@ pub fn run_policy(
                         window,
                         nyquist[i],
                     );
-                    coverage_sum[i] += cov;
-                    epoch_cov[i] = cov;
-                    epoch_samples[i] = samples;
-                    epoch_throttled[i] = throttled;
-                    active_epochs[i] += counted as usize;
+                    metrics.applied.record(events[i]);
+                    if let Some(a) = step.action {
+                        metrics.controller.record(a, step.verified);
+                    }
+                    epoch_actions[i] = step.action;
+                    coverage_sum[i] += step.coverage;
+                    epoch_cov[i] = step.coverage;
+                    epoch_samples[i] = step.samples;
+                    epoch_throttled[i] = step.throttled;
+                    active_epochs[i] += step.counted as usize;
                 }
             } else {
                 for (i, member) in members.iter_mut().enumerate() {
                     let report = member.step_epoch(scratch, start, Hertz(grants[i]), window);
+                    metrics.controller.record(report.action, report.verified);
+                    epoch_actions[i] = Some(report.action);
                     coverage_sum[i] += quality::coverage(report.primary_rate, Hertz(nyquist[i]));
                     epoch_samples[i] = report.samples_taken;
                     epoch_throttled[i] = report.throttled;
@@ -575,18 +641,19 @@ pub fn run_policy(
                             .zip(epoch_cov.chunks_mut(chunk))
                             .zip(epoch_samples.chunks_mut(chunk))
                             .zip(epoch_throttled.chunks_mut(chunk))
-                            .zip(active_epochs.chunks_mut(chunk)),
+                            .zip(active_epochs.chunks_mut(chunk))
+                            .zip(epoch_actions.chunks_mut(chunk)),
                     )
                     .map(
                         |(
                             (((shard, grants), nyquist), events),
-                            ((((coverage, ecov), samples), throttled), act),
+                            (((((coverage, ecov), samples), throttled), act), actions),
                         )| {
                             s.spawn(move || {
                                 let t = Instant::now();
-                                let ShardState { members, scratch, .. } = shard;
+                                let ShardState { members, scratch, metrics, .. } = shard;
                                 for (i, member) in members.iter_mut().enumerate() {
-                                    let (cov, smp, thr, counted) = step_scenario_member(
+                                    let step = step_scenario_member(
                                         member,
                                         events[i],
                                         scratch,
@@ -595,11 +662,16 @@ pub fn run_policy(
                                         window,
                                         nyquist[i],
                                     );
-                                    coverage[i] += cov;
-                                    ecov[i] = cov;
-                                    samples[i] = smp;
-                                    throttled[i] = thr;
-                                    act[i] += counted as usize;
+                                    metrics.applied.record(events[i]);
+                                    if let Some(a) = step.action {
+                                        metrics.controller.record(a, step.verified);
+                                    }
+                                    actions[i] = step.action;
+                                    coverage[i] += step.coverage;
+                                    ecov[i] = step.coverage;
+                                    samples[i] = step.samples;
+                                    throttled[i] = step.throttled;
+                                    act[i] += step.counted as usize;
                                 }
                                 t.elapsed()
                             })
@@ -622,23 +694,28 @@ pub fn run_policy(
                         coverage_sum
                             .chunks_mut(chunk)
                             .zip(epoch_samples.chunks_mut(chunk))
-                            .zip(epoch_throttled.chunks_mut(chunk)),
+                            .zip(epoch_throttled.chunks_mut(chunk))
+                            .zip(epoch_actions.chunks_mut(chunk)),
                     )
-                    .map(|(((shard, grants), nyquist), ((coverage, samples), throttled))| {
-                        s.spawn(move || {
-                            let t = Instant::now();
-                            let ShardState { members, scratch, .. } = shard;
-                            for (i, member) in members.iter_mut().enumerate() {
-                                let report =
-                                    member.step_epoch(scratch, start, Hertz(grants[i]), window);
-                                coverage[i] +=
-                                    quality::coverage(report.primary_rate, Hertz(nyquist[i]));
-                                samples[i] = report.samples_taken;
-                                throttled[i] = report.throttled;
-                            }
-                            t.elapsed()
-                        })
-                    })
+                    .map(
+                        |(((shard, grants), nyquist), (((coverage, samples), throttled), actions))| {
+                            s.spawn(move || {
+                                let t = Instant::now();
+                                let ShardState { members, scratch, metrics, .. } = shard;
+                                for (i, member) in members.iter_mut().enumerate() {
+                                    let report =
+                                        member.step_epoch(scratch, start, Hertz(grants[i]), window);
+                                    metrics.controller.record(report.action, report.verified);
+                                    actions[i] = Some(report.action);
+                                    coverage[i] +=
+                                        quality::coverage(report.primary_rate, Hertz(nyquist[i]));
+                                    samples[i] = report.samples_taken;
+                                    throttled[i] = report.throttled;
+                                }
+                                t.elapsed()
+                            })
+                        },
+                    )
                     .collect();
                 handles
                     .into_iter()
@@ -646,6 +723,18 @@ pub fn run_policy(
                     .sum()
             });
             timing.step += step_time;
+        }
+
+        if let Some(rec) = recorder.as_deref_mut() {
+            // Controller transitions feed the flight recorder here, serially
+            // in device order, from the per-device action array the workers
+            // filled — so journal contents (and ring drops) never depend on
+            // the worker split. Holds are not events.
+            for (i, member) in shards.iter().flat_map(|s| s.members.iter()).enumerate() {
+                if let Some(kind) = epoch_actions[i].and_then(metrics::action_kind) {
+                    rec.journal(epoch as u32, i as u32, kind, member.requested_rate().value());
+                }
+            }
         }
 
         // Ledger: every sum in device index order (deterministic).
@@ -679,6 +768,21 @@ pub fn run_policy(
             epoch_means.push(epoch_cov.iter().sum::<f64>() / n.max(1) as f64);
         }
         timing.schedule += t_ledger.elapsed();
+
+        if let Some(rec) = recorder.as_deref_mut() {
+            if rec.should_emit(epoch, epochs) {
+                rec.emit_epoch(&EpochSnapshot {
+                    policy: policy.name(),
+                    budget: budget_per_epoch,
+                    devices: n,
+                    account: ledger.accounts().last().expect("epoch just recorded"),
+                    shard: merged_shard_metrics(&shards),
+                    fft: fft_handle_totals(&shards),
+                    sched: sched.stats(),
+                    dealt: engine.is_some().then_some(&counters),
+                });
+            }
+        }
     }
 
     let t_quality = Instant::now();
@@ -698,7 +802,9 @@ pub fn run_policy(
             } else {
                 coverage_sum[i] / epochs as f64
             },
+            final_rate: m.requested_rate().value(),
             deferred_epochs: m.sampler().deferred_epochs(),
+            missed_epochs: m.sampler().missed_epochs(),
         })
         .collect();
     let quality = FleetQuality::from_devices(&device_quality);
@@ -723,6 +829,13 @@ pub fn run_policy(
         fft_table_bytes: shards.iter().map(|s| s.planner.table_bytes()).sum(),
         workers: shards.len(),
     };
+    let merged = merged_shard_metrics(&shards);
+    let metrics = MetricsSummary {
+        controller: merged.controller,
+        applied: merged.applied,
+        fft: fft_handle_totals(&shards),
+        sched: sched.stats(),
+    };
 
     PolicyOutcome {
         policy,
@@ -736,6 +849,7 @@ pub fn run_policy(
         timing,
         memory,
         scenario,
+        metrics,
     }
 }
 
@@ -747,6 +861,20 @@ pub fn run_policy(
 /// epoch, just from re-ramp state). A dropped report takes no samples and
 /// earns no coverage; a delayed report takes (and bills) its samples but
 /// the controller's adaptation froze; a duplicated report bills double.
+/// Per-device outcome of one scenario epoch: the quality/ledger numbers the
+/// epoch loop already consumed as a tuple, plus the controller action and
+/// verification flag the metrics layer tallies.
+struct MemberStep {
+    coverage: f64,
+    samples: usize,
+    throttled: bool,
+    /// Whether this epoch counts toward the device's active-epoch divisor.
+    counted: bool,
+    /// Controller decision this epoch; `None` while the device is absent.
+    action: Option<EpochAction>,
+    verified: bool,
+}
+
 fn step_scenario_member(
     member: &mut FleetMember,
     event: DeviceEvent,
@@ -755,42 +883,83 @@ fn step_scenario_member(
     grant: Hertz,
     window: Seconds,
     nyquist: f64,
-) -> (f64, usize, bool, bool) {
+) -> MemberStep {
     let nyquist = Hertz(nyquist);
     match event {
-        DeviceEvent::Absent => (0.0, 0, false, false),
+        DeviceEvent::Absent => MemberStep {
+            coverage: 0.0,
+            samples: 0,
+            throttled: false,
+            counted: false,
+            action: None,
+            verified: false,
+        },
         DeviceEvent::ReportDropped => {
             let r = member.note_missed_epoch(start, grant, window);
-            (quality::coverage(r.primary_rate, nyquist), 0, r.throttled, true)
+            MemberStep {
+                coverage: quality::coverage(r.primary_rate, nyquist),
+                samples: 0,
+                throttled: r.throttled,
+                counted: true,
+                action: Some(r.action),
+                verified: r.verified,
+            }
         }
         DeviceEvent::ReportDelayed => {
             let r = member.step_epoch_delayed(scratch, start, grant, window);
-            (
-                quality::coverage(r.primary_rate, nyquist),
-                r.samples_taken,
-                r.throttled,
-                true,
-            )
+            MemberStep {
+                coverage: quality::coverage(r.primary_rate, nyquist),
+                samples: r.samples_taken,
+                throttled: r.throttled,
+                counted: true,
+                action: Some(r.action),
+                verified: r.verified,
+            }
         }
         DeviceEvent::ReportDuplicated => {
             let r = member.step_epoch(scratch, start, grant, window);
-            (
-                quality::coverage(r.primary_rate, nyquist),
-                r.samples_taken * 2,
-                r.throttled,
-                true,
-            )
+            MemberStep {
+                coverage: quality::coverage(r.primary_rate, nyquist),
+                samples: r.samples_taken * 2,
+                throttled: r.throttled,
+                counted: true,
+                action: Some(r.action),
+                verified: r.verified,
+            }
         }
         DeviceEvent::Healthy | DeviceEvent::Reboot => {
             let r = member.step_epoch(scratch, start, grant, window);
-            (
-                quality::coverage(r.primary_rate, nyquist),
-                r.samples_taken,
-                r.throttled,
-                true,
-            )
+            MemberStep {
+                coverage: quality::coverage(r.primary_rate, nyquist),
+                samples: r.samples_taken,
+                throttled: r.throttled,
+                counted: true,
+                action: Some(r.action),
+                verified: r.verified,
+            }
         }
     }
+}
+
+/// Folds per-worker [`ShardMetrics`] in shard order — never completion
+/// order — so the merged totals are identical for any `--threads N`.
+fn merged_shard_metrics(shards: &[ShardState]) -> ShardMetrics {
+    let mut merged = ShardMetrics::default();
+    for shard in shards {
+        merged.merge(&shard.metrics);
+    }
+    merged
+}
+
+/// Sums per-member FFT planner-handle counters in fleet (device) order.
+/// Handle counters are owned by each member's planner clone, so the totals
+/// are independent of how the fleet was sharded across workers.
+fn fft_handle_totals(shards: &[ShardState]) -> FftHandleStats {
+    let mut totals = FftHandleStats::default();
+    for member in shards.iter().flat_map(|s| s.members.iter()) {
+        totals.merge(&member.fft_handle_stats());
+    }
+    totals
 }
 
 /// Builds per-device state in parallel shards, one contiguous [`Slab`] per
@@ -882,7 +1051,9 @@ pub struct FleetFrontier {
 pub const FRONTIER_FRACTIONS: [f64; 4] = [0.1, 0.25, 0.5, 1.0];
 
 /// Policies swept at every budget rung (the uncapped baseline runs once).
-const CAPPED_POLICIES: [SchedulerPolicy; 3] = [
+/// The capped policies a default frontier sweep runs (the uncapped
+/// baseline is implicit — it anchors the budget ladder).
+pub const CAPPED_POLICIES: [SchedulerPolicy; 3] = [
     SchedulerPolicy::Uniform,
     SchedulerPolicy::Fair,
     SchedulerPolicy::WaterFill,
@@ -897,7 +1068,23 @@ pub fn run_frontier(cfg: &FleetSimConfig) -> FleetFrontier {
 /// [`run_frontier`] restricted to a chosen set of capped policies (the
 /// uncapped baseline always runs — it anchors the budget ladder).
 pub fn run_frontier_for(cfg: &FleetSimConfig, policies: &[SchedulerPolicy]) -> FleetFrontier {
-    let uncapped = run_policy(cfg, SchedulerPolicy::Uncapped, f64::INFINITY);
+    run_frontier_for_recorded(cfg, policies, None)
+}
+
+/// [`run_frontier_for`] with an optional [`MetricsRecorder`]: each frontier
+/// point streams its epoch snapshots through the same recorder, in sweep
+/// order, so one JSONL file carries the whole frontier.
+pub fn run_frontier_for_recorded(
+    cfg: &FleetSimConfig,
+    policies: &[SchedulerPolicy],
+    mut recorder: Option<&mut MetricsRecorder>,
+) -> FleetFrontier {
+    let uncapped = run_policy_recorded(
+        cfg,
+        SchedulerPolicy::Uncapped,
+        f64::INFINITY,
+        recorder.as_deref_mut(),
+    );
     let steady_demand = uncapped
         .ledger
         .accounts()
@@ -914,7 +1101,12 @@ pub fn run_frontier_for(cfg: &FleetSimConfig, policies: &[SchedulerPolicy]) -> F
             }
             points.push(FrontierPoint {
                 fraction: Some(fraction),
-                outcome: run_policy(cfg, policy, fraction * steady_demand),
+                outcome: run_policy_recorded(
+                    cfg,
+                    policy,
+                    fraction * steady_demand,
+                    recorder.as_deref_mut(),
+                ),
             });
         }
     }
@@ -928,6 +1120,17 @@ pub fn run_point(
     budget_per_epoch: f64,
     policy: Option<SchedulerPolicy>,
 ) -> FleetFrontier {
+    run_point_recorded(cfg, budget_per_epoch, policy, None)
+}
+
+/// [`run_point`] with an optional [`MetricsRecorder`] attached to every
+/// policy run at the point.
+pub fn run_point_recorded(
+    cfg: &FleetSimConfig,
+    budget_per_epoch: f64,
+    policy: Option<SchedulerPolicy>,
+    mut recorder: Option<&mut MetricsRecorder>,
+) -> FleetFrontier {
     let policies: Vec<SchedulerPolicy> =
         policy.map_or_else(|| SchedulerPolicy::ALL.to_vec(), |p| vec![p]);
     let points: Vec<FrontierPoint> = policies
@@ -940,7 +1143,7 @@ pub fn run_point(
             };
             FrontierPoint {
                 fraction: None,
-                outcome: run_policy(cfg, p, budget),
+                outcome: run_policy_recorded(cfg, p, budget, recorder.as_deref_mut()),
             }
         })
         .collect();
@@ -1137,6 +1340,15 @@ impl FleetFrontier {
 
     /// Machine-readable rendering (see `report::json`).
     pub fn to_json(&self) -> String {
+        self.to_json_with(false)
+    }
+
+    /// [`to_json`](Self::to_json) with an opt-in per-device breakdown:
+    /// `devices == true` adds a `"devices"` array to every frontier row
+    /// (index, metric kind, final requested rate, mean coverage, and the
+    /// deferred/missed epoch tallies, in fleet order). Off by default —
+    /// at 10⁵ devices the breakdown dwarfs the summary rows.
+    pub fn to_json_with(&self, devices: bool) -> String {
         use crate::report::json::{JsonArray, JsonObject};
         let mut rows = JsonArray::new();
         for p in &self.points {
@@ -1169,6 +1381,20 @@ impl FleetFrontier {
                     Some(e) => row.field_num("time_to_recover_epochs", e as f64),
                     None => row.field_null("time_to_recover_epochs"),
                 };
+            }
+            if devices {
+                let mut per_device = JsonArray::new();
+                for d in &o.device_quality {
+                    let mut rec = JsonObject::new();
+                    rec.field_num("index", d.index as f64);
+                    rec.field_str("metric", d.kind.name());
+                    rec.field_num("final_rate_hz", d.final_rate);
+                    rec.field_num("mean_coverage", d.mean_coverage);
+                    rec.field_num("deferred_epochs", d.deferred_epochs as f64);
+                    rec.field_num("missed_epochs", d.missed_epochs as f64);
+                    per_device.push_raw(&rec.finish());
+                }
+                row.field_raw("devices", &per_device.finish());
             }
             rows.push_raw(&row.finish());
         }

@@ -35,8 +35,12 @@ pub struct DeviceQuality {
     pub kind: MetricKind,
     /// Mean spectral coverage over all epochs.
     pub mean_coverage: f64,
+    /// Controller-requested polling rate (Hz) after the final epoch.
+    pub final_rate: f64,
     /// Epochs whose grant was below the controller's request.
     pub deferred_epochs: usize,
+    /// Epochs stepped without a report (scenario drops / absences).
+    pub missed_epochs: usize,
 }
 
 /// Fleet-level quality aggregates (deterministic: all sums run in device
@@ -101,7 +105,9 @@ mod tests {
             index,
             kind: MetricKind::ALL[0],
             mean_coverage: c,
+            final_rate: 1.0,
             deferred_epochs: 0,
+            missed_epochs: 0,
         }
     }
 

@@ -100,6 +100,42 @@ impl std::fmt::Display for SchedulerPolicy {
     }
 }
 
+/// Order-maintenance work counters for one [`Scheduler`] over a run.
+///
+/// Schedulers run serially in the engine (one `allocate` call per epoch on
+/// the coordinating thread), so these totals are **thread-invariant**: the
+/// same simulation yields the same counts for any `--threads N`. Policies
+/// without incremental state report zeros.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Epochs where aggregate demand fit the budget: grants passed through
+    /// and the persistent sorted order was never consulted.
+    pub untouched_epochs: u64,
+    /// Binding epochs where no request changed since the last refresh — the
+    /// stored order was reused as-is.
+    pub nochurn_epochs: u64,
+    /// Binding epochs repaired with the incremental merge (changed indices
+    /// re-sorted among themselves and merged into the unchanged remainder).
+    pub incremental_repairs: u64,
+    /// Binding epochs that re-sorted the full fleet: the priming sort plus
+    /// every epoch whose churn crossed [`full_resort_due`].
+    pub full_resorts: u64,
+    /// Total re-keyed devices across all refresh passes (the churn volume
+    /// the incremental path absorbed or punted on).
+    pub changed_keys: u64,
+}
+
+impl SchedStats {
+    /// Accumulates `other` into `self` (summing across runs or policies).
+    pub fn merge(&mut self, other: &SchedStats) {
+        self.untouched_epochs += other.untouched_epochs;
+        self.nochurn_epochs += other.nochurn_epochs;
+        self.incremental_repairs += other.incremental_repairs;
+        self.full_resorts += other.full_resorts;
+        self.changed_keys += other.changed_keys;
+    }
+}
+
 /// Computes per-device grants for one epoch — the stateless **from-scratch
 /// reference** implementation. The engine runs the stateful [`Scheduler`]
 /// objects instead (same grants bit for bit, without the per-epoch sort);
@@ -239,6 +275,12 @@ pub trait Scheduler: Send {
     /// Panics if `requests` disagrees in length with the construction-time
     /// fleet, holds non-finite/negative entries, or `capacity` is negative.
     fn allocate(&mut self, requests: &[f64], capacity: f64, grants: &mut Vec<f64>);
+
+    /// Order-maintenance work accumulated so far. State-free policies keep
+    /// the default: all zeros.
+    fn stats(&self) -> SchedStats {
+        SchedStats::default()
+    }
 }
 
 fn validate_epoch_inputs(requests: &[f64], expected_len: usize, capacity: f64) {
@@ -366,6 +408,9 @@ pub struct WaterFillScheduler {
     /// for the merge walk without clearing a flag array each epoch).
     stamp: Vec<u64>,
     generation: u64,
+    /// Which maintenance path each epoch took (reported via
+    /// [`Scheduler::stats`]; never consulted by the allocation itself).
+    stats: SchedStats,
 }
 
 impl WaterFillScheduler {
@@ -386,6 +431,7 @@ impl WaterFillScheduler {
             merged: Vec::new(),
             stamp: Vec::new(),
             generation: 0,
+            stats: SchedStats::default(),
         }
     }
 
@@ -415,6 +461,7 @@ impl WaterFillScheduler {
         let n = requests.len();
         if !self.primed {
             self.full_sort(requests);
+            self.stats.full_resorts += 1;
             return;
         }
         self.changed.clear();
@@ -428,14 +475,18 @@ impl WaterFillScheduler {
             }
         }
         if self.changed.is_empty() {
+            self.stats.nochurn_epochs += 1;
             return;
         }
+        self.stats.changed_keys += self.changed.len() as u64;
         if full_resort_due(self.changed.len(), n) {
+            self.stats.full_resorts += 1;
             let norm = &self.norm;
             self.order
                 .sort_unstable_by(|&a, &b| sort_key(norm[a], a, norm[b], b));
             return;
         }
+        self.stats.incremental_repairs += 1;
         self.generation += 1;
         for &i in &self.changed {
             self.stamp[i] = self.generation;
@@ -504,6 +555,7 @@ impl Scheduler for WaterFillScheduler {
         grants.clear();
         let demand: f64 = requests.iter().sum();
         if demand <= capacity {
+            self.stats.untouched_epochs += 1;
             grants.extend_from_slice(requests);
             return;
         }
@@ -536,6 +588,10 @@ impl Scheduler for WaterFillScheduler {
                 grants[i] = (level * self.weights[i]).min(requests[i]);
             }
         }
+    }
+
+    fn stats(&self) -> SchedStats {
+        self.stats
     }
 }
 
@@ -625,6 +681,53 @@ mod tests {
         // Never above production even with slack budget.
         allocate(SchedulerPolicy::Uniform, &r, &w, &p, 100.0, &mut g);
         assert_eq!(g, vec![1.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn waterfill_stats_classify_each_epochs_maintenance_path() {
+        let weights = vec![1.0; 8];
+        let mut sched = WaterFillScheduler::new(&weights);
+        let mut grants = Vec::new();
+
+        // Binding epoch on an unprimed scheduler: the priming full sort.
+        let mut r = vec![2.0; 8];
+        sched.allocate(&r, 4.0, &mut grants);
+        // Same binding requests again: the stored order is reused untouched.
+        sched.allocate(&r, 4.0, &mut grants);
+        // One device re-keys (1 of 8 ≤ churn threshold): incremental merge.
+        r[3] = 3.0;
+        sched.allocate(&r, 4.0, &mut grants);
+        // Every device re-keys: falls back to a full re-sort.
+        for (i, req) in r.iter_mut().enumerate() {
+            *req = 5.0 + i as f64;
+        }
+        sched.allocate(&r, 4.0, &mut grants);
+        // Demand fits the budget: fast path, order never consulted.
+        sched.allocate(&r, 1e9, &mut grants);
+
+        let stats = sched.stats();
+        assert_eq!(
+            stats,
+            SchedStats {
+                untouched_epochs: 1,
+                nochurn_epochs: 1,
+                incremental_repairs: 1,
+                full_resorts: 2,
+                changed_keys: 1 + 8,
+            }
+        );
+
+        // Stateless policies report zeros through the trait default.
+        let mut fair = SchedulerPolicy::Fair.scheduler(&weights, &weights);
+        fair.allocate(&r, 4.0, &mut grants);
+        assert_eq!(fair.stats(), SchedStats::default());
+
+        // Merging accumulates every field.
+        let mut merged = SchedStats::default();
+        merged.merge(&stats);
+        merged.merge(&stats);
+        assert_eq!(merged.changed_keys, 2 * stats.changed_keys);
+        assert_eq!(merged.full_resorts, 2 * stats.full_resorts);
     }
 
     #[test]

@@ -1,0 +1,275 @@
+//! Allocation accounting for the metrics/flight-recorder path.
+//!
+//! Extends `alloc_steady_state.rs` to the observability layer, at the
+//! 10³-device scale the tentpole promises. Two claims, separated because
+//! they fail for different reasons:
+//!
+//! 1. **The metrics slice of a warm epoch allocates zero bytes** — counter
+//!    tallies, the grant histogram, flight-recorder pushes (including ring
+//!    overflow), and a full JSONL epoch emission. Everything the recorder
+//!    owns (ring, buckets, line scratch, output buffer) is preallocated or
+//!    pre-grown; steady-state recording reuses it. Measured by wrapping
+//!    *only* the metrics calls of each epoch, so controller dynamics (a
+//!    probing device legitimately allocates a new FFT plan) can't mask a
+//!    regression in the metrics layer — at 10³ devices some controller is
+//!    probing in almost every epoch, so a whole-epoch count would be
+//!    workload noise.
+//! 2. **Recording adds zero allocations to the epoch loop** — twin fleets
+//!    stepped in lockstep, one with the full metrics path and one without,
+//!    must allocate identically every epoch. This is the allocation-side
+//!    face of the non-perturbation contract (the output-side face lives in
+//!    `metrics_determinism.rs`).
+//!
+//! The counter is per-thread (see the telemetry alloc test), so fleets are
+//! stepped serially — exactly the per-worker view of the sharded engine.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use sweetspot_analysis::fleetsim::{
+    member_config,
+    metrics::{action_kind, EpochSnapshot, MetricsRecorder, ShardMetrics},
+    scheduler::SchedulerPolicy,
+};
+use sweetspot_dsp::fft::FftHandleStats;
+use sweetspot_monitor::poller::{EpochScratch, FleetMember};
+use sweetspot_monitor::EpochAccount;
+use sweetspot_telemetry::{scaled_work, DeviceTrace};
+use sweetspot_timeseries::{Hertz, Seconds};
+
+std::thread_local! {
+    // const-init + no Drop ⇒ accessing this inside the allocator hooks
+    // never itself allocates or registers a TLS destructor.
+    static ALLOCATIONS: Cell<usize> = const { Cell::new(0) };
+}
+
+struct CountingAllocator;
+
+// SAFETY: delegates every operation to `System`; the counter is a plain
+// thread-local side effect (`try_with` so teardown-time allocations on
+// foreign threads are simply not counted rather than panicking).
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = ALLOCATIONS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// Number of allocations *this thread* performed while running `f`.
+fn allocations_during(f: impl FnOnce()) -> usize {
+    let before = ALLOCATIONS.with(Cell::get);
+    f();
+    ALLOCATIONS.with(Cell::get) - before
+}
+
+/// One serial worker's fleet plus its epoch-loop state, mirroring the
+/// engine's per-shard view.
+struct Fleet {
+    members: Vec<FleetMember>,
+    sched: Box<dyn sweetspot_analysis::fleetsim::scheduler::Scheduler>,
+    capacity: f64,
+    requests: Vec<f64>,
+    grants: Vec<f64>,
+    actions: Vec<Option<sweetspot_core::adaptive::EpochAction>>,
+    scratch: EpochScratch,
+    window: Seconds,
+}
+
+impl Fleet {
+    fn build(devices: usize, seed: u64, window: Seconds) -> Fleet {
+        let work = scaled_work(devices);
+        let n = work.len();
+        let members: Vec<FleetMember> = work
+            .iter()
+            .enumerate()
+            .map(|(i, &(profile, device))| {
+                FleetMember::new(
+                    i,
+                    DeviceTrace::synthesize(profile, device, seed),
+                    member_config(&profile, window),
+                )
+            })
+            .collect();
+        let production: Vec<f64> =
+            work.iter().map(|(p, _)| p.production_rate().value()).collect();
+        let weights = vec![1.0; n];
+        // Half the fleet's production rate: binding, so scheduling,
+        // throttling, and deferred probes all stay active.
+        let capacity: f64 = production.iter().sum::<f64>() * 0.5;
+        Fleet {
+            members,
+            sched: SchedulerPolicy::WaterFill.scheduler(&weights, &production),
+            capacity,
+            requests: vec![0.0; n],
+            grants: Vec::with_capacity(n),
+            actions: vec![None; n],
+            scratch: EpochScratch::new(),
+            window,
+        }
+    }
+
+    /// One lockstep epoch. With a recorder, runs the engine's full metrics
+    /// path (grant feed, per-member tallies, serial journal walk, JSONL
+    /// emission) and returns the number of heap allocations *the metrics
+    /// calls alone* performed.
+    fn epoch(&mut self, epoch: usize, epochs: usize, mut rec: Option<&mut MetricsRecorder>) -> usize {
+        let start = Seconds(epoch as f64 * self.window.value());
+        for (r, m) in self.requests.iter_mut().zip(self.members.iter()) {
+            *r = m.requested_rate().value();
+        }
+        self.sched
+            .allocate(&self.requests, self.capacity, &mut self.grants);
+        let mut metrics_allocs = 0;
+        if let Some(rec) = rec.as_deref_mut() {
+            metrics_allocs += allocations_during(|| {
+                for &g in &self.grants {
+                    rec.record_grant(g);
+                }
+            });
+        }
+        let mut shard = ShardMetrics::default();
+        for (i, (m, &g)) in self
+            .members
+            .iter_mut()
+            .zip(self.grants.iter())
+            .enumerate()
+        {
+            let report = m.step_epoch(&mut self.scratch, start, Hertz(g), self.window);
+            if rec.is_some() {
+                metrics_allocs += allocations_during(|| {
+                    shard.controller.record(report.action, report.verified);
+                });
+            }
+            self.actions[i] = Some(report.action);
+        }
+        if let Some(rec) = rec {
+            // The engine's serial journal walk: device order, action kinds
+            // only — plus the epoch snapshot emission.
+            metrics_allocs += allocations_during(|| {
+                for (i, (m, action)) in
+                    self.members.iter().zip(self.actions.iter()).enumerate()
+                {
+                    if let Some(kind) = action.and_then(action_kind) {
+                        rec.journal(epoch as u32, i as u32, kind, m.requested_rate().value());
+                    }
+                }
+                let mut fft = FftHandleStats::default();
+                for m in self.members.iter() {
+                    fft.merge(&m.fft_handle_stats());
+                }
+                let account = EpochAccount {
+                    epoch,
+                    budget: self.capacity,
+                    demanded: self.requests.iter().sum(),
+                    granted: self.grants.iter().sum(),
+                    samples: 0,
+                    spent: 0.0,
+                    throttled_devices: 0,
+                };
+                let snap = EpochSnapshot {
+                    policy: "waterfill",
+                    budget: self.capacity,
+                    devices: self.members.len(),
+                    account: &account,
+                    shard,
+                    fft,
+                    sched: self.sched.stats(),
+                    dealt: None,
+                };
+                assert!(rec.should_emit(epoch, epochs));
+                rec.emit_epoch(&snap);
+            });
+        }
+        metrics_allocs
+    }
+}
+
+const DEVICES: usize = 1_000;
+const EPOCHS: usize = 10;
+const WARMUP: usize = 4;
+
+#[test]
+fn metrics_path_of_a_warm_epoch_is_allocation_free() {
+    // 10³ pairs on 1 h windows under a binding water-fill budget: deferred
+    // probes keep the flight recorder carrying real traffic (well past the
+    // ring's 512-slot capacity, so overflow accounting runs too).
+    let window = Seconds(3600.0);
+    let mut fleet = Fleet::build(DEVICES, 2, window);
+    let mut recorder = MetricsRecorder::in_memory();
+    recorder.begin_run("waterfill", fleet.capacity);
+    recorder.reserve(4 << 20);
+
+    // Warm-up: the recorder's first emissions size its line scratch; the
+    // fleet's scratch and plan caches grow.
+    for epoch in 0..WARMUP {
+        fleet.epoch(epoch, EPOCHS, Some(&mut recorder));
+    }
+
+    for epoch in WARMUP..EPOCHS {
+        let metrics_allocs = fleet.epoch(epoch, EPOCHS, Some(&mut recorder));
+        assert_eq!(
+            metrics_allocs, 0,
+            "metrics path of warm epoch {epoch} must not allocate"
+        );
+    }
+
+    // The run wasn't vacuous: snapshots flowed, and the journal saw enough
+    // traffic to wrap its preallocated ring.
+    assert_eq!(
+        recorder
+            .buffer()
+            .lines()
+            .filter(|l| l.starts_with("{\"type\":\"epoch\""))
+            .count(),
+        EPOCHS
+    );
+    assert!(
+        recorder.journal_events() > 512,
+        "expected the ring to overflow, saw {} events",
+        recorder.journal_events()
+    );
+}
+
+#[test]
+fn recording_adds_zero_allocations_to_the_epoch_loop() {
+    // Twin fleets, bit-identical by construction, stepped in lockstep: one
+    // carries the full metrics path, the other none. Any extra allocation
+    // in the recorded fleet — even during warm-up, even while devices are
+    // still probing — is the metrics layer perturbing the engine.
+    let window = Seconds(3600.0);
+    let mut plain = Fleet::build(DEVICES, 2, window);
+    let mut recorded = Fleet::build(DEVICES, 2, window);
+    let mut recorder = MetricsRecorder::in_memory();
+    recorder.begin_run("waterfill", recorded.capacity);
+    recorder.reserve(4 << 20);
+
+    for epoch in 0..EPOCHS {
+        let without = allocations_during(|| {
+            plain.epoch(epoch, EPOCHS, None);
+        });
+        let mut metrics_allocs = 0;
+        let with = allocations_during(|| {
+            metrics_allocs = recorded.epoch(epoch, EPOCHS, Some(&mut recorder));
+        });
+        assert_eq!(
+            with - metrics_allocs,
+            without,
+            "epoch {epoch}: the engine allocated differently with metrics attached"
+        );
+        if epoch >= WARMUP {
+            assert_eq!(metrics_allocs, 0, "warm metrics path allocated at epoch {epoch}");
+        }
+    }
+}

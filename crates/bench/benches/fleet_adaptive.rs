@@ -7,7 +7,10 @@
 //! budget (scheduling + deferral bookkeeping on top). Both run single
 //! threaded so the numbers track engine work, not thread scaling. The
 //! `waterfill_20k_2ep` row exercises the scaled 2×10⁴-pair fleet end to
-//! end, and the `sched_100k_*` rows isolate the scheduler at 10⁵ requests:
+//! end (its `_metrics` twin re-runs it with the full `--metrics-out`
+//! recorder attached — the pair pins the ≤2% observability-overhead
+//! budget), and the `sched_100k_*` rows isolate the scheduler at 10⁵
+//! requests:
 //! incremental order maintenance (steady fleet, ~1% churn) against the
 //! from-scratch re-sort reference.
 
@@ -71,6 +74,24 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let out = fleetsim::run_policy(&large, SchedulerPolicy::WaterFill, 200_000.0);
             black_box(out.quality.mean_coverage)
+        })
+    });
+
+    // The metrics-on twin of the row above: full recorder attached (journal,
+    // grant histogram, JSONL emission into a pre-grown in-memory buffer).
+    // The pair pins the observability overhead — the delta between these
+    // two rows is the whole cost of `--metrics-out`, and it must stay ≤2%.
+    c.bench_function("fleet_adaptive/waterfill_20k_2ep_metrics", |b| {
+        b.iter(|| {
+            let mut rec = fleetsim::metrics::MetricsRecorder::in_memory();
+            rec.reserve(1 << 20);
+            let out = fleetsim::run_policy_recorded(
+                &large,
+                SchedulerPolicy::WaterFill,
+                200_000.0,
+                Some(&mut rec),
+            );
+            black_box((out.quality.mean_coverage, rec.buffer().len()))
         })
     });
 

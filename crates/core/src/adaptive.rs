@@ -157,6 +157,32 @@ impl Default for AdaptiveConfig {
     }
 }
 
+/// How the controller moved its request at the end of an epoch — the §4.2
+/// state machine's transition, made observable so a fleet can count them
+/// without re-deriving the decision tree from raw rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochAction {
+    /// Aliasing escalated the request up the multiplicative probe ladder.
+    Probe,
+    /// Aliasing re-ramped the request straight to `headroom ×` the
+    /// remembered §4.2 maximum (the memory jump beat the ladder step).
+    Reramp,
+    /// A probe-mode epoch found its rate and settled to the target.
+    Settle,
+    /// The steady-state target rose above the primary rate and the request
+    /// followed it up.
+    Raise,
+    /// A hysteresis-approved decrease to the target.
+    Cut,
+    /// The request held: steady and on target, decrease patience still
+    /// counting, an unverifiable or cadence-skipped epoch, or a window too
+    /// short to yield evidence.
+    Hold,
+    /// No adaptation ran at all — the epoch's report was missed or arrived
+    /// too late to act on.
+    Defer,
+}
+
 /// What happened in one adaptation epoch.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EpochReport {
@@ -186,6 +212,11 @@ pub struct EpochReport {
     pub samples_taken: usize,
     /// Rate chosen for the next epoch.
     pub next_rate: Hertz,
+    /// `true` when the §4.1 dual-rate detector actually ran this epoch
+    /// (both streams acquired with enough samples).
+    pub verified: bool,
+    /// The state-machine transition this epoch performed.
+    pub action: EpochAction,
 }
 
 /// The controller's transient working set for one epoch: detector scratch,
@@ -247,6 +278,9 @@ pub struct AdaptiveSampler {
     /// (see [`AdaptiveSampler::note_missed_epoch`]): drives hold-and-decay
     /// on absent evidence. Any arriving report resets it.
     missed_streak: usize,
+    /// Lifetime count of wholly missed epochs (never reset — per-device
+    /// observability for the fleet's `--json-devices` records).
+    missed_epochs: usize,
     /// Working storage for the owned-scratch API; stays empty when every
     /// epoch runs through [`AdaptiveSampler::step_granted_scratch`].
     scratch: SamplerScratch,
@@ -301,6 +335,7 @@ impl AdaptiveSampler {
             deferred_samples: 0,
             since_verify: 0,
             missed_streak: 0,
+            missed_epochs: 0,
             scratch: SamplerScratch::new(),
         }
     }
@@ -343,6 +378,20 @@ impl AdaptiveSampler {
     /// report arrives, even late).
     pub fn missed_streak(&self) -> usize {
         self.missed_streak
+    }
+
+    /// Lifetime count of wholly missed epochs (unlike
+    /// [`missed_streak`](Self::missed_streak), never reset).
+    pub fn missed_epochs(&self) -> usize {
+        self.missed_epochs
+    }
+
+    /// Plan-request counts of this controller's FFT planner handle (its
+    /// estimator and §4.1 detector share one handle). Summing these over a
+    /// fleet in device order is thread-count-invariant — see
+    /// [`sweetspot_dsp::fft::FftHandleStats`].
+    pub fn fft_handle_stats(&self) -> sweetspot_dsp::fft::FftHandleStats {
+        self.estimator.planner().handle_stats()
     }
 
     /// Heap bytes of the controller's *owned* working storage (its scratch
@@ -432,6 +481,7 @@ impl AdaptiveSampler {
         self.deferred_epochs += 1;
         self.deferred_samples += (requested.value() * window.value()).round() as usize;
         self.missed_streak += 1;
+        self.missed_epochs += 1;
         self.low_streak = 0;
         let next = if self.missed_streak >= self.config.decrease_patience.max(1) {
             Hertz(
@@ -457,6 +507,8 @@ impl AdaptiveSampler {
             estimate: None,
             samples_taken: 0,
             next_rate: next,
+            verified: false,
+            action: EpochAction::Defer,
         };
         self.rate = next;
         self.epoch_index += 1;
@@ -515,6 +567,8 @@ impl AdaptiveSampler {
             estimate: None,
             samples_taken,
             next_rate: requested,
+            verified: false,
+            action: EpochAction::Defer,
         };
         self.epoch_index += 1;
         report
@@ -661,6 +715,7 @@ impl AdaptiveSampler {
             }
         }
 
+        let mut action = EpochAction::Hold;
         let next = if aliased && skipped_verify {
             // The flat-spectrum guard fired on an epoch whose §4.1 verdict
             // the cadence skipped. With verification the override above
@@ -673,11 +728,15 @@ impl AdaptiveSampler {
             self.mode = Mode::Probe;
             self.low_streak = 0;
             let escalated = primary.value() * self.config.probe_multiplier;
+            action = EpochAction::Probe;
             let target = if self.config.memory {
                 // Fast re-ramp: jump straight to the remembered requirement.
                 let remembered = self
                     .remembered_max
                     .map_or(0.0, |m| m.value() * self.config.headroom);
+                if remembered > escalated {
+                    action = EpochAction::Reramp;
+                }
                 escalated.max(remembered)
             } else {
                 escalated
@@ -696,6 +755,7 @@ impl AdaptiveSampler {
                     // Found the rate: settle directly.
                     self.mode = Mode::Steady;
                     self.low_streak = 0;
+                    action = EpochAction::Settle;
                     Hertz(target)
                 }
                 Mode::Steady => {
@@ -707,6 +767,7 @@ impl AdaptiveSampler {
                         if skipped_verify {
                             force_verify_next = true;
                         }
+                        action = EpochAction::Raise;
                         Hertz(target)
                     } else if (throttled && !verified) || skipped_verify {
                         // Unverifiable cut epoch — or one the verification
@@ -718,6 +779,7 @@ impl AdaptiveSampler {
                         self.low_streak += 1;
                         if self.low_streak >= self.config.decrease_patience {
                             self.low_streak = 0;
+                            action = EpochAction::Cut;
                             Hertz(target)
                         } else {
                             primary
@@ -752,6 +814,8 @@ impl AdaptiveSampler {
             estimate: estimate.rate(),
             samples_taken,
             next_rate: next,
+            verified,
+            action,
         };
         // Verification-cadence bookkeeping. `force_verify_next` pins the
         // counter at the cadence so the very next detectable epoch is due.

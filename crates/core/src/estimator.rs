@@ -202,6 +202,12 @@ impl NyquistEstimator {
         &mut self.planner
     }
 
+    /// Read-only view of the planner, for handle-level statistics
+    /// ([`FftPlanner::handle_stats`]) without taking a mutable borrow.
+    pub fn planner(&self) -> &FftPlanner {
+        &self.planner
+    }
+
     /// Heap bytes of the estimator's *owned* working storage: its scratch
     /// plus the planner clone's private FFT buffers. Zero as long as every
     /// estimate runs through [`NyquistEstimator::estimate_samples_with`]

@@ -41,9 +41,11 @@
 
 use crate::complex::Complex64;
 use crate::window::{Window, WindowTable};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::f64::consts::PI;
 use std::sync::{Arc, Mutex};
+
+use sweetspot_obs::Counter;
 
 /// Returns `true` if `n` is a power of two (and nonzero).
 #[inline]
@@ -409,6 +411,71 @@ pub struct FftPlanner {
     /// error next to the transform it precedes.
     tables: Arc<Mutex<PlanTables>>,
     scratch: FftScratch,
+    /// This handle's own lookup/hit/miss counts (see [`FftHandleStats`]).
+    handle_stats: FftHandleStats,
+    /// Sorted transform lengths this handle has requested, split by plan
+    /// kind (a length-`n` complex plan and a length-`n` real plan are
+    /// different tables). A handful of entries per handle in practice —
+    /// settled controllers revisit the same lengths, so steady state never
+    /// inserts (and never allocates).
+    seen_complex: Vec<usize>,
+    seen_real: Vec<usize>,
+}
+
+/// Plan-request statistics of one planner *handle* (one clone).
+///
+/// Counted at the handle, not the shared cache, deliberately: the shared
+/// cache's hit pattern depends on which other clones share it — i.e. on the
+/// worker-shard topology — while a handle's request sequence is a pure
+/// function of the signal it analyzes. Summing handle stats over members in
+/// device order therefore gives the same totals for any `--threads N`, which
+/// is what lets them ride in the deterministic metrics snapshot. A "miss"
+/// here means *first request of that length by this handle*; whether the
+/// shared cache happened to already hold the table (warmed by a sibling) or
+/// has since evicted it is a topology/budget question answered separately by
+/// [`FftCacheStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FftHandleStats {
+    /// Plan requests issued (one per transform of length ≥ 2).
+    pub lookups: Counter,
+    /// Requests for a length this handle had already requested.
+    pub hits: Counter,
+    /// First-time lengths (each implies table construction unless a sibling
+    /// handle already built it).
+    pub misses: Counter,
+}
+
+impl FftHandleStats {
+    /// Folds another handle's counts into this one.
+    pub fn merge(&mut self, other: &FftHandleStats) {
+        self.lookups.merge(other.lookups);
+        self.hits.merge(other.hits);
+        self.misses.merge(other.misses);
+    }
+}
+
+/// Lifetime statistics of one shared plan cache (all handles together).
+///
+/// These depend on the shard split and byte budget — how many clones share
+/// the cache, in what order they warm it, when LRU eviction strikes — so
+/// they are *topology-scoped*: reported on `--timing` stderr, never in the
+/// thread-count-invariant metrics snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FftCacheStats {
+    /// Tables constructed (first builds and rebuilds).
+    pub builds: u64,
+    /// Total bytes of table constructed over the cache's lifetime.
+    pub built_bytes: u64,
+    /// Tables evicted by the LRU byte budget.
+    pub evictions: u64,
+    /// Total bytes evicted.
+    pub evicted_bytes: u64,
+    /// Bytes spent re-building tables that had been evicted earlier — the
+    /// direct churn cost of running under a too-small budget.
+    pub rebuilt_bytes: u64,
+    /// Bytes currently resident (same figure as
+    /// [`FftPlanner::table_bytes`]).
+    pub resident_bytes: u64,
 }
 
 /// One cached table plus the bookkeeping the byte-budgeted cache needs:
@@ -422,6 +489,16 @@ struct Cached<T> {
 
 /// Which cache map an eviction victim lives in.
 enum Victim {
+    Pow2(usize),
+    Bluestein(usize),
+    Real(usize),
+    Window(Window, usize),
+}
+
+/// Map-qualified table identity, for remembering what has been evicted so a
+/// later re-build of the same table can be billed as churn.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum TableKey {
     Pow2(usize),
     Bluestein(usize),
     Real(usize),
@@ -449,12 +526,35 @@ struct PlanTables {
     tick: u64,
     /// Sum of the `bytes` of every entry currently held.
     resident: usize,
+    /// Lifetime build/eviction accounting (see [`FftCacheStats`]).
+    stats: FftCacheStats,
+    /// Keys evicted at least once, so a re-build can be billed as
+    /// `rebuilt_bytes`. Grows only at eviction time — a settled fleet under
+    /// its budget never touches it.
+    evicted_keys: HashSet<TableKey>,
 }
 
 impl PlanTables {
     fn stamp(&mut self) -> u64 {
         self.tick += 1;
         self.tick
+    }
+
+    /// Bills a table construction: every build, plus churn accounting when
+    /// the same table had been evicted before.
+    fn note_build(&mut self, key: TableKey, bytes: usize) {
+        self.stats.builds += 1;
+        self.stats.built_bytes += bytes as u64;
+        if self.evicted_keys.contains(&key) {
+            self.stats.rebuilt_bytes += bytes as u64;
+        }
+    }
+
+    /// Bills an eviction and remembers the key for rebuild accounting.
+    fn note_evict(&mut self, key: TableKey, bytes: usize) {
+        self.stats.evictions += 1;
+        self.stats.evicted_bytes += bytes as u64;
+        self.evicted_keys.insert(key);
     }
 
     fn pow2_plan(&mut self, len: usize) -> Arc<Pow2Plan> {
@@ -466,6 +566,7 @@ impl PlanTables {
         let plan = Arc::new(Pow2Plan::new(len));
         let bytes = plan.table_bytes();
         self.resident += bytes;
+        self.note_build(TableKey::Pow2(len), bytes);
         self.pow2.insert(len, Cached { plan: plan.clone(), bytes, last_used: tick });
         self.enforce_budget();
         plan
@@ -485,6 +586,7 @@ impl PlanTables {
             let plan = Arc::new(BluesteinPlan::new(len, inner));
             let bytes = plan.table_bytes();
             self.resident += bytes;
+            self.note_build(TableKey::Bluestein(len), bytes);
             let tick = self.stamp();
             self.bluestein.insert(len, Cached { plan: plan.clone(), bytes, last_used: tick });
             self.enforce_budget();
@@ -503,6 +605,7 @@ impl PlanTables {
         let plan = Arc::new(RealPlan::new(n, inner));
         let bytes = plan.table_bytes();
         self.resident += bytes;
+        self.note_build(TableKey::Real(n), bytes);
         let tick = self.stamp();
         self.real.insert(n, Cached { plan: plan.clone(), bytes, last_used: tick });
         self.enforce_budget();
@@ -518,6 +621,7 @@ impl PlanTables {
         let plan = Arc::new(WindowTable::new(window, n));
         let bytes = plan.resident_bytes();
         self.resident += bytes;
+        self.note_build(TableKey::Window(window, n), bytes);
         self.windows.insert((window, n), Cached { plan: plan.clone(), bytes, last_used: tick });
         self.enforce_budget();
         plan
@@ -554,13 +658,21 @@ impl PlanTables {
                 consider(Victim::Window(w, n), e.last_used);
             }
             let Some((key, _)) = victim else { return };
-            let bytes = match key {
-                Victim::Pow2(k) => self.pow2.remove(&k).map(|e| e.bytes),
-                Victim::Bluestein(k) => self.bluestein.remove(&k).map(|e| e.bytes),
-                Victim::Real(k) => self.real.remove(&k).map(|e| e.bytes),
-                Victim::Window(w, n) => self.windows.remove(&(w, n)).map(|e| e.bytes),
+            let (table_key, bytes) = match key {
+                Victim::Pow2(k) => (TableKey::Pow2(k), self.pow2.remove(&k).map(|e| e.bytes)),
+                Victim::Bluestein(k) => (
+                    TableKey::Bluestein(k),
+                    self.bluestein.remove(&k).map(|e| e.bytes),
+                ),
+                Victim::Real(k) => (TableKey::Real(k), self.real.remove(&k).map(|e| e.bytes)),
+                Victim::Window(w, n) => (
+                    TableKey::Window(w, n),
+                    self.windows.remove(&(w, n)).map(|e| e.bytes),
+                ),
             };
-            self.resident -= bytes.unwrap_or(0);
+            let bytes = bytes.unwrap_or(0);
+            self.note_evict(table_key, bytes);
+            self.resident -= bytes;
         }
     }
 }
@@ -574,12 +686,16 @@ impl Default for FftPlanner {
 impl Clone for FftPlanner {
     /// Shares the table cache — past *and future* plans — with the clone;
     /// the clone gets fresh scratch buffers (scratch is working state, not a
-    /// table). A fleet of per-device analyzers built from clones of one
+    /// table) and fresh handle statistics (a clone's request history is its
+    /// own). A fleet of per-device analyzers built from clones of one
     /// planner therefore holds every distinct plan exactly once.
     fn clone(&self) -> Self {
         FftPlanner {
             tables: Arc::clone(&self.tables),
             scratch: FftScratch::default(),
+            handle_stats: FftHandleStats::default(),
+            seen_complex: Vec::new(),
+            seen_real: Vec::new(),
         }
     }
 }
@@ -591,18 +707,53 @@ impl FftPlanner {
         FftPlanner {
             tables: Arc::new(Mutex::new(PlanTables::default())),
             scratch: FftScratch::default(),
+            handle_stats: FftHandleStats::default(),
+            seen_complex: Vec::new(),
+            seen_real: Vec::new(),
+        }
+    }
+
+    /// Counts one plan request against this handle: a hit when `len` was
+    /// requested before (by this handle), a first-sight miss otherwise.
+    fn note_lookup(stats: &mut FftHandleStats, seen: &mut Vec<usize>, len: usize) {
+        stats.lookups.inc();
+        match seen.binary_search(&len) {
+            Ok(_) => stats.hits.inc(),
+            Err(i) => {
+                stats.misses.inc();
+                seen.insert(i, len);
+            }
         }
     }
 
     fn plan(&mut self, len: usize) -> Plan {
+        Self::note_lookup(&mut self.handle_stats, &mut self.seen_complex, len);
         self.tables.lock().expect("fft plan cache poisoned").plan(len)
     }
 
     fn real_plan(&mut self, n: usize) -> Arc<RealPlan> {
+        Self::note_lookup(&mut self.handle_stats, &mut self.seen_real, n);
         self.tables
             .lock()
             .expect("fft plan cache poisoned")
             .real_plan(n)
+    }
+
+    /// This handle's own plan-request counts (lookups/hits/misses). See
+    /// [`FftHandleStats`] for why these are per-clone, not per-cache.
+    pub fn handle_stats(&self) -> FftHandleStats {
+        self.handle_stats
+    }
+
+    /// Lifetime build/eviction statistics of the *shared* table cache
+    /// (topology-scoped: depends on which clones share it and the byte
+    /// budget — keep it out of thread-count-invariant reports).
+    pub fn cache_stats(&self) -> FftCacheStats {
+        let tables = self.tables.lock().expect("fft plan cache poisoned");
+        FftCacheStats {
+            resident_bytes: tables.resident as u64,
+            ..tables.stats
+        }
     }
 
     /// The cached coefficient table for `window` at length `n`.
@@ -1157,6 +1308,64 @@ mod tests {
         let mut buf = vec![Complex64::ONE; 4096];
         p.fft_in_place(&mut buf); // must not loop forever or panic
         assert!((buf[0].re - 4096.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn handle_stats_count_lookups_hits_and_misses() {
+        let mut p = FftPlanner::new();
+        let mut buf = vec![Complex64::ONE; 64];
+        p.fft_in_place(&mut buf); // miss (complex 64)
+        p.fft_in_place(&mut buf); // hit
+        let input = vec![1.0f64; 64];
+        let mut out = Vec::new();
+        p.fft_real_into(&input, &mut out); // miss (real 64 ≠ complex 64)
+        p.fft_real_into(&input, &mut out); // hit
+
+        let s = p.handle_stats();
+        assert_eq!(s.lookups.get(), 4);
+        assert_eq!(s.hits.get(), 2);
+        assert_eq!(s.misses.get(), 2);
+        assert_eq!(s.lookups.get(), s.hits.get() + s.misses.get());
+
+        // A clone shares tables but starts its own request history: its
+        // first length-64 transform is a handle-level miss even though the
+        // shared cache is warm.
+        let mut clone = p.clone();
+        let mut buf2 = vec![Complex64::ONE; 64];
+        clone.fft_in_place(&mut buf2);
+        assert_eq!(clone.handle_stats().lookups.get(), 1);
+        assert_eq!(clone.handle_stats().misses.get(), 1);
+        assert_eq!(p.handle_stats().lookups.get(), 4, "parent unchanged");
+
+        let mut merged = p.handle_stats();
+        merged.merge(&clone.handle_stats());
+        assert_eq!(merged.lookups.get(), 5);
+        assert_eq!(merged.hits.get() + merged.misses.get(), 5);
+    }
+
+    #[test]
+    fn cache_stats_bill_evictions_and_rebuilds() {
+        let mut p = FftPlanner::new();
+        let mut buf = vec![Complex64::ONE; 128];
+        p.fft_in_place(&mut buf);
+        let warm = p.cache_stats();
+        assert!(warm.builds >= 1);
+        assert!(warm.built_bytes > 0);
+        assert_eq!(warm.evictions, 0);
+        assert_eq!(warm.rebuilt_bytes, 0);
+        assert_eq!(warm.resident_bytes as usize, p.table_bytes());
+
+        // Starve the cache so alternating lengths evict each other, then
+        // re-request an evicted one: its bytes must be billed as rebuilt.
+        p.set_table_budget(Some(1));
+        let mut other = vec![Complex64::ONE; 77];
+        p.fft_in_place(&mut other);
+        p.fft_in_place(&mut buf); // rebuilds the evicted length-128 plan
+        let churned = p.cache_stats();
+        assert!(churned.evictions > 0);
+        assert!(churned.evicted_bytes > 0);
+        assert!(churned.rebuilt_bytes > 0);
+        assert!(churned.built_bytes >= warm.built_bytes + churned.rebuilt_bytes);
     }
 }
 

@@ -237,6 +237,14 @@ impl FleetMember {
         &self.device
     }
 
+    /// Plan-request counts of this member's FFT planner handle — per-member
+    /// and simulation-determined, so a fleet can sum them in device order
+    /// into a thread-count-invariant metrics snapshot (see
+    /// [`sweetspot_dsp::fft::FftHandleStats`]).
+    pub fn fft_handle_stats(&self) -> sweetspot_dsp::fft::FftHandleStats {
+        self.sampler.fft_handle_stats()
+    }
+
     /// Durable heap bytes this member retains between epochs (trace identity
     /// and signal model, plus any working buffers parked in the sampler —
     /// zero when epochs run through a worker's [`EpochScratch`]).

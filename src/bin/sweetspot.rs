@@ -20,7 +20,8 @@
 //! sweetspot fleetsim [--budget X] [--policy P] [--days D] [--devices N] [--seed S]
 //!                    [--threads T] [--verify-every K] [--fft-cache-mb M]
 //!                    [--scenario NAME|SPEC] [--scenario-seed S]
-//!                    [--paper-scale] [--timing] [--json]
+//!                    [--metrics-out PATH] [--metrics-every K]
+//!                    [--paper-scale] [--timing] [--json] [--json-devices]
 //!     Fleet-level adaptive simulation: every device's §4.2 controller under
 //!     one shared collection budget, with a cross-device scheduler deciding
 //!     epoch-by-epoch poll rates. Defaults to the paper-scale 1613-pair
@@ -43,9 +44,18 @@
 //!     (`drop=0.1+reboot=0.01`); `--scenario-seed S` re-deals the fault
 //!     schedule. Scenario runs report degraded frontiers (plus incident
 //!     time-to-recover); `--scenario none` (the default) is inert. Output
-//!     is byte-identical for any `--threads T`. `--timing` also reports the
-//!     member/scratch/fft-table memory split and (on Linux) the process
-//!     peak RSS.
+//!     is byte-identical for any `--threads T`. `--metrics-out PATH`
+//!     streams fleet-scope metrics as JSON lines: one epoch snapshot per
+//!     simulated epoch (controller actions, scheduler maintenance, FFT
+//!     plan-cache hits, grant-distribution quantiles, the shared-budget
+//!     ledger) plus flight-recorder event lines (probes, raises, cuts,
+//!     scenario faults). The file is byte-identical for any `--threads T`,
+//!     and recording never changes stdout. `--metrics-every K` thins
+//!     snapshots to every K-th epoch (events and the final epoch always
+//!     land). `--json-devices` implies `--json` and adds per-device records
+//!     (final rate, mean coverage, deferred/missed epochs) to each frontier
+//!     row. `--timing` also reports the member/scratch/fft-table memory
+//!     split and (on Linux) the process peak RSS.
 //!
 //! sweetspot demo [--metric NAME] [--days D] [--seed S]
 //!     Emit a synthetic production trace as CSV on stdout (pipe it back
@@ -137,7 +147,8 @@ USAGE:
   sweetspot fleetsim [--budget X] [--policy uncapped|uniform|fair|waterfill] [--days D]
                      [--devices N] [--seed S] [--threads T] [--verify-every K]
                      [--fft-cache-mb M] [--scenario none|churn|incident|lossy-reports|cost-skew]
-                     [--scenario-seed S] [--paper-scale] [--timing] [--json]
+                     [--scenario-seed S] [--metrics-out PATH] [--metrics-every K]
+                     [--paper-scale] [--timing] [--json] [--json-devices]
   sweetspot demo     [--metric NAME] [--days D] [--seed S]
   sweetspot help";
 
@@ -418,6 +429,9 @@ fn cmd_fleetsim(args: &[String]) -> Result<(), String> {
     let (paper_scale, rest) = take_switch(args, "--paper-scale");
     let (timing, rest) = take_switch(&rest, "--timing");
     let (json, rest) = take_switch(&rest, "--json");
+    let (json_devices, rest) = take_switch(&rest, "--json-devices");
+    // --json-devices is a refinement of --json, not a separate mode.
+    let json = json || json_devices;
     let flags = flags(&rest, 0)?;
     reject_unknown_flags(
         &flags,
@@ -427,6 +441,8 @@ fn cmd_fleetsim(args: &[String]) -> Result<(), String> {
             "days",
             "devices",
             "fft-cache-mb",
+            "metrics-every",
+            "metrics-out",
             "scenario",
             "scenario-seed",
             "seed",
@@ -483,6 +499,23 @@ fn cmd_fleetsim(args: &[String]) -> Result<(), String> {
     if devices == Some(0) {
         return Err("--devices wants a positive fleet size".into());
     }
+    let metrics_out = flag_opt::<String>(&flags, "metrics-out", "a file path")?;
+    let metrics_every = flag_u64(&flags, "metrics-every", 1)? as usize;
+    if metrics_every == 0 {
+        return Err("--metrics-every wants a positive epoch count (1 = every epoch)".into());
+    }
+    if metrics_out.is_none() && flags.iter().any(|(n, _)| n == "metrics-every") {
+        return Err("--metrics-every only makes sense with --metrics-out".into());
+    }
+    let mut recorder = metrics_out
+        .as_deref()
+        .map(|path| {
+            let mut rec = fleetsim::metrics::MetricsRecorder::to_path(std::path::Path::new(path))
+                .map_err(|e| format!("cannot open --metrics-out {path:?}: {e}"))?;
+            rec.set_every(metrics_every);
+            Ok::<_, String>(rec)
+        })
+        .transpose()?;
     let cfg = FleetSimConfig {
         fleet: FleetConfig {
             seed,
@@ -500,52 +533,37 @@ fn cmd_fleetsim(args: &[String]) -> Result<(), String> {
         scenario,
         ..FleetSimConfig::default()
     };
+    let rec = recorder.as_mut();
     let frontier = match (budget, policy) {
-        (Some(b), p) => fleetsim::run_point(&cfg, b, p),
-        (None, Some(p)) => fleetsim::run_frontier_for(&cfg, &[p]),
-        (None, None) => fleetsim::run_frontier(&cfg),
+        (Some(b), p) => fleetsim::run_point_recorded(&cfg, b, p, rec),
+        (None, Some(p)) => fleetsim::run_frontier_for_recorded(&cfg, &[p], rec),
+        (None, None) => {
+            fleetsim::run_frontier_for_recorded(&cfg, &fleetsim::CAPPED_POLICIES, rec)
+        }
     };
+    if let Some(mut rec) = recorder {
+        rec.finish().map_err(|e| {
+            format!(
+                "writing --metrics-out {:?} failed: {e}",
+                metrics_out.as_deref().unwrap_or("")
+            )
+        })?;
+    }
     if json {
-        println!("{}", frontier.to_json());
+        println!("{}", frontier.to_json_with(json_devices));
     } else {
         print!("{}", frontier.render());
     }
     if timing {
         // stderr, not stdout: timing varies run to run, and stdout must stay
         // byte-identical across thread counts (CI compares it verbatim).
-        let t = frontier.timing();
-        let total = t.total().as_secs_f64().max(f64::MIN_POSITIVE);
-        let pct = |d: std::time::Duration| 100.0 * d.as_secs_f64() / total;
-        eprintln!(
-            "timing: build {:.3}s ({:.0}%) | step {:.3}s ({:.0}%) | schedule {:.3}s ({:.0}%) \
-             | total {:.3}s across workers over {} policy points",
-            t.build.as_secs_f64(),
-            pct(t.build),
-            t.step.as_secs_f64(),
-            pct(t.step),
-            t.schedule.as_secs_f64(),
-            pct(t.schedule),
-            t.total().as_secs_f64(),
-            frontier.points.len()
+        eprint!(
+            "{}",
+            fleetsim::metrics::timing_report(
+                &frontier,
+                sweetspot::analysis::report::peak_rss_kb()
+            )
         );
-        // Engine-side accounting: durable member state vs worker scratch
-        // (the memory-wall split), from the last simulated point.
-        if let Some(point) = frontier.points.last() {
-            let m = point.outcome.memory;
-            eprintln!(
-                "memory: members {:.1} MB ({:.0} B/device) | worker scratch {:.1} MB \
-                 | fft tables {:.1} MB over {} shard(s)",
-                m.member_bytes as f64 / 1e6,
-                m.bytes_per_member(point.outcome.devices),
-                m.scratch_bytes as f64 / 1e6,
-                m.fft_table_bytes as f64 / 1e6,
-                m.workers,
-            );
-        }
-        // Whole-process peak (Linux VmHWM; omitted where unavailable).
-        if let Some(kb) = sweetspot::analysis::report::peak_rss_kb() {
-            eprintln!("memory: peak RSS {kb} kB (VmHWM)");
-        }
     }
     Ok(())
 }

@@ -48,6 +48,7 @@ pub use sweetspot_arena as arena;
 pub use sweetspot_core as core;
 pub use sweetspot_dsp as dsp;
 pub use sweetspot_monitor as monitor;
+pub use sweetspot_obs as obs;
 pub use sweetspot_telemetry as telemetry;
 pub use sweetspot_timeseries as timeseries;
 
