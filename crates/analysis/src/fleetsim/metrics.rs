@@ -124,6 +124,8 @@ pub struct AppliedCounters {
     pub delayed_reports: Counter,
     /// Reports billed twice.
     pub duplicated_reports: Counter,
+    /// Device-epochs stepped as scheduled sleep (duty cycle / battery).
+    pub dormant_epochs: Counter,
 }
 
 impl AppliedCounters {
@@ -136,6 +138,7 @@ impl AppliedCounters {
             DeviceEvent::ReportDropped => self.dropped_reports.inc(),
             DeviceEvent::ReportDelayed => self.delayed_reports.inc(),
             DeviceEvent::ReportDuplicated => self.duplicated_reports.inc(),
+            DeviceEvent::Dormant => self.dormant_epochs.inc(),
             DeviceEvent::Healthy => {}
         }
     }
@@ -147,7 +150,36 @@ impl AppliedCounters {
         self.dropped_reports.merge(other.dropped_reports);
         self.delayed_reports.merge(other.delayed_reports);
         self.duplicated_reports.merge(other.duplicated_reports);
+        self.dormant_epochs.merge(other.dormant_epochs);
     }
+}
+
+/// Watchdog / recovery-plane tallies of one policy run — present only when
+/// `--recovery-budget-frac > 0` (the watchdog is otherwise never built, so
+/// a zero-frac run's outputs stay bit-identical to a pre-watchdog engine).
+/// Fleet scope: the watchdog pass runs serially in device order.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WatchdogCounters {
+    /// Re-probes forced over the run ([`begin_reprobe`]).
+    ///
+    /// [`begin_reprobe`]: sweetspot_core::adaptive::AdaptiveSampler::begin_reprobe
+    pub reprobes: u64,
+    /// Re-probe attempts deferred because the epoch's recovery pool was
+    /// already spent — the admission control that keeps recovery from
+    /// starving healthy devices.
+    pub starved: u64,
+    /// Cumulative recovery-slice spend in cost units, **on top of** the
+    /// ordinary budget (the ledger's `granted` excludes it by design).
+    pub recovery_granted: f64,
+    /// Latest epoch's health census: members classified healthy.
+    pub healthy: u64,
+    /// Latest epoch's census: members re-ramping or probing.
+    pub recovering: u64,
+    /// Latest epoch's census: members settled below their remembered max
+    /// long enough to suspect an aliasing deadlock.
+    pub suspect: u64,
+    /// Latest epoch's census: members in scheduled sleep.
+    pub dormant: u64,
 }
 
 /// One worker's metric tallies, owned by its [`ShardState`] and bumped
@@ -188,6 +220,9 @@ pub struct MetricsSummary {
     pub fft: FftHandleStats,
     /// Water-fill order-maintenance work (zeros for stateless policies).
     pub sched: SchedStats,
+    /// Watchdog tallies (`None` when `--recovery-budget-frac` is 0 and no
+    /// watchdog ran).
+    pub watchdog: Option<WatchdogCounters>,
 }
 
 /// Everything one epoch snapshot needs, bundled by the engine at emission
@@ -211,6 +246,10 @@ pub struct EpochSnapshot<'a> {
     /// Serially dealt scenario totals (`None` on healthy runs — the
     /// snapshot then omits the `scenario` object entirely).
     pub dealt: Option<&'a ScenarioCounters>,
+    /// Watchdog tallies (`None` when no watchdog ran — the snapshot then
+    /// omits the `watchdog` object entirely, keeping zero-frac JSONL
+    /// byte-identical to a pre-watchdog build).
+    pub watchdog: Option<WatchdogCounters>,
 }
 
 /// Journal tag for a controller action (`Hold` is the steady-state no-op
@@ -455,6 +494,23 @@ impl MetricsRecorder {
         out.push_str(",\"changed_keys\":");
         json::uint_into(out, snap.sched.changed_keys);
         out.push('}');
+        if let Some(wd) = &snap.watchdog {
+            out.push_str(",\"watchdog\":{\"reprobes\":");
+            json::uint_into(out, wd.reprobes);
+            out.push_str(",\"starved\":");
+            json::uint_into(out, wd.starved);
+            out.push_str(",\"recovery_granted\":");
+            json::number_into(out, wd.recovery_granted);
+            out.push_str(",\"healthy\":");
+            json::uint_into(out, wd.healthy);
+            out.push_str(",\"recovering\":");
+            json::uint_into(out, wd.recovering);
+            out.push_str(",\"suspect\":");
+            json::uint_into(out, wd.suspect);
+            out.push_str(",\"dormant\":");
+            json::uint_into(out, wd.dormant);
+            out.push('}');
+        }
         if let Some(dealt) = snap.dealt {
             let a = &snap.shard.applied;
             out.push_str(",\"scenario\":{\"dealt\":{\"leaves\":");
@@ -471,6 +527,8 @@ impl MetricsRecorder {
             json::uint_into(out, dealt.duplicated_reports as u64);
             out.push_str(",\"delayed_reports\":");
             json::uint_into(out, dealt.delayed_reports as u64);
+            out.push_str(",\"dormant_epochs\":");
+            json::uint_into(out, dealt.dormant_epochs as u64);
             out.push_str("},\"applied\":{\"absent_epochs\":");
             json::uint_into(out, a.absent_epochs.get());
             out.push_str(",\"reboot_steps\":");
@@ -481,6 +539,8 @@ impl MetricsRecorder {
             json::uint_into(out, a.delayed_reports.get());
             out.push_str(",\"duplicated_reports\":");
             json::uint_into(out, a.duplicated_reports.get());
+            out.push_str(",\"dormant_epochs\":");
+            json::uint_into(out, a.dormant_epochs.get());
             out.push_str("}}");
         }
         out.push_str(",\"grants\":{\"count\":");
@@ -644,6 +704,7 @@ mod tests {
             DeviceEvent::ReportDropped,
             DeviceEvent::ReportDelayed,
             DeviceEvent::ReportDuplicated,
+            DeviceEvent::Dormant,
         ] {
             a.record(ev);
         }
@@ -652,6 +713,7 @@ mod tests {
         assert_eq!(a.dropped_reports.get(), 1);
         assert_eq!(a.delayed_reports.get(), 1);
         assert_eq!(a.duplicated_reports.get(), 1);
+        assert_eq!(a.dormant_epochs.get(), 1);
     }
 
     #[test]
@@ -686,6 +748,7 @@ mod tests {
             fft: FftHandleStats::default(),
             sched: SchedStats::default(),
             dealt: None,
+            watchdog: None,
         };
         rec.emit_epoch(&snap);
         let out = rec.buffer().to_string();
@@ -698,8 +761,9 @@ mod tests {
         assert!(lines[1].contains("\"policy\":\"waterfill\""), "{}", lines[1]);
         assert!(lines[1].contains("\"grants\":{\"count\":4"), "{}", lines[1]);
         assert!(lines[1].contains("\"journal\":{\"events\":1,\"dropped\":0}"));
-        // Healthy snapshot: no scenario object at all.
+        // Healthy snapshot: no scenario or watchdog object at all.
         assert!(!lines[1].contains("scenario"), "{}", lines[1]);
+        assert!(!lines[1].contains("watchdog"), "{}", lines[1]);
         assert_eq!(rec.journal_events(), 1);
         assert_eq!(rec.journal_dropped(), 0);
         // The grant window resets after emission.
@@ -720,6 +784,16 @@ mod tests {
             dropped_reports: 4,
             duplicated_reports: 1,
             delayed_reports: 2,
+            dormant_epochs: 6,
+        };
+        let wd = WatchdogCounters {
+            reprobes: 2,
+            starved: 1,
+            recovery_granted: 3.5,
+            healthy: 20,
+            recovering: 4,
+            suspect: 3,
+            dormant: 1,
         };
         let snap = EpochSnapshot {
             policy: "uncapped",
@@ -730,12 +804,19 @@ mod tests {
             fft: FftHandleStats::default(),
             sched: SchedStats::default(),
             dealt: Some(&dealt),
+            watchdog: Some(wd),
         };
         rec.emit_epoch(&snap);
         let out = rec.buffer();
         assert!(out.contains("\"budget\":null"), "{out}");
         assert!(out.contains("\"dealt\":{\"leaves\":2"), "{out}");
+        assert!(out.contains("\"dormant_epochs\":6"), "{out}");
         assert!(out.contains("\"applied\":{\"absent_epochs\":0"), "{out}");
+        assert!(
+            out.contains("\"watchdog\":{\"reprobes\":2,\"starved\":1,\"recovery_granted\":3.5"),
+            "{out}"
+        );
+        assert!(out.contains("\"suspect\":3"), "{out}");
     }
 
     #[test]

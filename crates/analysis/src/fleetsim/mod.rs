@@ -51,14 +51,14 @@ pub mod scheduler;
 use std::thread;
 use std::time::{Duration, Instant};
 use sweetspot_arena::Slab;
-use sweetspot_core::adaptive::{AdaptiveConfig, EpochAction};
+use sweetspot_core::adaptive::{AdaptiveConfig, EpochAction, HealthState};
 use sweetspot_dsp::fft::FftHandleStats;
 use sweetspot_monitor::poller::{EpochScratch, FleetMember};
 use sweetspot_monitor::{CostModel, EpochAccount, EpochLedger};
 use sweetspot_telemetry::{paper_scale_work, scaled_work, FleetConfig, MetricProfile, SignalModel};
 use sweetspot_timeseries::{Hertz, Seconds};
 
-use metrics::{EpochSnapshot, MetricsRecorder, MetricsSummary, ShardMetrics};
+use metrics::{EpochSnapshot, MetricsRecorder, MetricsSummary, ShardMetrics, WatchdogCounters};
 use quality::{DeviceQuality, FleetQuality};
 use scenario::{DeviceEvent, ScenarioCounters, ScenarioEngine, ScenarioSpec, ScenarioStats};
 use scheduler::SchedulerPolicy;
@@ -117,6 +117,17 @@ pub struct FleetSimConfig {
     /// healthy simulation path runs byte-identical to a scenario-free
     /// build.
     pub scenario: ScenarioSpec,
+    /// Fraction of the epoch budget reserved as the watchdog's **recovery
+    /// slice**: each epoch, after the ordinary grants are placed, suspect-
+    /// deadlocked members may be forced into a re-probe above their
+    /// remembered max, drawing at most `frac × budget` of *extra* rate (on
+    /// top of the budget — the slice is the measured price of self-healing,
+    /// and the ledger's `granted` column excludes it so budget invariants
+    /// hold). Re-probes back off exponentially per member and stop after
+    /// [`REPROBE_RETRY_CAP`] attempts. `0.0` — the default — builds no
+    /// watchdog state at all: outputs are bit-identical to a pre-watchdog
+    /// engine.
+    pub recovery_budget_frac: f64,
 }
 
 /// Default total FFT plan-cache budget: 6 GiB across all shards. An
@@ -144,9 +155,19 @@ impl Default for FleetSimConfig {
             verify_every: 1,
             fft_table_budget: Some(FFT_TABLE_BUDGET_DEFAULT),
             scenario: ScenarioSpec::none(),
+            recovery_budget_frac: 0.0,
         }
     }
 }
+
+/// Watchdog re-probe attempts per member before giving up. A member that
+/// keeps classifying suspect after this many elevated probes is either
+/// genuinely calmed (every re-probe verified clean and re-settled low — the
+/// suspicion is structural, not a deadlock) or beyond fleet-side help;
+/// either way the watchdog stops spending on it. With exponential backoff
+/// (`2^retries` epochs between attempts) the per-member lifetime spend is
+/// bounded at a handful of fast epochs.
+pub const REPROBE_RETRY_CAP: u32 = 5;
 
 impl FleetSimConfig {
     fn work(&self) -> Vec<(MetricProfile, usize)> {
@@ -493,22 +514,59 @@ pub fn run_policy_recorded(
     let mut epoch_means: Vec<f64> = Vec::with_capacity(if engine.is_some() { epochs } else { 0 });
     let mut counters = ScenarioCounters::default();
 
+    // Per-member incident phase: staggered and diurnal regimes switch
+    // members individually (the classic one-shot incident is the case where
+    // every member flips at the same two epochs). The onset/exit transitions
+    // also drive each device's recovery clock — baseline coverage before its
+    // first onset, exit epoch, and the first post-exit epoch back at ≥95% of
+    // its own baseline — which the TTR histogram summarizes.
+    let incident_len = if incident.is_some() { n } else { 0 };
+    let mut incident_prev = vec![false; incident_len];
+    let mut ttr_seen_onset = vec![false; incident_len];
+    let mut ttr_base_sum = vec![0.0f64; incident_len];
+    let mut ttr_base_epochs = vec![0usize; incident_len];
+    let mut ttr_exit = vec![usize::MAX; incident_len];
+    let mut ttr: Vec<Option<usize>> = vec![None; incident_len];
+
+    // Watchdog recovery plane. Inert at frac 0: no state is allocated, the
+    // pass never runs, and every output bit matches a pre-watchdog engine.
+    let watchdog_on = cfg.recovery_budget_frac > 0.0;
+    let wd_len = if watchdog_on { n } else { 0 };
+    let mut reprobe_retries = vec![0u32; wd_len];
+    let mut reprobe_due = vec![0usize; wd_len];
+    let mut wd = WatchdogCounters::default();
+
     for epoch in 0..epochs {
         let t_sched = Instant::now();
         if let Some(eng) = &engine {
-            // Regime phase boundary: every member swaps to its other model
-            // (incident onset and recovery both cross here), and the
-            // ground-truth requirement vector swaps with it.
-            if let Some(inc) = &incident {
-                if epoch == inc.start || epoch == inc.end {
-                    for (member, alt) in shards
-                        .iter_mut()
-                        .flat_map(|s| s.members.iter_mut())
-                        .zip(alt_models.iter_mut())
-                    {
+            // Regime phase boundaries, per member: each device swaps to its
+            // other model when *its own* incident activity flips (staggered
+            // and diurnal regimes switch members individually; the one-shot
+            // incident flips the whole fleet at the same two epochs). The
+            // ground-truth requirement swaps element-wise with the model,
+            // and the transitions clock the per-device recovery tracker.
+            if incident.is_some() {
+                for (i, (member, alt)) in shards
+                    .iter_mut()
+                    .flat_map(|s| s.members.iter_mut())
+                    .zip(alt_models.iter_mut())
+                    .enumerate()
+                {
+                    let now = eng.incident_active(epoch, i);
+                    if now != incident_prev[i] {
                         member.swap_model(alt);
+                        std::mem::swap(&mut nyquist[i], &mut alt_nyquist[i]);
+                        incident_prev[i] = now;
+                        if now {
+                            // (Re-)entering the incident: the recovery clock
+                            // restarts from the next exit.
+                            ttr_seen_onset[i] = true;
+                            ttr_exit[i] = usize::MAX;
+                            ttr[i] = None;
+                        } else {
+                            ttr_exit[i] = epoch;
+                        }
                     }
-                    std::mem::swap(&mut nyquist, &mut alt_nyquist);
                 }
             }
             // Deal this epoch's events — serial, pure hashing, so the fault
@@ -557,6 +615,14 @@ pub fn run_policy_recorded(
                         counters.duplicated_reports += 1;
                         Some("report_dup")
                     }
+                    // Scheduled sleep is counted, never journaled — like
+                    // continued absences, it is high-volume steady state
+                    // (a duty cycle naps a fixed fraction of the fleet
+                    // every epoch) and would drown the ring.
+                    DeviceEvent::Dormant => {
+                        counters.dormant_epochs += 1;
+                        None
+                    }
                     DeviceEvent::Healthy => None,
                 };
                 if let (Some(rec), Some(kind)) = (recorder.as_deref_mut(), journal_kind) {
@@ -571,7 +637,14 @@ pub fn run_policy_recorded(
                 .zip(shards.iter().flat_map(|s| s.members.iter()))
                 .enumerate()
             {
-                *r = if active[i] { m.requested_rate().value() } else { 0.0 };
+                // Sleeping devices poll nothing: like absences, they request
+                // 0.0 and release their share — but without the request
+                // decay, so the wake epoch re-requests the full rate.
+                *r = if active[i] && events[i] != DeviceEvent::Dormant {
+                    m.requested_rate().value()
+                } else {
+                    0.0
+                };
             }
         } else {
             for (r, m) in requests
@@ -582,8 +655,70 @@ pub fn run_policy_recorded(
             }
         }
         sched.allocate(&requests, capacity_rate, &mut grants);
+        // Watchdog pass, serial in device order: after the ordinary grants
+        // are placed, force suspect-deadlocked members into a re-probe
+        // above their remembered max, spending at most `frac × budget` of
+        // *extra* rate per epoch — a bounded recovery slice on top of the
+        // budget that can never displace a healthy device's grant. Each
+        // member backs off exponentially between attempts and gives up
+        // after [`REPROBE_RETRY_CAP`]; sleeping and absent members are
+        // never probed. Affordability is peeked before the controller is
+        // committed, so a dry pool perturbs nothing.
+        let mut recovery_rate = 0.0f64;
+        if watchdog_on {
+            let mut pool = cfg.recovery_budget_frac * capacity_rate; // INF stays INF
+            wd.healthy = 0;
+            wd.recovering = 0;
+            wd.suspect = 0;
+            wd.dormant = 0;
+            for (i, member) in shards
+                .iter_mut()
+                .flat_map(|s| s.members.iter_mut())
+                .enumerate()
+            {
+                if engine.is_some() && !active[i] {
+                    continue; // offline: out of the census, never probed
+                }
+                let health = if engine.is_some() && events[i] == DeviceEvent::Dormant {
+                    // The nap is dealt but not yet stepped; the controller's
+                    // own flag still reflects the previous epoch.
+                    HealthState::Dormant
+                } else {
+                    member.sampler().health()
+                };
+                match health {
+                    HealthState::Healthy => wd.healthy += 1,
+                    HealthState::Recovering => wd.recovering += 1,
+                    HealthState::SuspectDeadlocked => wd.suspect += 1,
+                    HealthState::Dormant => wd.dormant += 1,
+                }
+                if health != HealthState::SuspectDeadlocked
+                    || reprobe_retries[i] >= REPROBE_RETRY_CAP
+                    || epoch < reprobe_due[i]
+                {
+                    continue;
+                }
+                let extra = (member.reprobe_rate().value() - grants[i]).max(0.0);
+                if extra > pool {
+                    wd.starved += 1;
+                    continue;
+                }
+                pool -= extra;
+                let target = member.begin_reprobe().value();
+                grants[i] = grants[i].max(target);
+                recovery_rate += extra;
+                wd.reprobes += 1;
+                wd.recovery_granted += extra * epoch_unit;
+                reprobe_retries[i] += 1;
+                reprobe_due[i] = epoch + (1usize << reprobe_retries[i].min(20));
+                if let Some(rec) = recorder.as_deref_mut() {
+                    rec.journal(epoch as u32, i as u32, "reprobe", target);
+                }
+            }
+        }
         if let Some(rec) = recorder.as_deref_mut() {
-            // Grant distribution histogram: fed serially in device order.
+            // Grant distribution histogram: fed serially in device order
+            // (recovery top-ups included — they are real granted rate).
             for &g in &grants {
                 rec.record_grant(g);
             }
@@ -740,7 +875,14 @@ pub fn run_policy_recorded(
         // Ledger: every sum in device index order (deterministic).
         let t_ledger = Instant::now();
         let demanded: f64 = requests.iter().map(|r| r * epoch_unit).sum();
-        let granted: f64 = grants.iter().map(|g| g * epoch_unit).sum();
+        // The recovery slice is spend *on top of* the budget: `granted`
+        // excludes it so the scheduler's budget invariant (granted ≤ budget)
+        // survives the watchdog, while `spent` bills every sample actually
+        // taken — the slice's true cost shows up as spent − granted, and in
+        // the watchdog counters. (Subtracting 0.0 is exact, so zero-frac
+        // runs stay bit-identical.)
+        let granted: f64 =
+            grants.iter().map(|g| g * epoch_unit).sum::<f64>() - recovery_rate * epoch_unit;
         let samples: usize = epoch_samples.iter().sum();
         let throttled_devices = epoch_throttled.iter().filter(|&&t| t).count();
         // Cost asymmetry bills through the ledger only — the schedulers
@@ -767,6 +909,28 @@ pub fn run_policy_recorded(
             // the recovery trajectory the incident analysis reads.
             epoch_means.push(epoch_cov.iter().sum::<f64>() / n.max(1) as f64);
         }
+        if incident.is_some() {
+            // Per-device recovery clock, serial in device order. A device's
+            // baseline is its mean coverage over pre-onset epochs it was
+            // actually awake and present for; after its incident exits, the
+            // first such epoch back at ≥95% of that baseline stamps its
+            // time-to-recover.
+            for i in 0..n {
+                if matches!(events[i], DeviceEvent::Absent | DeviceEvent::Dormant) {
+                    continue;
+                }
+                if !ttr_seen_onset[i] {
+                    ttr_base_sum[i] += epoch_cov[i];
+                    ttr_base_epochs[i] += 1;
+                } else if ttr[i].is_none() && ttr_exit[i] != usize::MAX && ttr_base_epochs[i] > 0
+                {
+                    let threshold = 0.95 * ttr_base_sum[i] / ttr_base_epochs[i] as f64;
+                    if epoch_cov[i] >= threshold {
+                        ttr[i] = Some(epoch - ttr_exit[i]);
+                    }
+                }
+            }
+        }
         timing.schedule += t_ledger.elapsed();
 
         if let Some(rec) = recorder.as_deref_mut() {
@@ -780,6 +944,7 @@ pub fn run_policy_recorded(
                     fft: fft_handle_totals(&shards),
                     sched: sched.stats(),
                     dealt: engine.is_some().then_some(&counters),
+                    watchdog: watchdog_on.then_some(wd),
                 });
             }
         }
@@ -810,6 +975,48 @@ pub fn run_policy_recorded(
     let quality = FleetQuality::from_devices(&device_quality);
     let scenario = engine.as_ref().map(|eng| {
         let (baseline_coverage, time_to_recover) = eng.recovery(&epoch_means);
+        // Per-device recovery quantiles, summarized through an obs
+        // log-bucket histogram fed in device order (the fleet-mean
+        // `time_to_recover` hides the slow tail the p95 exposes).
+        let mut hist = sweetspot_obs::Histogram::log_scale(1.0, (epochs as f64).max(2.0), 32);
+        let mut recovered_devices = 0usize;
+        let mut unrecovered_devices = 0usize;
+        for i in 0..incident_len {
+            if !ttr_seen_onset[i] {
+                continue;
+            }
+            match ttr[i] {
+                Some(e) => {
+                    recovered_devices += 1;
+                    hist.record(e as f64);
+                }
+                None => unrecovered_devices += 1,
+            }
+        }
+        let (ttr_p50, ttr_p95) = if hist.count() > 0 {
+            (Some(hist.quantile(0.50)), Some(hist.quantile(0.95)))
+        } else {
+            (None, None)
+        };
+        // Aliasing-deadlock census: present devices that end the run both
+        // *classified* suspect-deadlocked (settled below their remembered
+        // max with no aliasing alarm — see [`HealthState`]) and *actually*
+        // under-covering their ground-truth requirement. The intersection
+        // excludes the two benign neighbours: a legitimately-calmed signal
+        // below its old ceiling (suspect but covered), and a budget-starved
+        // device whose detector still flaps (under-covered but alarming —
+        // the scheduler's problem, not a deadlock).
+        let deadlocked = shards
+            .iter()
+            .flat_map(|s| s.members.iter())
+            .enumerate()
+            .filter(|(i, m)| {
+                active[*i]
+                    && nyquist[*i] > 0.0
+                    && m.sampler().health() == HealthState::SuspectDeadlocked
+                    && quality::coverage(m.requested_rate(), Hertz(nyquist[*i])) < 0.95
+            })
+            .count();
         ScenarioStats {
             label: scenario_spec.label(),
             seed: scenario_spec.seed,
@@ -817,6 +1024,11 @@ pub fn run_policy_recorded(
             incident: eng.incident(),
             baseline_coverage,
             time_to_recover,
+            ttr_p50,
+            ttr_p95,
+            recovered_devices,
+            unrecovered_devices,
+            deadlocked,
             epoch_mean_coverage: std::mem::take(&mut epoch_means),
         }
     });
@@ -835,6 +1047,7 @@ pub fn run_policy_recorded(
         applied: merged.applied,
         fft: fft_handle_totals(&shards),
         sched: sched.stats(),
+        watchdog: watchdog_on.then_some(wd),
     };
 
     PolicyOutcome {
@@ -894,6 +1107,20 @@ fn step_scenario_member(
             action: None,
             verified: false,
         },
+        DeviceEvent::Dormant => {
+            // Scheduled sleep: no samples, no report, no deferral, and —
+            // unlike an absence — no request decay; the controller merely
+            // notes its state aged and owes a verification on wake.
+            member.note_dormant_epoch();
+            MemberStep {
+                coverage: 0.0,
+                samples: 0,
+                throttled: false,
+                counted: false,
+                action: None,
+                verified: false,
+            }
+        }
         DeviceEvent::ReportDropped => {
             let r = member.note_missed_epoch(start, grant, window);
             MemberStep {
@@ -1209,11 +1436,12 @@ impl FleetFrontier {
             if let Some(stats) = self.points.iter().find_map(|p| p.outcome.scenario.as_ref()) {
                 let c = stats.counters;
                 out.push_str(&format!(
-                    "  events: {} leaves / {} joins / {} reboots, {} absent device-epochs, reports: {} dropped / {} duplicated / {} delayed\n",
+                    "  events: {} leaves / {} joins / {} reboots, {} absent / {} dormant device-epochs, reports: {} dropped / {} duplicated / {} delayed\n",
                     c.leaves,
                     c.joins,
                     c.reboots,
                     c.absent_epochs,
+                    c.dormant_epochs,
                     c.dropped_reports,
                     c.duplicated_reports,
                     c.delayed_reports,
@@ -1256,12 +1484,19 @@ impl FleetFrontier {
                     format!("{:.3e}", o.coverage_per_kilocost()),
                 ];
                 if recover_col {
-                    row.push(
-                        match o.scenario.as_ref().and_then(|s| s.time_to_recover) {
-                            Some(e) => format!("{e} ep"),
-                            None => "never".to_string(),
+                    // p50/p95 of the per-device recovery histogram — the
+                    // fleet-mean single number hid the slow tail.
+                    row.push(match o.scenario.as_ref() {
+                        Some(s) => match (s.ttr_p50, s.ttr_p95) {
+                            (Some(p50), Some(p95)) => format!("{p50:.0}/{p95:.0} ep"),
+                            _ => "never".to_string(),
                         },
-                    );
+                        None => "never".to_string(),
+                    });
+                    row.push(match o.scenario.as_ref() {
+                        Some(s) => s.deadlocked.to_string(),
+                        None => "-".to_string(),
+                    });
                 }
                 row
             })
@@ -1278,7 +1513,8 @@ impl FleetFrontier {
             "cov/kcost",
         ];
         if recover_col {
-            headers.push("recover");
+            headers.push("recover p50/p95");
+            headers.push("deadlocked");
         }
         out.push_str(&crate::report::table(&headers, &rows));
         out.push('\n');
@@ -1377,10 +1613,22 @@ impl FleetFrontier {
                     Some(b) => row.field_num("baseline_coverage", b),
                     None => row.field_null("baseline_coverage"),
                 };
-                match sc.time_to_recover {
-                    Some(e) => row.field_num("time_to_recover_epochs", e as f64),
-                    None => row.field_null("time_to_recover_epochs"),
+                match sc.ttr_p50 {
+                    Some(v) => row.field_num("ttr_p50_epochs", v),
+                    None => row.field_null("ttr_p50_epochs"),
                 };
+                match sc.ttr_p95 {
+                    Some(v) => row.field_num("ttr_p95_epochs", v),
+                    None => row.field_null("ttr_p95_epochs"),
+                };
+                row.field_num("recovered_devices", sc.recovered_devices as f64);
+                row.field_num("unrecovered_devices", sc.unrecovered_devices as f64);
+                row.field_num("deadlocked_devices", sc.deadlocked as f64);
+            }
+            if let Some(wd) = &o.metrics.watchdog {
+                row.field_num("reprobes", wd.reprobes as f64);
+                row.field_num("reprobes_starved", wd.starved as f64);
+                row.field_num("recovery_granted", wd.recovery_granted);
             }
             if devices {
                 let mut per_device = JsonArray::new();
@@ -1418,6 +1666,7 @@ impl FleetFrontier {
             sc.field_num("joins", c.joins as f64);
             sc.field_num("reboots", c.reboots as f64);
             sc.field_num("absent_device_epochs", c.absent_epochs as f64);
+            sc.field_num("dormant_device_epochs", c.dormant_epochs as f64);
             sc.field_num("dropped_reports", c.dropped_reports as f64);
             sc.field_num("duplicated_reports", c.duplicated_reports as f64);
             sc.field_num("delayed_reports", c.delayed_reports as f64);
@@ -1885,10 +2134,103 @@ mod tests {
         let json = f.to_json();
         assert!(json.contains("\"scenario\":{"), "{json}");
         assert!(json.contains("\"label\":\"churn+incident\""), "{json}");
-        assert!(json.contains("time_to_recover_epochs"), "{json}");
+        assert!(json.contains("ttr_p50_epochs"), "{json}");
+        assert!(json.contains("ttr_p95_epochs"), "{json}");
+        assert!(json.contains("deadlocked_devices"), "{json}");
+        assert!(json.contains("\"dormant_device_epochs\""), "{json}");
         // Healthy sweeps stay scenario-free in both renderings.
         let healthy = run_point(&tiny_config(2), 40.0, Some(SchedulerPolicy::WaterFill));
         assert!(!healthy.render().contains("scenario"));
         assert!(!healthy.to_json().contains("scenario"));
+    }
+
+    /// Regression: the post-revert aliasing deadlock. Under a binding budget
+    /// a 3× regime incident throttles probing members hard enough that the
+    /// flat folded spectrum verifies clean and the controller settles at the
+    /// FFT-bin floor — a rate too slow to ever verify again. The device then
+    /// reads "no alarm" forever, through the revert and beyond, despite
+    /// covering a fraction of its requirement. Without the watchdog the
+    /// deadlock census stays positive; with a recovery slice the scheduled
+    /// re-probes above the remembered max clear it within the backoff
+    /// schedule.
+    #[test]
+    fn watchdog_reprobe_escapes_aliasing_deadlock() {
+        let cfg = |frac: f64| FleetSimConfig {
+            scenario: ScenarioSpec {
+                seed: 1,
+                ..ScenarioSpec::incident()
+            },
+            days: 24.0,
+            fleet: FleetConfig {
+                seed: 0xF1EE7,
+                devices_per_metric: 4,
+                trace_duration: Seconds::from_days(1.0),
+            },
+            threads: 2,
+            recovery_budget_frac: frac,
+            ..FleetSimConfig::default()
+        };
+        let budget = 300_000.0;
+        let stuck = run_policy(&cfg(0.0), SchedulerPolicy::WaterFill, budget);
+        let stuck_stats = stuck.scenario.as_ref().expect("scenario stats");
+        assert!(
+            stuck_stats.deadlocked > 0,
+            "the incident must leave devices aliasing-deadlocked without a watchdog"
+        );
+        assert!(stuck.metrics.watchdog.is_none(), "frac 0 builds no watchdog state");
+
+        let healed = run_policy(&cfg(0.25), SchedulerPolicy::WaterFill, budget);
+        let healed_stats = healed.scenario.as_ref().expect("scenario stats");
+        assert_eq!(
+            healed_stats.deadlocked, 0,
+            "watchdog re-probes must clear every deadlocked device"
+        );
+        let wd = healed.metrics.watchdog.expect("watchdog census");
+        assert!(wd.reprobes > 0, "recovery must come from scheduled re-probes");
+        // The recovery slice is bounded: total spend stays within the budget
+        // plus the slice (small slack for integral sample rounding).
+        let cap = budget * (1.0 + 0.25) * healed.epochs as f64;
+        assert!(
+            healed.total_spent() <= cap * 1.01,
+            "spend {} exceeds budget + recovery slice {}",
+            healed.total_spent(),
+            cap
+        );
+    }
+
+    /// The full round-2 chaos mix — churn, a regime incident, duty-cycled
+    /// sleep — with the watchdog on must stay byte-identical across worker
+    /// counts: events are dealt by stateless hashing, the watchdog pass is
+    /// serial in device order, and every aggregation runs in index order.
+    #[test]
+    fn watchdog_and_dormancy_stay_thread_deterministic() {
+        let cfg = |threads: usize| FleetSimConfig {
+            scenario: ScenarioSpec {
+                seed: 11,
+                ..ScenarioSpec::parse("churn+incident+duty").unwrap()
+            },
+            days: 24.0,
+            fleet: FleetConfig {
+                seed: 0xF1EE7,
+                devices_per_metric: 4,
+                trace_duration: Seconds::from_days(1.0),
+            },
+            threads,
+            recovery_budget_frac: 0.25,
+            ..FleetSimConfig::default()
+        };
+        let serial = run_policy(&cfg(1), SchedulerPolicy::WaterFill, 300_000.0);
+        let wd = serial.metrics.watchdog.expect("watchdog census");
+        assert!(wd.reprobes > 0, "the chaos mix must exercise the watchdog");
+        let dealt = serial.scenario.as_ref().unwrap();
+        assert!(dealt.counters.dormant_epochs > 0, "duty cycle must nap devices");
+        for threads in [2, 4] {
+            let parallel = run_policy(&cfg(threads), SchedulerPolicy::WaterFill, 300_000.0);
+            assert_eq!(serial.ledger.accounts(), parallel.ledger.accounts());
+            assert_eq!(serial.device_quality, parallel.device_quality);
+            assert_eq!(serial.quality, parallel.quality);
+            assert_eq!(serial.scenario, parallel.scenario);
+            assert_eq!(serial.metrics, parallel.metrics);
+        }
     }
 }

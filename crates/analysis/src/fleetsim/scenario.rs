@@ -15,6 +15,41 @@
 //! (they request 0.0 and skip their step — the arena slabs and request
 //! lengths never change), and all per-epoch event work is branch + hash
 //! arithmetic, so the zero-allocation steady state survives churn.
+//!
+//! ### Missed vs. dormant epochs
+//!
+//! Two superficially similar silences with opposite semantics:
+//!
+//! * A **missed** epoch ([`DeviceEvent::Absent`] /
+//!   [`DeviceEvent::ReportDropped`]) is a *failure*: the controller expected
+//!   evidence and got none. It counts as deferred, and the controller
+//!   applies hold-and-decay — after `decrease_patience − 1` consecutive
+//!   misses the request decays toward `min_rate`, progressively releasing
+//!   the silent device's budget share.
+//! * A **dormant** epoch ([`DeviceEvent::Dormant`]) is a *scheduled* sleep
+//!   (duty cycle, battery conservation): the device was never expected to
+//!   report. Nothing is deferred and the request does **not** decay — the
+//!   device will want the same rate when it wakes. The controller only
+//!   notes that its state aged: the next awake epoch is forced to run the
+//!   §4.1 verification (a regime change during the nap must not pass
+//!   unchecked), and the health classifier reports
+//!   [`HealthState::Dormant`](sweetspot_core::adaptive::HealthState)
+//!   so a fleet watchdog never schedules re-probes at a sleeping device.
+//!   The deadlock-suspicion quiet streak *holds* across the nap rather
+//!   than resetting — planned silence is not evidence of health, and the
+//!   forced wake-up verification arbitrates — so duty-cycled fleets stay
+//!   watchdog-coverable even when the duty period is shorter than the
+//!   suspicion threshold.
+//!
+//! Dormancy is dealt statelessly like every other event: a per-member duty
+//! phase is hashed from the scenario seed, so `awake ⇔ ((epoch + phase) mod
+//! duty_period) < awake_len`, plus an optional per-epoch hashed sleep draw
+//! (`sleep_prob`) for unscheduled battery blips. Regime incidents generalize
+//! the same way: `incident-period` makes the incident window recur within
+//! every period (diurnal load), and `incident-stagger` splits the fleet
+//! into device-index groups whose windows shift one epoch per group —
+//! device-index grouping, *not* worker shards, so activity stays a pure
+//! function of `(spec, epoch, index)` and thread counts cannot perturb it.
 
 use std::ops::Range;
 
@@ -40,6 +75,11 @@ pub enum DeviceEvent {
     /// The epoch's report reached the collector twice: the samples bill
     /// double, the controller is none the wiser.
     ReportDuplicated,
+    /// Scheduled sleep (duty cycle / battery conservation): no request, no
+    /// samples, no report — and, unlike [`DeviceEvent::Absent`], no
+    /// deferral and no request decay, because the silence was planned (see
+    /// the module docs on missed vs. dormant).
+    Dormant,
 }
 
 /// A fleet scenario: per-epoch event probabilities, a regime incident, and
@@ -67,10 +107,30 @@ pub struct ScenarioSpec {
     /// Regime incident: every tone frequency scales by this factor for the
     /// incident phase (1.0 disables the incident).
     pub incident_factor: f64,
-    /// Incident onset, as a fraction of the simulation horizon.
+    /// Incident onset, as a fraction of the simulation horizon (or of the
+    /// period, when `incident_period > 0`).
     pub incident_start_frac: f64,
-    /// Incident end (recovery onset), as a fraction of the horizon.
+    /// Incident end (recovery onset), as a fraction of the horizon (or of
+    /// the period).
     pub incident_end_frac: f64,
+    /// Recurring incident period in epochs: `0` is the classic one-shot
+    /// mid-study incident; `k > 0` makes the incident window recur within
+    /// every `k`-epoch period (diurnal load).
+    pub incident_period: usize,
+    /// Staggered incidents: split the fleet into this many device-index
+    /// groups, shifting group `g`'s incident window `g` epochs later.
+    /// `0`/`1` means the whole fleet switches simultaneously.
+    pub incident_stagger: usize,
+    /// Duty cycle period in epochs (`0` disables duty cycling): each member
+    /// is awake for `ceil(duty_frac × duty_period)` epochs of every period,
+    /// at a per-member hashed phase.
+    pub duty_period: usize,
+    /// Awake fraction of the duty period (clamped so at least one epoch per
+    /// period is awake).
+    pub duty_frac: f64,
+    /// Per-epoch probability an awake device sleeps anyway (unscheduled
+    /// battery conservation).
+    pub sleep_prob: f64,
     /// Per-device cost asymmetry: device cost factors spread log-uniformly
     /// over `[1/spread, spread]` (1.0 is a uniform fleet). Schedulers stay
     /// cost-naive by design — the ledger records what that naivety costs.
@@ -92,6 +152,11 @@ impl ScenarioSpec {
             incident_factor: 1.0,
             incident_start_frac: 0.25,
             incident_end_frac: 0.625,
+            incident_period: 0,
+            incident_stagger: 0,
+            duty_period: 0,
+            duty_frac: 1.0,
+            sleep_prob: 0.0,
             cost_spread: 1.0,
             seed: 0,
         }
@@ -137,6 +202,48 @@ impl ScenarioSpec {
         }
     }
 
+    /// Duty-cycled reporters: each member sleeps one epoch in four, at a
+    /// hashed per-member phase (the fleet never naps in unison).
+    pub const fn duty() -> ScenarioSpec {
+        ScenarioSpec {
+            duty_period: 4,
+            duty_frac: 0.75,
+            ..ScenarioSpec::none()
+        }
+    }
+
+    /// Battery-constrained reporters: awake half of every six epochs plus
+    /// a 5% per-epoch chance of an unscheduled conservation nap.
+    pub const fn battery() -> ScenarioSpec {
+        ScenarioSpec {
+            duty_period: 6,
+            duty_frac: 0.5,
+            sleep_prob: 0.05,
+            ..ScenarioSpec::none()
+        }
+    }
+
+    /// Diurnal regime: the 3× band-edge incident recurs within every
+    /// 6-epoch period instead of striking once mid-study.
+    pub const fn diurnal() -> ScenarioSpec {
+        ScenarioSpec {
+            incident_factor: 3.0,
+            incident_period: 6,
+            ..ScenarioSpec::none()
+        }
+    }
+
+    /// Staggered incident: the 3× regime switch rolls across four
+    /// device-index groups, one epoch apart, instead of striking the whole
+    /// fleet at once.
+    pub const fn staggered() -> ScenarioSpec {
+        ScenarioSpec {
+            incident_factor: 3.0,
+            incident_stagger: 4,
+            ..ScenarioSpec::none()
+        }
+    }
+
     /// `true` when the scenario can perturb the run at all. The engine is
     /// only constructed for active scenarios, so `--scenario none` keeps
     /// the healthy path bit-identical to a scenario-free build.
@@ -149,6 +256,12 @@ impl ScenarioSpec {
             || self.delay_prob > 0.0
             || self.has_incident()
             || self.cost_spread != 1.0
+            || self.has_dormancy()
+    }
+
+    /// `true` when the scenario can put devices to scheduled sleep.
+    pub fn has_dormancy(&self) -> bool {
+        self.duty_period > 0 || self.sleep_prob > 0.0
     }
 
     /// `true` when a regime incident is configured.
@@ -163,10 +276,16 @@ impl ScenarioSpec {
             parts.push("churn");
         }
         if self.has_incident() {
-            parts.push("incident");
+            parts.push(if self.incident_period > 0 { "diurnal" } else { "incident" });
+            if self.incident_stagger > 1 {
+                parts.push("staggered");
+            }
         }
         if self.drop_prob > 0.0 || self.dup_prob > 0.0 || self.delay_prob > 0.0 {
             parts.push("lossy-reports");
+        }
+        if self.has_dormancy() {
+            parts.push(if self.sleep_prob > 0.0 { "battery" } else { "duty" });
         }
         if self.cost_spread != 1.0 {
             parts.push("cost-skew");
@@ -178,16 +297,24 @@ impl ScenarioSpec {
         }
     }
 
+    /// Valid preset names, for diagnostics.
+    pub const PRESETS: &'static str =
+        "none, churn, incident, lossy-reports, cost-skew, duty, battery, diurnal, staggered";
+
+    /// Valid `key=value` override keys, for diagnostics.
+    pub const KEYS: &'static str = "leave, join, reboot, drop, dup, delay, sleep, \
+         duty-period, duty-frac, incident, incident-start, incident-end, \
+         incident-period, incident-stagger, cost-spread";
+
     /// Parses a `--scenario` argument: `+`-separated terms, each either a
-    /// preset name (`none`, `churn`, `incident`, `lossy-reports`/`lossy`,
-    /// `cost-skew`) or a `key=value` override (`leave`, `join`, `reboot`,
-    /// `drop`, `dup`, `delay`, `incident` (the factor), `incident-start`,
-    /// `incident-end`, `cost-spread`). Terms apply left to right onto the
-    /// healthy scenario. The seed is *not* part of the string — set it via
-    /// `--scenario-seed` / the field.
+    /// preset name ([`ScenarioSpec::PRESETS`]) or a `key=value` override
+    /// ([`ScenarioSpec::KEYS`]; `incident` is the regime factor). Terms
+    /// apply left to right onto the healthy scenario. The seed is *not*
+    /// part of the string — set it via `--scenario-seed` / the field.
     ///
     /// # Errors
-    /// A human-readable message naming the offending term.
+    /// A human-readable message naming the offending term and listing the
+    /// valid presets and keys.
     pub fn parse(s: &str) -> Result<ScenarioSpec, String> {
         let mut spec = ScenarioSpec::none();
         for term in s.split('+') {
@@ -198,27 +325,56 @@ impl ScenarioSpec {
                 "incident" => spec.merge(&ScenarioSpec::incident()),
                 "lossy-reports" | "lossy" => spec.merge(&ScenarioSpec::lossy_reports()),
                 "cost-skew" => spec.merge(&ScenarioSpec::cost_skew()),
+                "duty" => spec.merge(&ScenarioSpec::duty()),
+                "battery" => spec.merge(&ScenarioSpec::battery()),
+                "diurnal" => spec.merge(&ScenarioSpec::diurnal()),
+                "staggered" => spec.merge(&ScenarioSpec::staggered()),
                 _ => {
-                    let (key, value) = term
-                        .split_once('=')
-                        .ok_or_else(|| format!("unknown scenario term '{term}'"))?;
+                    let (key, value) = term.split_once('=').ok_or_else(|| {
+                        format!(
+                            "unknown scenario term '{term}' — presets: {}; \
+                             key=value overrides: {}",
+                            Self::PRESETS,
+                            Self::KEYS
+                        )
+                    })?;
                     let v: f64 = value
                         .parse()
                         .map_err(|_| format!("scenario term '{term}': bad number '{value}'"))?;
-                    let field = match key {
-                        "leave" => &mut spec.leave_prob,
-                        "join" => &mut spec.join_prob,
-                        "reboot" => &mut spec.reboot_prob,
-                        "drop" => &mut spec.drop_prob,
-                        "dup" => &mut spec.dup_prob,
-                        "delay" => &mut spec.delay_prob,
-                        "incident" => &mut spec.incident_factor,
-                        "incident-start" => &mut spec.incident_start_frac,
-                        "incident-end" => &mut spec.incident_end_frac,
-                        "cost-spread" => &mut spec.cost_spread,
-                        _ => return Err(format!("unknown scenario key '{key}'")),
+                    let whole = |v: f64| -> Result<usize, String> {
+                        if v < 0.0 || v.fract() != 0.0 {
+                            Err(format!(
+                                "scenario term '{term}': '{value}' must be a whole number of epochs"
+                            ))
+                        } else {
+                            Ok(v as usize)
+                        }
                     };
-                    *field = v;
+                    match key {
+                        "leave" => spec.leave_prob = v,
+                        "join" => spec.join_prob = v,
+                        "reboot" => spec.reboot_prob = v,
+                        "drop" => spec.drop_prob = v,
+                        "dup" => spec.dup_prob = v,
+                        "delay" => spec.delay_prob = v,
+                        "sleep" => spec.sleep_prob = v,
+                        "duty-frac" => spec.duty_frac = v,
+                        "duty-period" => spec.duty_period = whole(v)?,
+                        "incident" => spec.incident_factor = v,
+                        "incident-start" => spec.incident_start_frac = v,
+                        "incident-end" => spec.incident_end_frac = v,
+                        "incident-period" => spec.incident_period = whole(v)?,
+                        "incident-stagger" => spec.incident_stagger = whole(v)?,
+                        "cost-spread" => spec.cost_spread = v,
+                        _ => {
+                            return Err(format!(
+                                "unknown scenario key '{key}' in term '{term}' — \
+                                 valid keys: {}; presets: {}",
+                                Self::KEYS,
+                                Self::PRESETS
+                            ))
+                        }
+                    }
                 }
             }
         }
@@ -247,6 +403,11 @@ impl ScenarioSpec {
         take!(incident_factor);
         take!(incident_start_frac);
         take!(incident_end_frac);
+        take!(incident_period);
+        take!(incident_stagger);
+        take!(duty_period);
+        take!(duty_frac);
+        take!(sleep_prob);
         take!(cost_spread);
     }
 
@@ -258,6 +419,7 @@ impl ScenarioSpec {
             ("drop", self.drop_prob),
             ("dup", self.dup_prob),
             ("delay", self.delay_prob),
+            ("sleep", self.sleep_prob),
         ] {
             if !(0.0..=1.0).contains(&p) {
                 return Err(format!("scenario {name} probability {p} outside [0, 1]"));
@@ -284,6 +446,12 @@ impl ScenarioSpec {
                 self.cost_spread
             ));
         }
+        if !(0.0..=1.0).contains(&self.duty_frac) {
+            return Err(format!(
+                "scenario duty-frac {} outside [0, 1]",
+                self.duty_frac
+            ));
+        }
         Ok(())
     }
 }
@@ -302,6 +470,8 @@ const SALT_DROP: u64 = 0xD209_0004;
 const SALT_DUP: u64 = 0xD4B1_0005;
 const SALT_DELAY: u64 = 0xDE1A_0006;
 const SALT_COST: u64 = 0xC057_0007;
+const SALT_SLEEP: u64 = 0x51EE_0008;
+const SALT_DUTY: u64 = 0xD077_0009;
 
 /// SplitMix64 finalizer over `(seed, salt, epoch, index)` — the same mixer
 /// trace synthesis uses, so nearby epochs/devices share nothing.
@@ -338,6 +508,8 @@ pub struct ScenarioCounters {
     pub duplicated_reports: usize,
     /// Reports that arrived too late to adapt on.
     pub delayed_reports: usize,
+    /// Device-epochs spent in scheduled sleep (duty cycle / battery).
+    pub dormant_epochs: usize,
 }
 
 /// What a scenario did to one policy run, for reporting.
@@ -356,8 +528,27 @@ pub struct ScenarioStats {
     pub baseline_coverage: Option<f64>,
     /// Epochs after the incident ends until fleet mean coverage regains
     /// 95% of the pre-incident baseline. `None` if it never recovers
-    /// within the run (or there is no incident/baseline).
+    /// within the run (or there is no incident/baseline). The *fleet-mean*
+    /// view; the reported recovery quantiles come from the per-device
+    /// histogram below.
     pub time_to_recover: Option<usize>,
+    /// Median per-device time-to-recover: epochs after a device's own
+    /// incident exit until its coverage regains 95% of its pre-incident
+    /// baseline, measured per device and summarized from an obs log-bucket
+    /// histogram. `None` when no device recovered (or no incident).
+    pub ttr_p50: Option<f64>,
+    /// 95th-percentile per-device time-to-recover (the slow tail the fleet
+    /// mean hides).
+    pub ttr_p95: Option<f64>,
+    /// Devices that saw an incident and regained their baseline in the run.
+    pub recovered_devices: usize,
+    /// Devices that saw an incident and never regained their baseline.
+    pub unrecovered_devices: usize,
+    /// Devices whose final request under-covers their ground-truth Nyquist
+    /// requirement (coverage < 95%) at the end of the run — the aliasing
+    /// deadlock census. Only meaningful under uncapped/ample budgets, where
+    /// nothing but the controller itself limits the rate.
+    pub deadlocked: usize,
     /// Fleet mean coverage per epoch (absent devices score 0) — the
     /// degradation/recovery trajectory the incident analysis reads.
     pub epoch_mean_coverage: Vec<f64>,
@@ -373,11 +564,18 @@ pub struct ScenarioEngine {
 }
 
 impl ScenarioEngine {
-    /// Builds the engine for a run of `epochs` lockstep epochs.
+    /// Builds the engine for a run of `epochs` lockstep epochs. With
+    /// `incident_period > 0` the window fractions resolve against the
+    /// period instead of the horizon (the window then recurs every period).
     pub fn new(spec: ScenarioSpec, epochs: usize) -> ScenarioEngine {
         let incident = spec.has_incident().then(|| {
-            let start = (spec.incident_start_frac * epochs as f64).floor() as usize;
-            let end = ((spec.incident_end_frac * epochs as f64).ceil() as usize).min(epochs);
+            let span = if spec.incident_period > 0 {
+                spec.incident_period
+            } else {
+                epochs
+            };
+            let start = (spec.incident_start_frac * span as f64).floor() as usize;
+            let end = ((spec.incident_end_frac * span as f64).ceil() as usize).min(span);
             start..end.max(start)
         });
         ScenarioEngine { spec, incident }
@@ -388,9 +586,47 @@ impl ScenarioEngine {
         &self.spec
     }
 
-    /// Incident phase as an epoch range, when one is configured.
+    /// Incident phase as an epoch range, when one is configured. For
+    /// recurring incidents this is the window within each period; for
+    /// staggered incidents it is group 0's window (group `g` shifts `g`
+    /// epochs later) — per-device truth lives in
+    /// [`ScenarioEngine::incident_active`].
     pub fn incident(&self) -> Option<Range<usize>> {
         self.incident.clone()
+    }
+
+    /// Whether device `index`'s signal runs in the incident regime during
+    /// `epoch`. Pure in `(spec, epoch, index)`: stagger groups come from
+    /// the device index (never from worker shards), so activity is
+    /// identical for every thread count.
+    pub fn incident_active(&self, epoch: usize, index: usize) -> bool {
+        let Some(win) = &self.incident else {
+            return false;
+        };
+        let groups = self.spec.incident_stagger.max(1);
+        let Some(e) = epoch.checked_sub(index % groups) else {
+            return false;
+        };
+        if self.spec.incident_period > 0 {
+            win.contains(&(e % self.spec.incident_period))
+        } else {
+            win.contains(&e)
+        }
+    }
+
+    /// Whether device `index` is scheduled asleep for `epoch` by its duty
+    /// cycle (phase hashed per member so the fleet never naps in unison).
+    fn duty_asleep(&self, epoch: u64, index: u64) -> bool {
+        let period = self.spec.duty_period as u64;
+        if period == 0 {
+            return false;
+        }
+        let awake = ((self.spec.duty_frac * period as f64).ceil() as u64).clamp(1, period);
+        if awake == period {
+            return false;
+        }
+        let phase = mix(self.spec.seed, SALT_DUTY, 0, index) % period;
+        (epoch + phase) % period >= awake
     }
 
     /// Deals device `index` its event for `epoch`, given whether it is
@@ -407,6 +643,14 @@ impl ScenarioEngine {
             } else {
                 DeviceEvent::Absent
             };
+        }
+        // Scheduled sleep trumps everything an awake device could do: a
+        // sleeping device cannot drop or delay a report it never sends.
+        if self.duty_asleep(e, i) {
+            return DeviceEvent::Dormant;
+        }
+        if s.sleep_prob > 0.0 && unit(s.seed, SALT_SLEEP, e, i) < s.sleep_prob {
+            return DeviceEvent::Dormant;
         }
         if s.leave_prob > 0.0 && unit(s.seed, SALT_LEAVE, e, i) < s.leave_prob {
             return DeviceEvent::Absent;
@@ -603,6 +847,117 @@ mod tests {
         assert!(eng.cost_factors(0).is_some());
         let uniform = ScenarioEngine::new(ScenarioSpec::churn(), 10);
         assert!(uniform.cost_factors(500).is_none());
+    }
+
+    #[test]
+    fn parse_errors_name_the_token_and_list_the_vocabulary() {
+        let err = ScenarioSpec::parse("churn+blizzard").unwrap_err();
+        assert!(err.contains("blizzard"), "{err}");
+        assert!(err.contains("cost-skew"), "must list presets: {err}");
+        assert!(err.contains("duty-period"), "must list keys: {err}");
+        let err = ScenarioSpec::parse("sleet=0.1").unwrap_err();
+        assert!(err.contains("sleet"), "{err}");
+        assert!(err.contains("incident-stagger"), "must list keys: {err}");
+        let err = ScenarioSpec::parse("duty-period=1.5").unwrap_err();
+        assert!(err.contains("whole number"), "{err}");
+    }
+
+    #[test]
+    fn duty_cycle_sleeps_the_configured_fraction_at_hashed_phases() {
+        let spec = ScenarioSpec {
+            seed: 9,
+            ..ScenarioSpec::duty()
+        };
+        let eng = ScenarioEngine::new(spec, 64);
+        let devices = 64;
+        // Every member sleeps exactly 1 epoch in 4 (period 4, frac 0.75) …
+        for i in 0..devices {
+            let dormant: Vec<usize> = (0..64)
+                .filter(|&e| eng.deal(e, i, true) == DeviceEvent::Dormant)
+                .collect();
+            assert_eq!(dormant.len(), 16, "device {i}: {dormant:?}");
+            for w in dormant.windows(2) {
+                assert_eq!(w[1] - w[0], 4, "sleep must recur every period");
+            }
+        }
+        // … but not all at the same epoch: phases are hashed per member.
+        let asleep_at_0 = (0..devices)
+            .filter(|&i| eng.deal(0, i, true) == DeviceEvent::Dormant)
+            .count();
+        assert!(
+            asleep_at_0 > 0 && asleep_at_0 < devices,
+            "phases must scatter the naps, {asleep_at_0}/{devices} slept at once"
+        );
+    }
+
+    #[test]
+    fn battery_adds_unscheduled_sleep_on_top_of_the_duty_cycle() {
+        let spec = ScenarioSpec {
+            seed: 21,
+            ..ScenarioSpec::battery()
+        };
+        let eng = ScenarioEngine::new(spec, 600);
+        let mut dormant = 0usize;
+        let mut total = 0usize;
+        for epoch in 0..600 {
+            for index in 0..20 {
+                total += 1;
+                if eng.deal(epoch, index, true) == DeviceEvent::Dormant {
+                    dormant += 1;
+                }
+            }
+        }
+        // Scheduled half plus ~5% of the awake half ⇒ ~52.5%.
+        let rate = dormant as f64 / total as f64;
+        assert!((0.48..0.58).contains(&rate), "dormant rate {rate}");
+    }
+
+    #[test]
+    fn diurnal_incident_recurs_every_period() {
+        let eng = ScenarioEngine::new(ScenarioSpec::diurnal(), 24);
+        // Period 6, fracs (0.25, 0.625) ⇒ active at offsets 1, 2, 3.
+        assert_eq!(eng.incident(), Some(1..4));
+        for epoch in 0..24 {
+            let expect = (1..4).contains(&(epoch % 6));
+            assert_eq!(eng.incident_active(epoch, 0), expect, "epoch {epoch}");
+        }
+    }
+
+    #[test]
+    fn staggered_incident_shifts_one_epoch_per_device_group() {
+        let eng = ScenarioEngine::new(ScenarioSpec::staggered(), 16);
+        let base = eng.incident().expect("incident configured");
+        assert_eq!(base, 4..10);
+        for index in 0..8 {
+            let group = index % 4;
+            for epoch in 0..16 {
+                let expect = epoch >= group
+                    && base.contains(&(epoch - group));
+                assert_eq!(
+                    eng.incident_active(epoch, index),
+                    expect,
+                    "device {index} epoch {epoch}"
+                );
+            }
+        }
+        // The non-staggered engine switches the whole fleet at once.
+        let bulk = ScenarioEngine::new(ScenarioSpec::incident(), 16);
+        for epoch in 0..16 {
+            assert_eq!(
+                bulk.incident_active(epoch, 0),
+                bulk.incident_active(epoch, 7),
+            );
+            assert_eq!(bulk.incident_active(epoch, 0), (4..10).contains(&epoch));
+        }
+    }
+
+    #[test]
+    fn new_preset_labels_round_trip_through_parse() {
+        for s in ["duty", "battery", "diurnal", "incident+staggered"] {
+            let spec = ScenarioSpec::parse(s).unwrap();
+            assert_eq!(spec.label(), s, "label must canonicalize {s}");
+            assert_eq!(ScenarioSpec::parse(&spec.label()).unwrap(), spec);
+        }
     }
 
     #[test]

@@ -187,6 +187,7 @@ impl Fleet {
                     fft,
                     sched: self.sched.stats(),
                     dealt: None,
+                    watchdog: None,
                 };
                 assert!(rec.should_emit(epoch, epochs));
                 rec.emit_epoch(&snap);

@@ -8,8 +8,9 @@
 //! threaded so the numbers track engine work, not thread scaling. The
 //! `waterfill_20k_2ep` row exercises the scaled 2×10⁴-pair fleet end to
 //! end (its `_metrics` twin re-runs it with the full `--metrics-out`
-//! recorder attached — the pair pins the ≤2% observability-overhead
-//! budget), and the `sched_100k_*` rows isolate the scheduler at 10⁵
+//! recorder attached, and its `_watchdog` twin with the recovery slice
+//! armed — each pair pins a ≤2% overhead budget), and the `sched_100k_*`
+//! rows isolate the scheduler at 10⁵
 //! requests:
 //! incremental order maintenance (steady fleet, ~1% churn) against the
 //! from-scratch re-sort reference.
@@ -105,6 +106,22 @@ fn bench(c: &mut Criterion) {
     c.bench_function("fleet_adaptive/scenario_churn_20k", |b| {
         b.iter(|| {
             let out = fleetsim::run_policy(&churned, SchedulerPolicy::WaterFill, 200_000.0);
+            black_box(out.quality.mean_coverage)
+        })
+    });
+
+    // The watchdog twin of the healthy 20k row: recovery slice armed at 10%
+    // of capacity. On a healthy fleet the watchdog pass degenerates to a
+    // serial health-census sweep (no suspects, no re-probes), so the delta
+    // between this row and `waterfill_20k_2ep` is the pure per-epoch cost of
+    // arming `--recovery-budget-frac` — and it must stay ≤2%.
+    let watched = FleetSimConfig {
+        recovery_budget_frac: 0.1,
+        ..large
+    };
+    c.bench_function("fleet_adaptive/waterfill_20k_2ep_watchdog", |b| {
+        b.iter(|| {
+            let out = fleetsim::run_policy(&watched, SchedulerPolicy::WaterFill, 200_000.0);
             black_box(out.quality.mean_coverage)
         })
     });

@@ -91,6 +91,16 @@ const MIN_EPOCH_SAMPLES: usize = 64;
 /// precondition). Lockstep epochs below this skip verification.
 const MIN_DETECT_SAMPLES: usize = 16;
 
+/// Consecutive settled epochs without an aliasing alarm below the
+/// remembered maximum before the controller is classified
+/// [`HealthState::SuspectDeadlocked`]. "Without an alarm" covers both a
+/// verified-clean §4.1 verdict *and* an epoch too slow to verify at all
+/// (fewer than [`MIN_EPOCH_SAMPLES`] samples in the window): a controller
+/// that cannot even check itself is silent, not healthy. Small by design
+/// (the KISS principle: the signal must stay cheap) — a fleet watchdog
+/// rate-limits what it does about the suspicion, not the suspicion itself.
+pub const SUSPECT_QUIET_EPOCHS: usize = 3;
+
 /// Controller mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Mode {
@@ -98,6 +108,39 @@ pub enum Mode {
     Probe,
     /// Tracking `headroom × estimated Nyquist`.
     Steady,
+}
+
+/// Coarse per-member health, derived entirely from state the controller
+/// already keeps — no extra sampling, no extra estimator runs (the KISS
+/// health-signal principle: cheap enough to read for every member every
+/// epoch).
+///
+/// The interesting state is [`HealthState::SuspectDeadlocked`]: a settled
+/// controller whose request sits *below* its remembered maximum after
+/// [`SUSPECT_QUIET_EPOCHS`] consecutive epochs without an aliasing alarm —
+/// verified clean, or too slow to verify at all. That is exactly the
+/// signature of the post-incident aliasing deadlock — folded tones landed
+/// in-band (in the terminal form, a flat folded spectrum floors the
+/// estimate so low the detector can never run again), the §4.1 machinery
+/// raises no alarm forever, and the device under-samples until something
+/// external re-probes it. Suspicion is
+/// deliberately over-inclusive (any device that settled back down after a
+/// regime revert matches); a fleet watchdog disambiguates by *scheduling a
+/// bounded re-probe*, which either re-settles at the same rate (suspicion
+/// retired cheaply) or recovers the lost band.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Settled, verified, nothing to explain.
+    Healthy,
+    /// Probing / re-ramping, or reports currently missing — the controller
+    /// is already doing the right thing; a watchdog should wait.
+    Recovering,
+    /// Settled below the remembered maximum with a clean verification
+    /// streak: possibly aliasing-deadlocked (see type docs).
+    SuspectDeadlocked,
+    /// The device's last epoch was a scheduled sleep (duty cycle / battery
+    /// conservation), not a failure.
+    Dormant,
 }
 
 /// Controller configuration.
@@ -281,6 +324,19 @@ pub struct AdaptiveSampler {
     /// Lifetime count of wholly missed epochs (never reset — per-device
     /// observability for the fleet's `--json-devices` records).
     missed_epochs: usize,
+    /// Consecutive settled epochs the §4.1 detector verified clean (reset by
+    /// aliasing, probing, a missed epoch, dormancy, or reboot). Feeds the
+    /// [`HealthState::SuspectDeadlocked`] classification; never consulted by
+    /// the adaptation decision tree.
+    quiet_streak: usize,
+    /// The last epoch was a scheduled sleep ([`Self::note_dormant_epoch`]);
+    /// cleared by any real step, miss, or reboot.
+    dormant: bool,
+    /// Lifetime count of dormant (scheduled-sleep) epochs, never reset.
+    dormant_epochs: usize,
+    /// Lifetime count of watchdog-forced re-probes ([`Self::begin_reprobe`]),
+    /// never reset.
+    reprobes: usize,
     /// Working storage for the owned-scratch API; stays empty when every
     /// epoch runs through [`AdaptiveSampler::step_granted_scratch`].
     scratch: SamplerScratch,
@@ -336,6 +392,10 @@ impl AdaptiveSampler {
             since_verify: 0,
             missed_streak: 0,
             missed_epochs: 0,
+            quiet_streak: 0,
+            dormant: false,
+            dormant_epochs: 0,
+            reprobes: 0,
             scratch: SamplerScratch::new(),
         }
     }
@@ -384,6 +444,103 @@ impl AdaptiveSampler {
     /// [`missed_streak`](Self::missed_streak), never reset).
     pub fn missed_epochs(&self) -> usize {
         self.missed_epochs
+    }
+
+    /// Consecutive settled epochs the §4.1 detector verified clean (see the
+    /// [`HealthState`] docs for what the streak feeds).
+    pub fn quiet_streak(&self) -> usize {
+        self.quiet_streak
+    }
+
+    /// Lifetime count of dormant (scheduled-sleep) epochs, never reset.
+    pub fn dormant_epochs(&self) -> usize {
+        self.dormant_epochs
+    }
+
+    /// Lifetime count of watchdog-forced re-probes, never reset.
+    pub fn reprobes(&self) -> usize {
+        self.reprobes
+    }
+
+    /// Classifies the controller's health from state it already keeps —
+    /// O(1), no sampling, no estimator work. See [`HealthState`].
+    pub fn health(&self) -> HealthState {
+        if self.dormant {
+            return HealthState::Dormant;
+        }
+        if self.missed_streak > 0 || (self.mode == Mode::Probe && self.epoch_index > 0) {
+            return HealthState::Recovering;
+        }
+        let below_memory = self
+            .remembered_max
+            .is_some_and(|m| self.rate.value() < m.value() * (1.0 - 1e-9));
+        if self.mode == Mode::Steady && below_memory && self.quiet_streak >= SUSPECT_QUIET_EPOCHS {
+            return HealthState::SuspectDeadlocked;
+        }
+        HealthState::Healthy
+    }
+
+    /// The rate [`Self::begin_reprobe`] would request, without mutating
+    /// anything — the watchdog's affordability peek, so admission control
+    /// can price a re-probe against its recovery pool *before* committing
+    /// the controller to it.
+    pub fn reprobe_rate(&self) -> Hertz {
+        let remembered = self
+            .remembered_max
+            .map_or(self.rate.value(), |m| m.value() * self.config.headroom);
+        Hertz(
+            remembered
+                .max(self.rate.value())
+                .clamp(self.config.min_rate.value(), self.config.max_rate.value()),
+        )
+    }
+
+    /// Forces the controller into a watchdog-scheduled re-probe **above**
+    /// its remembered maximum: the next epoch runs in probe mode at
+    /// `headroom × remembered max` (clamped), with verification due
+    /// immediately. This is the fleet-side escape hatch for the aliasing
+    /// deadlock the §4.1 detector cannot see: folded tones that land
+    /// in-band verify clean at the wrong low rate, and only sampling above
+    /// the old requirement can tell a genuinely-calmed signal from a folded
+    /// one. One clean epoch at the elevated rate re-settles through the
+    /// ordinary [`EpochAction::Settle`] machinery (suspicion retired at the
+    /// cost of a single fast epoch); a still-aliased verdict escalates up
+    /// the normal probe ladder.
+    ///
+    /// Returns the rate the re-probe will request, so a budget-admission
+    /// layer can account for it. Deliberately does **not** touch the
+    /// remembered maximum, deferral counters, or the epoch index — the
+    /// re-probe is an ordinary epoch once granted.
+    pub fn begin_reprobe(&mut self) -> Hertz {
+        let target = self.reprobe_rate();
+        self.mode = Mode::Probe;
+        self.rate = target;
+        self.low_streak = 0;
+        self.quiet_streak = 0;
+        self.since_verify = 0;
+        self.reprobes += 1;
+        target
+    }
+
+    /// Records a **scheduled** sleep epoch (duty cycle, battery
+    /// conservation): the device was never expected to report, so —
+    /// unlike [`Self::note_missed_epoch`] — nothing is deferred, the
+    /// request does **not** decay, and the missed streak is untouched.
+    /// The controller merely notes that its state aged one epoch: the
+    /// quiet streak resets (no verification happened) and the next real
+    /// epoch is forced to verify, because a regime change during the nap
+    /// must not pass unchecked.
+    pub fn note_dormant_epoch(&mut self) {
+        self.dormant = true;
+        self.dormant_epochs += 1;
+        // The quiet streak *holds* through a scheduled nap: planned silence
+        // is neither evidence of health nor an alarm, and the forced
+        // verification on wake-up arbitrates — a clean wake extends the
+        // streak, an aliased one breaks it. Resetting here would make a
+        // duty-cycled fleet structurally immune to deadlock suspicion (the
+        // streak could never span a period shorter than the threshold).
+        self.since_verify = self.config.verify_every.max(1);
+        self.epoch_index += 1;
     }
 
     /// Plan-request counts of this controller's FFT planner handle (its
@@ -483,6 +640,8 @@ impl AdaptiveSampler {
         self.missed_streak += 1;
         self.missed_epochs += 1;
         self.low_streak = 0;
+        self.quiet_streak = 0;
+        self.dormant = false;
         let next = if self.missed_streak >= self.config.decrease_patience.max(1) {
             Hertz(
                 (requested.value() / self.config.probe_multiplier)
@@ -553,6 +712,7 @@ impl AdaptiveSampler {
                 ((requested.value() - primary.value()) * window.value()).round() as usize;
         }
         self.missed_streak = 0;
+        self.dormant = false;
         self.since_verify = self.config.verify_every.max(1);
         let report = EpochReport {
             index: self.epoch_index,
@@ -593,6 +753,8 @@ impl AdaptiveSampler {
         self.low_streak = 0;
         self.since_verify = 0;
         self.missed_streak = 0;
+        self.quiet_streak = 0;
+        self.dormant = false;
     }
 
     /// Epoch body through the sampler's own scratch (the borrow dance is
@@ -827,6 +989,19 @@ impl AdaptiveSampler {
         if force_verify_next {
             self.since_verify = cadence;
         }
+        // Health bookkeeping (observation only — nothing above consults it):
+        // a settled epoch extends the quiet streak when it verified clean
+        // *or* when it was too slow to produce evidence at all — a rate so
+        // low the estimator cannot run is the deadlock's terminal form, and
+        // silence must read as suspicious, not exculpatory. Aliasing or a
+        // probing epoch breaks the streak; a settled epoch whose verification
+        // was merely not due (estimator still watching) holds it.
+        if aliased || mode_now == Mode::Probe {
+            self.quiet_streak = 0;
+        } else if verified || !estimator_trusted {
+            self.quiet_streak += 1;
+        }
+        self.dormant = false;
         // This epoch's report arrived: the device is reporting again.
         self.missed_streak = 0;
         self.rate = next;
@@ -1440,6 +1615,138 @@ mod tests {
         assert_eq!(r.next_rate, settled, "late evidence must hold the request");
         assert_eq!(ctl.deferred_epochs(), deferred + 1);
         assert_eq!(ctl.missed_streak(), 0, "an arriving report resets the missed streak");
+    }
+
+    #[test]
+    fn health_classifier_tracks_the_controller_lifecycle() {
+        let edge = 0.5;
+        let mut source = FunctionSource::new(band_signal(edge));
+        let mut ctl = AdaptiveSampler::new(config(0.3, 2000.0));
+        let window = Seconds(2000.0);
+        let mut t = Seconds::ZERO;
+        // Probing epochs classify as Recovering (after the first step).
+        let r = ctl.step_granted(&mut source, t, ctl.requested_rate(), window);
+        t = t + r.duration;
+        if ctl.mode() == Mode::Probe {
+            assert_eq!(ctl.health(), HealthState::Recovering);
+        }
+        // Settle and run a clean streak: with the request at or above the
+        // remembered max (headroom > 1), the controller is Healthy.
+        for _ in 0..10 {
+            let r = ctl.step_granted(&mut source, t, ctl.requested_rate(), window);
+            t = t + r.duration;
+        }
+        assert_eq!(ctl.mode(), Mode::Steady);
+        assert!(ctl.quiet_streak() >= SUSPECT_QUIET_EPOCHS);
+        assert_eq!(ctl.health(), HealthState::Healthy);
+        // A missed epoch flips to Recovering and breaks the quiet streak.
+        ctl.note_missed_epoch(t, ctl.requested_rate(), window);
+        t = t + window;
+        assert_eq!(ctl.health(), HealthState::Recovering);
+        assert_eq!(ctl.quiet_streak(), 0);
+        // A dormant epoch reports Dormant until the next real step.
+        ctl.note_dormant_epoch();
+        assert_eq!(ctl.health(), HealthState::Dormant);
+        assert_eq!(ctl.dormant_epochs(), 1);
+        let r = ctl.step_granted(&mut source, t, ctl.requested_rate(), window);
+        t = t + r.duration;
+        assert_ne!(ctl.health(), HealthState::Dormant);
+        let _ = t;
+    }
+
+    #[test]
+    fn settled_below_memory_is_suspect_and_reprobe_retires_it() {
+        // Settle on a two-tone signal, then drop the high tone: the
+        // controller legitimately cuts to the lower requirement, but its
+        // request is now below the remembered max with clean verification —
+        // the SuspectDeadlocked signature (over-inclusive by design). A
+        // forced re-probe runs one epoch above the old requirement and
+        // re-settles, retiring the suspicion.
+        let mut source = FunctionSource::new(|t: f64| {
+            let base = (2.0 * PI * 0.01 * t).sin();
+            if t < 60_000.0 {
+                base + 0.8 * (2.0 * PI * 0.45 * t).sin()
+            } else {
+                base
+            }
+        });
+        let mut ctl = AdaptiveSampler::new(config(0.3, 4000.0));
+        let window = Seconds(4000.0);
+        let mut t = Seconds::ZERO;
+        // Settle on the fast regime, then ride through the tone loss and the
+        // patience-gated cut, then keep stepping until the quiet streak
+        // qualifies as suspect.
+        let mut suspect_seen = false;
+        for _ in 0..40 {
+            let r = ctl.step_granted(&mut source, t, ctl.requested_rate(), window);
+            t = t + r.duration;
+            if ctl.health() == HealthState::SuspectDeadlocked {
+                suspect_seen = true;
+                break;
+            }
+        }
+        assert!(suspect_seen, "the cut-below-memory state must classify as suspect");
+        let remembered = ctl.remembered_max().expect("settled");
+        let before = ctl.requested_rate();
+        assert!(before.value() < remembered.value());
+
+        // The forced re-probe requests above the remembered requirement …
+        let reprobe = ctl.begin_reprobe();
+        assert!(
+            reprobe.value() >= remembered.value(),
+            "re-probe must sample above the remembered max: {reprobe} < {remembered}"
+        );
+        assert_eq!(ctl.mode(), Mode::Probe);
+        assert_eq!(ctl.reprobes(), 1);
+        assert_eq!(ctl.health(), HealthState::Recovering);
+        // … and one clean epoch at the elevated rate re-settles near the
+        // true (now lower) requirement: suspicion retired, no deadlock.
+        let r = ctl.step_granted(&mut source, t, ctl.requested_rate(), window);
+        assert_eq!(r.primary_rate, reprobe);
+        assert!(!r.aliased, "the calmed signal verifies clean above the old max");
+        assert_eq!(ctl.mode(), Mode::Steady);
+        assert!(
+            ctl.requested_rate().value() <= before.value() * (1.0 + 1e-9),
+            "a clean re-probe must hand the rate back: {} > {}",
+            ctl.requested_rate(),
+            before
+        );
+    }
+
+    #[test]
+    fn dormant_epochs_age_state_without_decaying_the_request() {
+        let edge = 0.5;
+        let mut source = FunctionSource::new(band_signal(edge));
+        let mut ctl = AdaptiveSampler::new(config(0.3, 2000.0));
+        let window = Seconds(2000.0);
+        let mut t = Seconds::ZERO;
+        for _ in 0..10 {
+            let r = ctl.step_granted(&mut source, t, ctl.requested_rate(), window);
+            t = t + r.duration;
+        }
+        let settled = ctl.requested_rate();
+        let deferred = ctl.deferred_epochs();
+        let index_before = {
+            let r = ctl.step_granted(&mut source, t, ctl.requested_rate(), window);
+            t = t + r.duration;
+            r.index
+        };
+        // A long scheduled nap: the request holds exactly (no hold-and-decay
+        // — the silence was planned), nothing defers, epochs still count.
+        for _ in 0..6 {
+            ctl.note_dormant_epoch();
+        }
+        assert_eq!(ctl.requested_rate(), settled);
+        assert_eq!(ctl.deferred_epochs(), deferred, "dormancy is not a deferral");
+        assert_eq!(ctl.missed_streak(), 0, "dormancy is not a missed report");
+        assert_eq!(ctl.dormant_epochs(), 6);
+        assert_eq!(ctl.health(), HealthState::Dormant);
+        // The first epoch after waking is forced to verify (a regime change
+        // during the nap must not pass unchecked) and advances the index by
+        // exactly the napped epochs plus one.
+        let r = ctl.step_granted(&mut source, t, ctl.requested_rate(), window);
+        assert!(r.verified, "the wake-up epoch must run the §4.1 detector");
+        assert_eq!(r.index, index_before + 7);
     }
 
     #[test]

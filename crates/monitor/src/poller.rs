@@ -300,6 +300,28 @@ impl FleetMember {
             .step_delayed_scratch(&mut scratch.sampler, &mut source, start, granted, window)
     }
 
+    /// The rate a watchdog-forced re-probe would request — a read-only peek
+    /// ([`AdaptiveSampler::reprobe_rate`]) so a fleet watchdog can price the
+    /// re-probe against its recovery pool before committing to it.
+    pub fn reprobe_rate(&self) -> Hertz {
+        self.sampler.reprobe_rate()
+    }
+
+    /// Forces the controller into a watchdog-scheduled re-probe above its
+    /// remembered maximum ([`AdaptiveSampler::begin_reprobe`]); returns the
+    /// rate the re-probe will request.
+    pub fn begin_reprobe(&mut self) -> Hertz {
+        self.sampler.begin_reprobe()
+    }
+
+    /// Records a scheduled sleep epoch (duty cycle / battery conservation):
+    /// nothing is deferred and the request does not decay, but the next
+    /// awake epoch is forced to verify
+    /// ([`AdaptiveSampler::note_dormant_epoch`]).
+    pub fn note_dormant_epoch(&mut self) {
+        self.sampler.note_dormant_epoch();
+    }
+
     /// Reboots the member mid-study: the device rewinds its noise stream and
     /// the controller restarts in probe mode from its initial rate — but
     /// keeps its remembered maximum, so the re-ramp is bounded (§4.2's

@@ -20,6 +20,7 @@
 //! sweetspot fleetsim [--budget X] [--policy P] [--days D] [--devices N] [--seed S]
 //!                    [--threads T] [--verify-every K] [--fft-cache-mb M]
 //!                    [--scenario NAME|SPEC] [--scenario-seed S]
+//!                    [--recovery-budget-frac F]
 //!                    [--metrics-out PATH] [--metrics-every K]
 //!                    [--paper-scale] [--timing] [--json] [--json-devices]
 //!     Fleet-level adaptive simulation: every device's §4.2 controller under
@@ -43,7 +44,14 @@
 //!     `churn+lossy-reports`) and `key=value` terms override fields
 //!     (`drop=0.1+reboot=0.01`); `--scenario-seed S` re-deals the fault
 //!     schedule. Scenario runs report degraded frontiers (plus incident
-//!     time-to-recover); `--scenario none` (the default) is inert. Output
+//!     time-to-recover p50/p95); `--scenario none` (the default) is inert.
+//!     `--recovery-budget-frac F` arms the fleet watchdog: each epoch a
+//!     bounded recovery slice (F × the fleet's capacity rate, on top of the
+//!     regular schedule) funds exponential-backoff re-probes of devices the
+//!     health classifier marks suspect-deadlocked, so a controller trapped
+//!     by an aliasing deadlock is walked back above its remembered rate
+//!     instead of staying silent forever. F = 0 (the default) disables the
+//!     watchdog and is bit-identical to the pre-watchdog engine. Output
 //!     is byte-identical for any `--threads T`. `--metrics-out PATH`
 //!     streams fleet-scope metrics as JSON lines: one epoch snapshot per
 //!     simulated epoch (controller actions, scheduler maintenance, FFT
@@ -146,8 +154,9 @@ USAGE:
   sweetspot study    [--devices N] [--seed S] [--threads T] [--paper-scale] [--timing] [--json]
   sweetspot fleetsim [--budget X] [--policy uncapped|uniform|fair|waterfill] [--days D]
                      [--devices N] [--seed S] [--threads T] [--verify-every K]
-                     [--fft-cache-mb M] [--scenario none|churn|incident|lossy-reports|cost-skew]
-                     [--scenario-seed S] [--metrics-out PATH] [--metrics-every K]
+                     [--fft-cache-mb M] [--scenario NAME|SPEC] [--scenario-seed S]
+                     [--recovery-budget-frac F]
+                     [--metrics-out PATH] [--metrics-every K]
                      [--paper-scale] [--timing] [--json] [--json-devices]
   sweetspot demo     [--metric NAME] [--days D] [--seed S]
   sweetspot help";
@@ -443,6 +452,7 @@ fn cmd_fleetsim(args: &[String]) -> Result<(), String> {
             "fft-cache-mb",
             "metrics-every",
             "metrics-out",
+            "recovery-budget-frac",
             "scenario",
             "scenario-seed",
             "seed",
@@ -476,6 +486,12 @@ fn cmd_fleetsim(args: &[String]) -> Result<(), String> {
     let mut scenario = flag_opt::<String>(&flags, "scenario", "a scenario spec")?
         .map_or(Ok(ScenarioSpec::none()), |s| ScenarioSpec::parse(&s))?;
     scenario.seed = flag_u64(&flags, "scenario-seed", scenario.seed)?;
+    // Watchdog recovery slice, as a fraction of the fleet's capacity rate.
+    // 0 disables the watchdog entirely (bit-identical to the plain engine).
+    let recovery_budget_frac = flag_f64(&flags, "recovery-budget-frac", 0.0)?;
+    if !(0.0..=1.0).contains(&recovery_budget_frac) {
+        return Err("--recovery-budget-frac wants a fraction in [0, 1]".into());
+    }
     let budget = flag_opt::<f64>(&flags, "budget", "a non-negative number")?;
     if budget.is_some_and(|b| b.is_nan() || b < 0.0) {
         return Err("--budget wants a non-negative number".into());
@@ -531,6 +547,7 @@ fn cmd_fleetsim(args: &[String]) -> Result<(), String> {
         verify_every,
         fft_table_budget,
         scenario,
+        recovery_budget_frac,
         ..FleetSimConfig::default()
     };
     let rec = recorder.as_mut();

@@ -391,6 +391,68 @@ fn fleetsim_rejects_bad_policy() {
 }
 
 #[test]
+fn fleetsim_scenario_diagnostics_name_the_token_and_list_the_vocabulary() {
+    // A misspelled preset must be named verbatim in the error, and the
+    // message must teach the full vocabulary: every valid preset and every
+    // key=value override key, so the user never needs the docs to recover.
+    let out = bin()
+        .args(["fleetsim", "--devices", "14", "--scenario", "chrun+incident"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown scenario term 'chrun'"), "{stderr}");
+    for preset in [
+        "none", "churn", "incident", "lossy-reports", "cost-skew", "duty", "battery",
+        "diurnal", "staggered",
+    ] {
+        assert!(stderr.contains(preset), "missing preset {preset}: {stderr}");
+    }
+    for key in ["drop", "duty-period", "incident-stagger", "cost-spread"] {
+        assert!(stderr.contains(key), "missing key {key}: {stderr}");
+    }
+
+    // A bad key inside a key=value term is named too — both the key and the
+    // offending term — with the same vocabulary listing.
+    let out = bin()
+        .args(["fleetsim", "--devices", "14", "--scenario", "drop=0.1+frobs=2"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown scenario key 'frobs'") && stderr.contains("'frobs=2'"),
+        "{stderr}"
+    );
+    assert!(stderr.contains("duty-frac") && stderr.contains("staggered"), "{stderr}");
+
+    // A malformed number names the term and the unparsable value.
+    let out = bin()
+        .args(["fleetsim", "--devices", "14", "--scenario", "drop=lots"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("'drop=lots'") && stderr.contains("bad number 'lots'"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn fleetsim_rejects_out_of_range_recovery_budget_frac() {
+    for bad in ["1.5", "-0.1", "nan"] {
+        let out = bin()
+            .args(["fleetsim", "--devices", "14", "--recovery-budget-frac", bad])
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "--recovery-budget-frac {bad} must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("fraction in [0, 1]"), "{stderr}");
+    }
+}
+
+#[test]
 fn fleetsim_output_is_byte_identical_across_thread_counts() {
     let run = |threads: &str| {
         let out = bin()
